@@ -1,0 +1,109 @@
+// E9 — §5.1 keyword-collision ablation.
+//
+// Paper: "By setting the output domain to size 2^22, we guarantee that if
+// there are roughly 2^20 key-value pairs ... the probability of collision
+// is at most 1/4 when the ZLTP server is almost at capacity (if this
+// happens, then the publisher can simply select another key name). We could
+// decrease this probability by ... using cuckoo hashing and probing several
+// locations per request."
+//
+// We measure (a) the empirical collision probability for a fresh key at
+// several load factors — expected ≈ load factor, so ≤ 1/4 at the paper's
+// capacity — and (b) how much further cuckoo hashing stretches capacity,
+// at the price of 2 private-GETs per lookup.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "pir/cuckoo.h"
+#include "pir/keyword.h"
+
+namespace lw::bench {
+namespace {
+
+void BM_DirectRegister(benchmark::State& state) {
+  const Bytes seed(16, 1);
+  pir::KeywordRegistry reg(seed, 20);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.Register("key-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_DirectRegister)->Unit(benchmark::kMicrosecond);
+
+void BM_CuckooInsert(benchmark::State& state) {
+  const Bytes seed(16, 1);
+  pir::CuckooIndex cuckoo(seed, 20);
+  int i = 0;
+  for (auto _ : state) {
+    if (cuckoo.LoadFactor() > 0.45) {
+      // Stay below the 2-choice threshold: past ~0.5 every insert runs a
+      // full failing eviction chain, which measures the failure path
+      // rather than insertion.
+      state.PauseTiming();
+      cuckoo = pir::CuckooIndex(seed, 20);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(cuckoo.Insert("key-" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_CuckooInsert)->Unit(benchmark::kMicrosecond);
+
+void PrintReproductionTable() {
+  std::printf("\n=== E9: §5.1 collision handling — ablation ===\n");
+  constexpr int kDomainBits = 16;  // scaled from the paper's 2^22
+  const std::uint64_t domain = 1u << kDomainBits;
+
+  PrintRule();
+  std::printf("%14s %24s %24s\n", "load factor", "direct: P[new key "
+              "collides]", "cuckoo: insert failures");
+  PrintRule();
+
+  for (const double load : {0.0625, 0.125, 0.25, 0.40, 0.49}) {
+    const auto target = static_cast<std::uint64_t>(load * domain);
+
+    // Direct hashing: fill to the load factor, then probe fresh keys.
+    const Bytes seed(16, 0x33);
+    pir::KeywordRegistry reg(seed, kDomainBits);
+    std::uint64_t i = 0;
+    while (reg.size() < target) {
+      (void)reg.Register("fill-" + std::to_string(i++));
+    }
+    int collided = 0;
+    constexpr int kProbes = 2000;
+    for (int p = 0; p < kProbes; ++p) {
+      // Non-mutating probe: would this fresh key land on an occupied slot?
+      const std::uint64_t idx =
+          reg.mapper().IndexOf("probe-" + std::to_string(p));
+      if (reg.KeyAt(idx).ok()) ++collided;
+    }
+    const double p_collide = static_cast<double>(collided) / kProbes;
+
+    // Cuckoo: insert the same number of keys and count failures.
+    pir::CuckooIndex cuckoo(seed, kDomainBits);
+    std::uint64_t failures = 0;
+    for (std::uint64_t k = 0; k < target; ++k) {
+      if (!cuckoo.Insert("fill-" + std::to_string(k)).ok()) ++failures;
+    }
+
+    std::printf("%14.3f %24.3f %21llu/%llu\n", load, p_collide,
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(target));
+  }
+  PrintRule();
+  std::printf(
+      "paper claim at capacity (2^20 keys in 2^22 slots = load 0.25):\n"
+      "  collision probability <= 1/4 — matches the direct-hash column;\n"
+      "  cuckoo hashing eliminates publish-time failures up to ~0.5 load\n"
+      "  at the cost of probing 2 locations per private-GET.\n\n");
+}
+
+}  // namespace
+}  // namespace lw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lw::bench::PrintReproductionTable();
+  return 0;
+}

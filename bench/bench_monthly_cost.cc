@@ -1,0 +1,87 @@
+// E7 — §4 "Who pays?" user-cost estimates.
+//
+// Paper: "For users who make on average 50 daily page requests where each
+// page request results in 5 GET requests for data blobs, we estimate that
+// the monthly per-user cost for a universe of 360M data blobs ... to be
+// roughly $15 (comparable to the cost of a Netflix membership)." Plus the
+// Google Fi comparisons and the looking-forward cost projection.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "costmodel/costmodel.h"
+
+namespace lw::bench {
+namespace {
+
+void BM_CostModelEvaluation(benchmark::State& state) {
+  cost::ShardMeasurement shard;
+  shard.dpf_ms = 64;
+  shard.scan_ms = 103;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost::EstimateScale(
+        cost::C4Dataset(), shard, cost::InstanceSpec{}, 4096));
+  }
+}
+BENCHMARK(BM_CostModelEvaluation)->Unit(benchmark::kNanosecond);
+
+void PrintReproductionTable() {
+  std::printf("\n=== E7: §4 monthly user cost — reproduction ===\n");
+
+  cost::ShardMeasurement paper_shard;
+  paper_shard.dpf_ms = 64;
+  paper_shard.scan_ms = 103;
+  const auto c4 = cost::EstimateScale(cost::C4Dataset(), paper_shard,
+                                      cost::InstanceSpec{}, 4096);
+
+  PrintRule();
+  std::printf("%12s %12s %14s %16s\n", "pages/day", "GETs/page",
+              "GETs/month", "monthly cost");
+  PrintRule();
+  for (const double pages : {10.0, 50.0, 100.0}) {
+    for (const int gets : {3, 5}) {
+      cost::UserProfile user;
+      user.pages_per_day = pages;
+      user.data_gets_per_page = gets;
+      const double monthly = cost::MonthlyUserCostUsd(c4, user);
+      std::printf("%12.0f %12d %14.0f %15.2f$\n", pages, gets,
+                  pages * gets * 30, monthly);
+    }
+  }
+  PrintRule();
+
+  cost::UserProfile paper_user;  // 50 pages, 5 GETs, 30 days
+  const double monthly = cost::MonthlyUserCostUsd(c4, paper_user);
+  std::printf("paper's profile (50 pages/day x 5 GETs): $%.2f/month "
+              "(paper: ~$15, \"a Netflix membership\")\n",
+              monthly);
+
+  std::printf("\nGoogle Fi comparison (§5.2):\n");
+  std::printf("  22.4 MiB NYT homepage over $10/GiB Fi: $%.3f (paper "
+              "$0.218)\n",
+              cost::GoogleFiCostForBytes(cost::kNytHomepageMib * 1024 *
+                                         1024));
+  std::printf("  4 KiB over Fi: $%.6f vs ZLTP $%.4f -> ZLTP is %.0fx more "
+              "expensive (paper: ~2 orders of magnitude)\n",
+              cost::GoogleFiCostForBytes(4096), c4.usd_per_request_system,
+              c4.usd_per_request_system / cost::GoogleFiCostForBytes(4096));
+
+  std::printf("\nLooking forward (compute gets 16x cheaper / 5 years):\n");
+  for (const double years : {0.0, 5.0, 10.0}) {
+    std::printf("  in %4.0f years: $%.6f per request\n", years,
+                cost::ProjectedRequestCostUsd(c4.usd_per_request_system,
+                                              years));
+  }
+  std::printf("  paper: \"in 5 years ... the dollar cost of a ZLTP request "
+              "[could] drop by an order of magnitude\"\n\n");
+}
+
+}  // namespace
+}  // namespace lw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lw::bench::PrintReproductionTable();
+  return 0;
+}

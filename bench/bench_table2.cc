@@ -1,0 +1,130 @@
+// E4/E5 — Table 2: estimated costs of running ZLTP on C4 and Wikipedia.
+//
+// Paper method (§5.2): measure one 1 GiB shard on a c5.large, then model the
+// deployment as ceil(dataset / 1 GiB) shards, each paying the measured
+// per-request wall time, doubled for the two-server setting.
+//
+//   Dataset    size    #pages  avg page  vCPU-sec  cost     comm
+//   C4         305 GiB 360M    0.9 KiB   204       $0.002   15.9 KiB
+//   Wikipedia  21 GiB  60M     0.4 KiB   10        $0.0001  14.9 KiB
+//
+// We print two versions: (a) the paper's own shard measurement fed through
+// our cost model (validating the model reproduces their cells), and (b) our
+// shard measurement on this machine (the honest reproduction).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "costmodel/costmodel.h"
+#include "workload/workload.h"
+
+namespace lw::bench {
+namespace {
+
+constexpr std::size_t kRecordSize = 4096;
+constexpr int kDomainBits = 22;
+
+cost::ShardMeasurement MeasureOurShard(double shard_gib) {
+  const std::size_t records = static_cast<std::size_t>(
+      shard_gib * (1ull << 30) / kRecordSize);
+  const pir::BlobDatabase db = BuildShard(kDomainBits, kRecordSize, records);
+  const RequestCost c = MeasureRequests(db, kDomainBits, 3);
+  cost::ShardMeasurement m;
+  m.dpf_ms = c.dpf_ms;
+  m.scan_ms = c.scan_ms;
+  m.shard_gib = shard_gib;
+  m.domain_bits = kDomainBits;
+  return m;
+}
+
+void BM_ShardRequest(benchmark::State& state) {
+  // One full request on a 256 MiB shard (Table 2's measured primitive,
+  // scaled for bench-loop friendliness).
+  const std::size_t records = (256ull << 20) / kRecordSize;
+  const pir::BlobDatabase db = BuildShard(kDomainBits, kRecordSize, records);
+  Rng rng(3);
+  for (auto _ : state) {
+    const RequestCost c = MeasureOneRequest(db, kDomainBits, rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ShardRequest)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void PrintRow(const cost::ScaleEstimate& e) {
+  std::printf("%-11s %8.0f %7.0fM %9.1f %10.0f %10.4f %9.1f\n",
+              e.dataset.name.c_str(), e.dataset.total_gib,
+              e.dataset.pages_millions, e.dataset.avg_page_kib,
+              e.vcpu_seconds_system, e.usd_per_request_system,
+              e.total_comm_kib);
+}
+
+void PrintReproductionTable() {
+  const cost::InstanceSpec instance;
+
+  std::printf("\n=== E4/E5: Table 2 — reproduction ===\n");
+  std::printf("%-11s %8s %8s %9s %10s %10s %9s\n", "dataset", "GiB",
+              "pages", "avg KiB", "vCPU-sec", "$/request", "comm KiB");
+  PrintRule();
+
+  std::printf("paper-reported cells:\n");
+  std::printf("%-11s %8.0f %7.0fM %9.1f %10.0f %10.4f %9.1f\n", "C4", 305.0,
+              360.0, 0.9, 204.0, 0.002, 15.9);
+  std::printf("%-11s %8.0f %7.0fM %9.1f %10.0f %10.4f %9.1f\n", "Wikipedia",
+              21.0, 60.0, 0.4, 10.0, 0.0001, 14.9);
+  PrintRule();
+
+  // (a) Model validation: the paper's shard numbers through our estimator.
+  cost::ShardMeasurement paper_shard;
+  paper_shard.dpf_ms = 64;
+  paper_shard.scan_ms = 103;
+  paper_shard.shard_gib = 1.0;
+  paper_shard.domain_bits = 22;
+  std::printf("our model fed the paper's shard measurement "
+              "(167 ms/req/GiB on c5.large):\n");
+  PrintRow(cost::EstimateScale(cost::C4Dataset(), paper_shard, instance,
+                               kRecordSize));
+  PrintRow(cost::EstimateScale(cost::WikipediaDataset(), paper_shard,
+                               instance, kRecordSize));
+  PrintRule();
+
+  // (b) Our measured shard on this host (1 GiB, the paper's configuration;
+  // costs still priced at c5.large rates for comparability).
+  std::printf("our model fed THIS HOST's measured 1 GiB shard:\n");
+  const cost::ShardMeasurement ours = MeasureOurShard(1.0);
+  std::printf("  (measured: %.1f ms dpf + %.1f ms scan per request/GiB)\n",
+              ours.dpf_ms, ours.scan_ms);
+  const auto c4 =
+      cost::EstimateScale(cost::C4Dataset(), ours, instance, kRecordSize);
+  const auto wiki = cost::EstimateScale(cost::WikipediaDataset(), ours,
+                                        instance, kRecordSize);
+  PrintRow(c4);
+  PrintRow(wiki);
+  PrintRule();
+  std::printf("shape checks:\n");
+  std::printf("  C4/Wikipedia vCPU ratio: %.1f (paper ~20)\n",
+              c4.vcpu_seconds_system / wiki.vcpu_seconds_system);
+  std::printf("  per-request cost < $0.01: %s (\"less than one cent per "
+              "request\")\n\n",
+              c4.usd_per_request_system < 0.01 ? "yes" : "NO");
+
+  // The synthetic corpora used to stand in for the datasets (substitution
+  // documented in DESIGN.md): confirm their statistics.
+  const workload::SyntheticCorpus c4_corpus(workload::C4Like(50000));
+  const workload::SyntheticCorpus wiki_corpus(
+      workload::WikipediaLike(50000));
+  std::printf("synthetic corpora stats (target / generated mean page):\n");
+  std::printf("  c4-like:        0.90 KiB / %.2f KiB\n",
+              c4_corpus.SampleMeanPayloadBytes(2000) / 1024.0);
+  std::printf("  wikipedia-like: 0.40 KiB / %.2f KiB\n\n",
+              wiki_corpus.SampleMeanPayloadBytes(2000) / 1024.0);
+}
+
+}  // namespace
+}  // namespace lw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lw::bench::PrintReproductionTable();
+  return 0;
+}

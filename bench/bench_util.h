@@ -1,0 +1,81 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "dpf/dpf.h"
+#include "pir/blob_db.h"
+#include "pir/two_server.h"
+#include "util/rand.h"
+#include "util/timer.h"
+
+namespace lw::bench {
+
+// Fills a blob database with `records` random fixed-size records at random
+// distinct indices (dummy contents, as in the paper's microbenchmarks).
+inline pir::BlobDatabase BuildShard(int domain_bits, std::size_t record_size,
+                                    std::size_t records,
+                                    std::uint64_t seed = 1) {
+  pir::BlobDatabase db(domain_bits, record_size);
+  Rng rng(seed);
+  Bytes record(record_size);
+  std::uint64_t inserted = 0;
+  while (inserted < records) {
+    const std::uint64_t index = rng.UniformInt(db.domain_size());
+    if (db.Contains(index)) continue;
+    rng.Fill(record);
+    LW_CHECK(db.Insert(index, record).ok());
+    ++inserted;
+  }
+  return db;
+}
+
+// One private-GET worth of server work, timed in parts.
+struct RequestCost {
+  double dpf_ms = 0;
+  double scan_ms = 0;
+  double total_ms() const { return dpf_ms + scan_ms; }
+};
+
+inline RequestCost MeasureOneRequest(const pir::BlobDatabase& db,
+                                     int domain_bits, Rng& rng) {
+  const std::uint64_t target = rng.UniformInt(db.domain_size());
+  const pir::QueryKeys q = pir::MakeIndexQuery(target, domain_bits);
+
+  RequestCost cost;
+  Stopwatch dpf_timer;
+  const dpf::BitVector bits = dpf::EvalFull(q.key0);
+  cost.dpf_ms = dpf_timer.ElapsedMillis();
+
+  Bytes answer(db.record_size());
+  Stopwatch scan_timer;
+  db.Answer(bits, answer);
+  cost.scan_ms = scan_timer.ElapsedMillis();
+  return cost;
+}
+
+// Averages several measured requests.
+inline RequestCost MeasureRequests(const pir::BlobDatabase& db,
+                                   int domain_bits, int iterations,
+                                   std::uint64_t seed = 42) {
+  Rng rng(seed);
+  RequestCost total;
+  for (int i = 0; i < iterations; ++i) {
+    const RequestCost c = MeasureOneRequest(db, domain_bits, rng);
+    total.dpf_ms += c.dpf_ms;
+    total.scan_ms += c.scan_ms;
+  }
+  total.dpf_ms /= iterations;
+  total.scan_ms /= iterations;
+  return total;
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace lw::bench

@@ -1,0 +1,129 @@
+// A full lightweb browsing session (paper §3.2, Figure 1).
+//
+// A news publisher pushes a code blob and data blobs into a universe; a
+// lightweb browser connects, fetches the code blob once, then renders pages
+// with a FIXED number of data-blob private-GETs per page — the network
+// observer sees identical traffic whether the user reads African headlines
+// or the dog-show calendar.
+//
+// Build & run:  ./build/examples/news_browse
+#include <cstdio>
+
+#include "util/check.h"
+
+#include "lightweb/browser.h"
+#include "lightweb/channel.h"
+#include "lightweb/publisher.h"
+#include "lightweb/universe.h"
+
+int main() {
+  using namespace lw;
+  using namespace lw::lightweb;
+
+  UniverseConfig config;
+  config.name = "demo";
+  config.code_domain_bits = 12;
+  config.code_blob_size = 8192;
+  config.data_domain_bits = 16;
+  config.data_blob_size = 1024;
+  config.fetches_per_page = 5;  // the paper's example budget
+  Universe universe(config);
+
+  // ---- Publisher side -----------------------------------------------
+  Publisher planet("planet-media");
+  SiteBuilder site("planet.com");
+  site.SetSiteName("The Daily Planet")
+      .SetStyle("serif")
+      .AddRoute("/world/:region", {"planet.com/data/world/{region}.json"},
+                "# {{site}} / World / {{region}}\n\n"
+                "{{#each data0.headlines}}"
+                "* [{{.title}}]({{.link}})\n"
+                "{{/each}}\n[back to front page](planet.com/)")
+      .AddRoute("/story/:id", {"planet.com/data/story/{id}.json"},
+                "# {{data0.title}}\n\n{{data0.body}}\n\n"
+                "[front page](planet.com/)")
+      .AddRoute("/*rest", {"planet.com/data/front.json"},
+                "# {{site}}\n\nSections:\n"
+                "{{#each data0.sections}}"
+                "* [{{.}}](planet.com/world/{{.}})\n"
+                "{{/each}}");
+  if (!planet.PublishSite(universe, site).ok()) return 1;
+
+  json::Object front;
+  front["sections"] = json::Array{"africa", "europe", "americas"};
+  LW_CHECK(planet
+               .PublishData(universe, "planet.com/data/front.json",
+                            json::Value(front))
+               .ok());
+
+  for (const char* region : {"africa", "europe", "americas"}) {
+    json::Array headlines;
+    for (int i = 0; i < 3; ++i) {
+      json::Object h;
+      h["title"] = std::string(region) + " headline #" + std::to_string(i);
+      h["link"] =
+          "planet.com/story/" + std::string(region) + std::to_string(i);
+      headlines.push_back(json::Value(h));
+    }
+    json::Object page;
+    page["headlines"] = std::move(headlines);
+    LW_CHECK(planet
+                 .PublishData(universe,
+                              "planet.com/data/world/" +
+                                  std::string(region) + ".json",
+                              json::Value(page))
+                 .ok());
+    for (int i = 0; i < 3; ++i) {
+      json::Object story;
+      story["title"] =
+          std::string(region) + " headline #" + std::to_string(i);
+      story["body"] = "Reporting live from " + std::string(region) + "...";
+      LW_CHECK(planet
+                   .PublishData(universe,
+                                "planet.com/data/story/" +
+                                    std::string(region) +
+                                    std::to_string(i) + ".json",
+                                json::Value(story))
+                   .ok());
+    }
+  }
+  std::printf("universe '%s': %zu pages across %zu domains\n\n",
+              universe.name().c_str(), universe.total_pages(),
+              universe.total_domains());
+
+  // ---- Browser side -------------------------------------------------
+  BrowserConfig bconfig;
+  bconfig.fetches_per_page = universe.fetches_per_page();
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(universe.code_store()),
+      std::make_unique<InProcessPirChannel>(universe.data_store()),
+      bconfig);
+
+  // Browse: front page -> section -> story, following rendered links.
+  std::string path = "planet.com";
+  for (int hop = 0; hop < 3; ++hop) {
+    auto page = browser.Visit(path);
+    if (!page.ok()) {
+      std::printf("visit failed: %s\n", page.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== %s  [%d real + %d dummy fetches, code %s] ===\n%s\n\n",
+                page->full_path.c_str(), page->real_fetches,
+                page->dummy_fetches,
+                page->code_cache_hit ? "cached" : "fetched",
+                page->text.c_str());
+    if (page->links.empty()) break;
+    path = page->links[0].target;
+  }
+
+  std::printf("network observer saw: %llu code-universe queries, "
+              "%llu data-universe queries\n",
+              static_cast<unsigned long long>(
+                  browser.code_channel().observed_queries()),
+              static_cast<unsigned long long>(
+                  browser.data_channel().observed_queries()));
+  std::printf("(= 1 code fetch + exactly %d data fetches per page view — "
+              "nothing about WHICH pages)\n",
+              universe.fetches_per_page());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Dynamic content without server-side state (paper §3.3).
+//
+// "the weather.com lightweb page could prompt the user for their postal
+// code and cache it in local storage. Later on, when the user visits
+// weather.com, the page could use the user's cached postal code to
+// automatically fetch a per-postal-code data blob."
+//
+// The CDN serves every postal code's blob identically; which one the user
+// fetched is hidden by the private-GET, so the personalization leaks
+// nothing.
+//
+// Build & run:  ./build/examples/weather_dynamic
+#include <cstdio>
+
+#include "util/check.h"
+
+#include "lightweb/browser.h"
+#include "lightweb/channel.h"
+#include "lightweb/publisher.h"
+#include "lightweb/universe.h"
+
+int main() {
+  using namespace lw;
+  using namespace lw::lightweb;
+
+  UniverseConfig config;
+  config.name = "weather";
+  config.code_domain_bits = 10;
+  config.code_blob_size = 4096;
+  config.data_domain_bits = 14;
+  config.data_blob_size = 512;
+  config.fetches_per_page = 2;
+  Universe universe(config);
+
+  Publisher weather_co("weather-co");
+  SiteBuilder site("weather.com");
+  site.SetSiteName("Weather Now")
+      .AddRoute("/",
+                {"weather.com/by-zip/{local.postal_code|unset}.json",
+                 "weather.com/alerts.json"},
+                "# {{site}}\n"
+                "{{#if data0.forecast}}"
+                "Forecast for {{local.postal_code}}: {{data0.forecast}}, "
+                "high {{data0.high}}°\n"
+                "{{/if}}"
+                "{{^if data0.forecast}}"
+                "(no postal code set — showing nothing; set one in local "
+                "storage)\n"
+                "{{/if}}"
+                "National alerts: {{data1.text}}\n");
+  if (!weather_co.PublishSite(universe, site).ok()) return 1;
+
+  // Per-postal-code blobs — one for every region the publisher covers.
+  const struct { const char* zip; const char* forecast; int high; } kData[] =
+      {{"94703", "fog then sun", 19},
+       {"10001", "humid thunderstorms", 31},
+       {"60601", "lake-effect wind", 24}};
+  for (const auto& d : kData) {
+    json::Object blob;
+    blob["forecast"] = d.forecast;
+    blob["high"] = d.high;
+    LW_CHECK(weather_co
+                 .PublishData(universe,
+                              std::string("weather.com/by-zip/") + d.zip +
+                                  ".json",
+                              json::Value(blob))
+                 .ok());
+  }
+  json::Object alerts;
+  alerts["text"] = "none";
+  LW_CHECK(weather_co
+               .PublishData(universe, "weather.com/alerts.json",
+                            json::Value(alerts))
+               .ok());
+
+  BrowserConfig bconfig;
+  bconfig.fetches_per_page = universe.fetches_per_page();
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(universe.code_store()),
+      std::make_unique<InProcessPirChannel>(universe.data_store()),
+      bconfig);
+
+  // First visit: no postal code cached yet.
+  auto page = browser.Visit("weather.com");
+  std::printf("--- first visit (no postal code) ---\n%s\n",
+              page.ok() ? page->text.c_str()
+                        : page.status().ToString().c_str());
+
+  // The user "types in" their postal code; the page caches it locally.
+  browser.local_storage("weather.com").Set("postal_code", "94703");
+  page = browser.Visit("weather.com");
+  std::printf("--- after caching postal_code=94703 ---\n%s\n",
+              page.ok() ? page->text.c_str()
+                        : page.status().ToString().c_str());
+
+  // Moving to Chicago changes only CLIENT state.
+  browser.local_storage("weather.com").Set("postal_code", "60601");
+  page = browser.Visit("weather.com");
+  std::printf("--- after caching postal_code=60601 ---\n%s\n",
+              page.ok() ? page->text.c_str()
+                        : page.status().ToString().c_str());
+
+  std::printf("every visit performed exactly %d private data fetches — the "
+              "CDN cannot tell the three users apart.\n",
+              universe.fetches_per_page());
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "costmodel/costmodel.h"
+
+#include <cmath>
+
+#include "pir/two_server.h"
+#include "util/check.h"
+
+namespace lw::cost {
+
+ScaleEstimate EstimateScale(const DatasetSpec& dataset,
+                            const ShardMeasurement& shard,
+                            const InstanceSpec& instance,
+                            std::size_t bucket_bytes) {
+  LW_CHECK_MSG(shard.shard_gib > 0, "shard size must be positive");
+  ScaleEstimate e;
+  e.dataset = dataset;
+  e.num_shards = static_cast<int>(
+      std::ceil(dataset.total_gib / instance.shard_gib));
+
+  // Each shard performs the measured wall time per request; the instance's
+  // vCPUs work in parallel for that interval (the paper's accounting:
+  // 167 ms on a 2-vCPU c5.large = 0.334 vCPU-seconds).
+  e.wall_ms_per_shard = shard.wall_ms() * (shard.shard_gib > 0
+          ? instance.shard_gib / shard.shard_gib
+          : 1.0);
+  const double vcpu_sec_per_shard =
+      e.wall_ms_per_shard / 1000.0 * instance.vcpus;
+  e.vcpu_seconds_one_server = vcpu_sec_per_shard * e.num_shards;
+  e.vcpu_seconds_system = 2 * e.vcpu_seconds_one_server;
+  e.usd_per_request_one_server =
+      e.vcpu_seconds_one_server * instance.usd_per_vcpu_second();
+  e.usd_per_request_system = 2 * e.usd_per_request_one_server;
+
+  // Communication: one serialized DPF key up and one bucket down, per
+  // logical server (×2). (The front-end fan-out to data shards is CDN-
+  // internal and excluded, as in the paper.)
+  e.upload_kib =
+      2.0 * static_cast<double>(pir::QueryUploadBytes(shard.domain_bits)) /
+      1024.0;
+  e.download_kib = 2.0 * static_cast<double>(bucket_bytes) / 1024.0;
+  e.total_comm_kib = e.upload_kib + e.download_kib;
+  return e;
+}
+
+double MonthlyUserCostUsd(const ScaleEstimate& estimate,
+                          const UserProfile& user) {
+  const double gets_per_month = user.pages_per_day *
+                                user.data_gets_per_page *
+                                user.days_per_month;
+  return gets_per_month * estimate.usd_per_request_system;
+}
+
+double GoogleFiCostForBytes(double bytes) {
+  return bytes / (1024.0 * 1024.0 * 1024.0) * kGoogleFiUsdPerGib;
+}
+
+double ProjectedRequestCostUsd(double cost_today_usd, double years) {
+  // 16× cheaper every 5 years (paper cites 2003→2008: $1 bought 8 then 128
+  // CPU-hours). cost(t) = cost(0) / 16^(t/5).
+  return cost_today_usd / std::pow(16.0, years / 5.0);
+}
+
+}  // namespace lw::cost

@@ -1,0 +1,92 @@
+// Deployment cost model (paper §4 "Who pays?" and §5.2 "Estimated costs for
+// scaling up ZLTP").
+//
+// The paper's method: microbenchmark ONE 1-GiB data shard on a c5.large,
+// then extrapolate a full deployment as (dataset size / shard size)
+// independent shards, each paying the measured per-request wall time; the
+// two-server setting doubles everything. This module reproduces that
+// arithmetic so the Table 2 bench can feed it our measured shard numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lw::cost {
+
+// AWS instance running one data shard (paper: c5.large, $0.085/h, 2 vCPU).
+struct InstanceSpec {
+  std::string name = "c5.large";
+  int vcpus = 2;
+  double usd_per_hour = 0.085;
+  double memory_gib = 4.0;
+  double shard_gib = 1.0;  // data served per instance
+
+  double usd_per_vcpu_second() const {
+    return usd_per_hour / 3600.0 / vcpus;
+  }
+};
+
+// Per-request measurements from one shard (the §5.1 microbenchmark).
+struct ShardMeasurement {
+  double dpf_ms = 0;   // full-domain DPF evaluation
+  double scan_ms = 0;  // data scan (XOR accumulation)
+  double shard_gib = 1.0;
+  int domain_bits = 22;
+
+  double wall_ms() const { return dpf_ms + scan_ms; }
+};
+
+struct DatasetSpec {
+  std::string name;
+  double total_gib = 0;
+  double pages_millions = 0;
+  double avg_page_kib = 0;
+};
+
+// The paper's two evaluation corpora (Table 2 inputs).
+inline DatasetSpec C4Dataset() { return {"C4", 305.0, 360.0, 0.9}; }
+inline DatasetSpec WikipediaDataset() { return {"Wikipedia", 21.0, 60.0, 0.4}; }
+
+// One row of Table 2.
+struct ScaleEstimate {
+  DatasetSpec dataset;
+  int num_shards = 0;
+
+  double wall_ms_per_shard = 0;          // unchanged from the measurement
+  double vcpu_seconds_one_server = 0;    // sum over shards, one logical server
+  double vcpu_seconds_system = 0;        // × 2 (two-server overhead)
+  double usd_per_request_one_server = 0;
+  double usd_per_request_system = 0;
+
+  double upload_kib = 0;    // client → both servers (2 DPF keys)
+  double download_kib = 0;  // both servers → client (2 records)
+  double total_comm_kib = 0;
+};
+
+// Scales a shard measurement up to a dataset (the §5.2 extrapolation).
+// bucket_bytes is the fixed ZLTP record size (4 KiB in the paper).
+ScaleEstimate EstimateScale(const DatasetSpec& dataset,
+                            const ShardMeasurement& shard,
+                            const InstanceSpec& instance,
+                            std::size_t bucket_bytes);
+
+// §4 user-cost estimate: "50 daily page requests where each page request
+// results in 5 GET requests for data blobs" → ≈ $15/month on C4.
+struct UserProfile {
+  double pages_per_day = 50;
+  int data_gets_per_page = 5;
+  double days_per_month = 30;
+};
+double MonthlyUserCostUsd(const ScaleEstimate& estimate,
+                          const UserProfile& user);
+
+// Comparison points from §5.2.
+inline constexpr double kGoogleFiUsdPerGib = 10.0;
+inline constexpr double kNytHomepageMib = 22.4;
+double GoogleFiCostForBytes(double bytes);
+
+// "Looking forward": compute got 16× cheaper per 5 years (paper's [26]
+// figures); projects today's per-request cost `years` out.
+double ProjectedRequestCostUsd(double cost_today_usd, double years);
+
+}  // namespace lw::cost

@@ -1,0 +1,75 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+#include "util/check.h"
+
+namespace lw::crypto {
+namespace {
+
+constexpr std::uint8_t kZeros[16] = {0};
+
+void ComputeTag(ByteSpan poly_key, ByteSpan aad, ByteSpan ct,
+                std::uint8_t tag[16]) {
+  Poly1305State mac(poly_key);
+  mac.Update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.Update(ByteSpan(kZeros, 16 - aad.size() % 16));
+  }
+  mac.Update(ct);
+  if (ct.size() % 16 != 0) {
+    mac.Update(ByteSpan(kZeros, 16 - ct.size() % 16));
+  }
+  std::uint8_t lengths[16];
+  lw::StoreLE64(lengths, aad.size());
+  lw::StoreLE64(lengths + 8, ct.size());
+  mac.Update(ByteSpan(lengths, 16));
+  mac.Finish(tag);
+}
+
+Bytes DerivePolyKey(ByteSpan key, ByteSpan nonce) {
+  std::uint8_t block[64];
+  ChaCha20Block(key, nonce, 0, block);
+  return Bytes(block, block + 32);
+}
+
+}  // namespace
+
+Bytes AeadSeal(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+               ByteSpan plaintext) {
+  LW_CHECK(key.size() == kAeadKeySize);
+  LW_CHECK(nonce.size() == kAeadNonceSize);
+  Bytes out(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, nonce, 1, out);
+  const Bytes poly_key = DerivePolyKey(key, nonce);
+  std::uint8_t tag[16];
+  ComputeTag(poly_key, aad, out, tag);
+  out.insert(out.end(), tag, tag + 16);
+  return out;
+}
+
+Result<Bytes> AeadOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                       ByteSpan ciphertext_and_tag) {
+  LW_CHECK(key.size() == kAeadKeySize);
+  LW_CHECK(nonce.size() == kAeadNonceSize);
+  if (ciphertext_and_tag.size() < kAeadTagSize) {
+    return PermissionDeniedError("ciphertext shorter than tag");
+  }
+  const ByteSpan ct = ciphertext_and_tag.first(
+      ciphertext_and_tag.size() - kAeadTagSize);
+  const ByteSpan tag = ciphertext_and_tag.last(kAeadTagSize);
+
+  const Bytes poly_key = DerivePolyKey(key, nonce);
+  std::uint8_t expected[16];
+  ComputeTag(poly_key, aad, ct, expected);
+  if (!ConstantTimeEqual(ByteSpan(expected, 16), tag)) {
+    return PermissionDeniedError("AEAD tag mismatch");
+  }
+  Bytes out(ct.begin(), ct.end());
+  ChaCha20Xor(key, nonce, 1, out);
+  return out;
+}
+
+}  // namespace lw::crypto

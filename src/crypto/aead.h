@@ -1,0 +1,26 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439).
+//
+// Used for (a) access-controlled lightweb content: publishers encrypt data
+// blobs under per-epoch keys so the CDN stores only ciphertext (§3.3 of the
+// paper), and (b) the enclave-mode ZLTP query channel.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::crypto {
+
+inline constexpr std::size_t kAeadKeySize = 32;
+inline constexpr std::size_t kAeadNonceSize = 12;
+inline constexpr std::size_t kAeadTagSize = 16;
+
+// Returns ciphertext || 16-byte tag (size = plaintext.size() + 16).
+Bytes AeadSeal(ByteSpan key, ByteSpan nonce, ByteSpan aad, ByteSpan plaintext);
+
+// Verifies and decrypts; fails with PERMISSION_DENIED on tag mismatch.
+Result<Bytes> AeadOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+                       ByteSpan ciphertext_and_tag);
+
+}  // namespace lw::crypto

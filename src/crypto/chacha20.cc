@@ -1,0 +1,80 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace lw::crypto {
+namespace {
+
+std::uint32_t Rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                  std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+void BlockCore(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof x);
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    lw::StoreLE32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+void InitState(std::uint32_t state[16], ByteSpan key, ByteSpan nonce,
+               std::uint32_t counter) {
+  LW_CHECK_MSG(key.size() == kChaChaKeySize, "ChaCha20 key must be 32 bytes");
+  LW_CHECK_MSG(nonce.size() == kChaChaNonceSize,
+               "ChaCha20 nonce must be 12 bytes");
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = lw::LoadLE32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = lw::LoadLE32(nonce.data() + 4 * i);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
+                   std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  BlockCore(state, out);
+}
+
+void ChaCha20Xor(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
+                 MutableByteSpan data) {
+  std::uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  std::uint8_t block[64];
+  std::size_t off = 0;
+  while (off < data.size()) {
+    BlockCore(state, block);
+    ++state[12];
+    const std::size_t n = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= block[i];
+    off += n;
+  }
+}
+
+}  // namespace lw::crypto

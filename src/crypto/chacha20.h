@@ -1,0 +1,25 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Used as the cipher half of the ChaCha20-Poly1305 AEAD that protects
+// access-controlled lightweb content and enclave-mode query channels.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+// XORs the ChaCha20 keystream (key, nonce, starting at block `counter`)
+// into `data` in place. Encryption and decryption are the same operation.
+void ChaCha20Xor(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
+                 MutableByteSpan data);
+
+// Writes one 64-byte keystream block (used to derive the Poly1305 key).
+void ChaCha20Block(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
+                   std::uint8_t out[64]);
+
+}  // namespace lw::crypto

@@ -1,0 +1,55 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/sha256.h"
+#include "util/check.h"
+
+namespace lw::crypto {
+
+Bytes HmacSha256(ByteSpan key, ByteSpan msg) {
+  Bytes k(kSha256BlockSize, 0);
+  if (key.size() > kSha256BlockSize) {
+    const Bytes hashed = Sha256Digest(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(msg);
+  Bytes inner_digest(kSha256DigestSize);
+  inner.Finish(inner_digest.data());
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  Bytes out(kSha256DigestSize);
+  outer.Finish(out.data());
+  return out;
+}
+
+Bytes Hkdf(ByteSpan ikm, ByteSpan salt, std::string_view info,
+           std::size_t length) {
+  LW_CHECK_MSG(length <= 255 * kSha256DigestSize, "HKDF output too long");
+  const Bytes prk = HmacSha256(salt, ikm);
+
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace lw::crypto

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HKDF derives the per-session AEAD channel keys in enclave mode and the
+// per-epoch content keys used for lightweb access control.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace lw::crypto {
+
+// HMAC-SHA256(key, msg); output is 32 bytes.
+Bytes HmacSha256(ByteSpan key, ByteSpan msg);
+
+// HKDF-Extract + HKDF-Expand. `length` ≤ 255*32.
+Bytes Hkdf(ByteSpan ikm, ByteSpan salt, std::string_view info,
+           std::size_t length);
+
+}  // namespace lw::crypto

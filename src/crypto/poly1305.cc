@@ -1,0 +1,149 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace lw::crypto {
+
+// 26-bit-limb implementation (the widely used "donna" formulation),
+// arithmetic mod 2^130 - 5 carried in 64-bit accumulators.
+
+Poly1305State::Poly1305State(ByteSpan key) {
+  LW_CHECK_MSG(key.size() == kPoly1305KeySize,
+               "Poly1305 key must be 32 bytes");
+  const std::uint8_t* k = key.data();
+  r_[0] = lw::LoadLE32(k + 0) & 0x3ffffff;
+  r_[1] = (lw::LoadLE32(k + 3) >> 2) & 0x3ffff03;
+  r_[2] = (lw::LoadLE32(k + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (lw::LoadLE32(k + 9) >> 6) & 0x3f03fff;
+  r_[4] = (lw::LoadLE32(k + 12) >> 8) & 0x00fffff;
+  std::memcpy(pad_, k + 16, 16);
+}
+
+void Poly1305State::ProcessBlock(const std::uint8_t m[16],
+                                 std::uint32_t hibit) {
+  const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3],
+                      r4 = r_[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  h0 += lw::LoadLE32(m + 0) & 0x3ffffff;
+  h1 += (lw::LoadLE32(m + 3) >> 2) & 0x3ffffff;
+  h2 += (lw::LoadLE32(m + 6) >> 4) & 0x3ffffff;
+  h3 += (lw::LoadLE32(m + 9) >> 6) & 0x3ffffff;
+  h4 += (lw::LoadLE32(m + 12) >> 8) | (hibit << 24);
+
+  using U64 = std::uint64_t;
+  const U64 d0 = U64(h0) * r0 + U64(h1) * s4 + U64(h2) * s3 + U64(h3) * s2 +
+                 U64(h4) * s1;
+  const U64 d1 = U64(h0) * r1 + U64(h1) * r0 + U64(h2) * s4 + U64(h3) * s3 +
+                 U64(h4) * s2;
+  const U64 d2 = U64(h0) * r2 + U64(h1) * r1 + U64(h2) * r0 + U64(h3) * s4 +
+                 U64(h4) * s3;
+  const U64 d3 = U64(h0) * r3 + U64(h1) * r2 + U64(h2) * r1 + U64(h3) * r0 +
+                 U64(h4) * s4;
+  const U64 d4 = U64(h0) * r4 + U64(h1) * r3 + U64(h2) * r2 + U64(h3) * r1 +
+                 U64(h4) * r0;
+
+  U64 c;
+  U64 e0 = d0, e1 = d1, e2 = d2, e3 = d3, e4 = d4;
+  c = e0 >> 26; h0 = static_cast<std::uint32_t>(e0) & 0x3ffffff; e1 += c;
+  c = e1 >> 26; h1 = static_cast<std::uint32_t>(e1) & 0x3ffffff; e2 += c;
+  c = e2 >> 26; h2 = static_cast<std::uint32_t>(e2) & 0x3ffffff; e3 += c;
+  c = e3 >> 26; h3 = static_cast<std::uint32_t>(e3) & 0x3ffffff; e4 += c;
+  c = e4 >> 26; h4 = static_cast<std::uint32_t>(e4) & 0x3ffffff;
+  h0 += static_cast<std::uint32_t>(c) * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff;
+  h1 += static_cast<std::uint32_t>(c);
+
+  h_[0] = h0; h_[1] = h1; h_[2] = h2; h_[3] = h3; h_[4] = h4;
+}
+
+void Poly1305State::Update(ByteSpan data) {
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min<std::size_t>(16 - buffered_, data.size());
+    std::memcpy(buf_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off += take;
+    if (buffered_ == 16) {
+      ProcessBlock(buf_, 1);
+      buffered_ = 0;
+    }
+  }
+  while (off + 16 <= data.size()) {
+    ProcessBlock(data.data() + off, 1);
+    off += 16;
+  }
+  if (off < data.size()) {
+    buffered_ = data.size() - off;
+    std::memcpy(buf_, data.data() + off, buffered_);
+  }
+}
+
+void Poly1305State::Finish(std::uint8_t tag[kPoly1305TagSize]) {
+  if (buffered_ > 0) {
+    // Final partial block: append 0x01 then zero-pad; no high bit.
+    buf_[buffered_] = 1;
+    for (std::size_t i = buffered_ + 1; i < 16; ++i) buf_[i] = 0;
+    ProcessBlock(buf_, 0);
+    buffered_ = 0;
+  }
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  // Full carry propagation.
+  std::uint32_t c;
+  c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+
+  // Compute h + -p (i.e. h - (2^130 - 5)) and select.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  // Constant-time select: if g4 underflowed, keep h; else take g.
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  g0 &= mask; g1 &= mask; g2 &= mask; g3 &= mask; g4 &= mask;
+  const std::uint32_t nmask = ~mask;
+  h0 = (h0 & nmask) | g0;
+  h1 = (h1 & nmask) | g1;
+  h2 = (h2 & nmask) | g2;
+  h3 = (h3 & nmask) | g3;
+  h4 = (h4 & nmask) | g4;
+
+  // Repack into 128 bits.
+  const std::uint32_t f0 = h0 | (h1 << 26);
+  const std::uint32_t f1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t f2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t f3 = (h3 >> 18) | (h4 << 8);
+
+  // Add the pad (second key half) mod 2^128.
+  std::uint64_t acc = std::uint64_t(f0) + lw::LoadLE32(pad_ + 0);
+  lw::StoreLE32(tag + 0, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + f1 + lw::LoadLE32(pad_ + 4);
+  lw::StoreLE32(tag + 4, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + f2 + lw::LoadLE32(pad_ + 8);
+  lw::StoreLE32(tag + 8, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + f3 + lw::LoadLE32(pad_ + 12);
+  lw::StoreLE32(tag + 12, static_cast<std::uint32_t>(acc));
+}
+
+void Poly1305(ByteSpan key, ByteSpan msg, std::uint8_t tag[kPoly1305TagSize]) {
+  Poly1305State state(key);
+  state.Update(msg);
+  state.Finish(tag);
+}
+
+}  // namespace lw::crypto

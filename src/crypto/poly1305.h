@@ -1,0 +1,34 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw::crypto {
+
+inline constexpr std::size_t kPoly1305KeySize = 32;
+inline constexpr std::size_t kPoly1305TagSize = 16;
+
+// Computes the Poly1305 tag of `msg` under a 32-byte one-time key.
+void Poly1305(ByteSpan key, ByteSpan msg,
+              std::uint8_t tag[kPoly1305TagSize]);
+
+// Incremental interface (the AEAD feeds AAD, ciphertext, and lengths).
+class Poly1305State {
+ public:
+  explicit Poly1305State(ByteSpan key);
+  void Update(ByteSpan data);
+  void Finish(std::uint8_t tag[kPoly1305TagSize]);
+
+ private:
+  void ProcessBlock(const std::uint8_t block[16], std::uint32_t hibit);
+
+  std::uint32_t r_[5];
+  std::uint32_t h_[5] = {0, 0, 0, 0, 0};
+  std::uint8_t pad_[16];
+  std::uint8_t buf_[16];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace lw::crypto

@@ -1,0 +1,46 @@
+#include "crypto/prg.h"
+
+namespace lw::crypto {
+namespace {
+
+// Arbitrary fixed public constants (digits of pi / e). Distinct keys give
+// independent left/right expansions.
+constexpr std::uint8_t kLeftKey[16] = {0x31, 0x41, 0x59, 0x26, 0x53, 0x58,
+                                       0x97, 0x93, 0x23, 0x84, 0x62, 0x64,
+                                       0x33, 0x83, 0x27, 0x95};
+constexpr std::uint8_t kRightKey[16] = {0x27, 0x18, 0x28, 0x18, 0x28, 0x45,
+                                        0x90, 0x45, 0x23, 0x53, 0x60, 0x28,
+                                        0x74, 0x71, 0x35, 0x26};
+
+}  // namespace
+
+DpfPrg::DpfPrg()
+    : aes_left_(ByteSpan(kLeftKey, sizeof kLeftKey)),
+      aes_right_(ByteSpan(kRightKey, sizeof kRightKey)) {}
+
+void DpfPrg::ExpandBatch(const std::uint8_t* seeds, std::size_t n,
+                         std::uint8_t* left, std::uint8_t* right,
+                         std::uint8_t* t_left, std::uint8_t* t_right) const {
+  aes_left_.MmoBlocks(seeds, left, n);
+  aes_right_.MmoBlocks(seeds, right, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t_left[i] = left[i * 16] & 1;
+    left[i * 16] &= 0xfe;
+    t_right[i] = right[i * 16] & 1;
+    right[i * 16] &= 0xfe;
+  }
+}
+
+void DpfPrg::Expand(const std::uint8_t seed[kPrgSeedSize],
+                    std::uint8_t left[kPrgSeedSize],
+                    std::uint8_t right[kPrgSeedSize], std::uint8_t* t_left,
+                    std::uint8_t* t_right) const {
+  ExpandBatch(seed, 1, left, right, t_left, t_right);
+}
+
+const DpfPrg& SharedDpfPrg() {
+  static const DpfPrg* prg = new DpfPrg();
+  return *prg;
+}
+
+}  // namespace lw::crypto

@@ -1,0 +1,31 @@
+// SHA-256 (FIPS 180-4).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+class Sha256 {
+ public:
+  Sha256();
+  void Update(ByteSpan data);
+  void Finish(std::uint8_t digest[kSha256DigestSize]);
+
+ private:
+  void ProcessBlock(const std::uint8_t block[kSha256BlockSize]);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[kSha256BlockSize];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// One-shot convenience.
+Bytes Sha256Digest(ByteSpan data);
+
+}  // namespace lw::crypto

@@ -1,0 +1,57 @@
+#include "crypto/siphash.h"
+
+#include "util/check.h"
+
+namespace lw::crypto {
+namespace {
+
+std::uint64_t Rotl(std::uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+              std::uint64_t& v3) {
+  v0 += v1; v1 = Rotl(v1, 13); v1 ^= v0; v0 = Rotl(v0, 32);
+  v2 += v3; v3 = Rotl(v3, 16); v3 ^= v2;
+  v0 += v3; v3 = Rotl(v3, 21); v3 ^= v0;
+  v2 += v1; v1 = Rotl(v1, 17); v1 ^= v2; v2 = Rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(ByteSpan key, ByteSpan msg) {
+  LW_CHECK_MSG(key.size() == kSipHashKeySize, "SipHash key must be 16 bytes");
+  const std::uint64_t k0 = lw::LoadLE64(key.data());
+  const std::uint64_t k1 = lw::LoadLE64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t n = msg.size();
+  std::size_t off = 0;
+  for (; off + 8 <= n; off += 8) {
+    const std::uint64_t m = lw::LoadLE64(msg.data() + off);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = std::uint64_t(n & 0xff) << 56;
+  for (std::size_t i = 0; off + i < n; ++i) {
+    last |= std::uint64_t(msg[off + i]) << (8 * i);
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace lw::crypto

@@ -1,0 +1,19 @@
+// SipHash-2-4 (Aumasson–Bernstein), 64-bit output.
+//
+// This is the keyword→index mapping of the PIR layer: a ZLTP universe hashes
+// every record key with a universe-wide 128-bit seed and reduces into the
+// DPF output domain 2^d (paper §5.1: "output domain of size 2^22").
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw::crypto {
+
+inline constexpr std::size_t kSipHashKeySize = 16;
+
+// key must be 16 bytes.
+std::uint64_t SipHash24(ByteSpan key, ByteSpan msg);
+
+}  // namespace lw::crypto

@@ -1,0 +1,254 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/rand.h"
+
+namespace lw::crypto {
+namespace {
+
+// Field arithmetic mod p = 2^255 - 19 in radix 2^51 (five 51-bit limbs,
+// carried lazily in 64-bit words; products accumulate in unsigned __int128).
+using U64 = std::uint64_t;
+using U128 = unsigned __int128;
+
+constexpr U64 kMask51 = (U64(1) << 51) - 1;
+
+struct Fe {
+  U64 v[5];
+};
+
+Fe FeZero() { return {{0, 0, 0, 0, 0}}; }
+Fe FeOne() { return {{1, 0, 0, 0, 0}}; }
+
+void FeAdd(Fe& out, const Fe& a, const Fe& b) {
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+}
+
+// out = a - b, computed as a + 2p - b to stay non-negative.
+void FeSub(Fe& out, const Fe& a, const Fe& b) {
+  out.v[0] = a.v[0] + ((U64(1) << 52) - 38) - b.v[0];
+  out.v[1] = a.v[1] + ((U64(1) << 52) - 2) - b.v[1];
+  out.v[2] = a.v[2] + ((U64(1) << 52) - 2) - b.v[2];
+  out.v[3] = a.v[3] + ((U64(1) << 52) - 2) - b.v[3];
+  out.v[4] = a.v[4] + ((U64(1) << 52) - 2) - b.v[4];
+}
+
+void FeCarry(Fe& a, U128 t0, U128 t1, U128 t2, U128 t3, U128 t4) {
+  U64 c;
+  c = static_cast<U64>(t0 >> 51); a.v[0] = static_cast<U64>(t0) & kMask51; t1 += c;
+  c = static_cast<U64>(t1 >> 51); a.v[1] = static_cast<U64>(t1) & kMask51; t2 += c;
+  c = static_cast<U64>(t2 >> 51); a.v[2] = static_cast<U64>(t2) & kMask51; t3 += c;
+  c = static_cast<U64>(t3 >> 51); a.v[3] = static_cast<U64>(t3) & kMask51; t4 += c;
+  c = static_cast<U64>(t4 >> 51); a.v[4] = static_cast<U64>(t4) & kMask51;
+  a.v[0] += c * 19;
+  c = a.v[0] >> 51; a.v[0] &= kMask51;
+  a.v[1] += c;
+}
+
+void FeMul(Fe& out, const Fe& a, const Fe& b) {
+  const U64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const U64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+
+  const U128 t0 = U128(a0) * b0 + U128(19) * (U128(a1) * b4 + U128(a2) * b3 +
+                                              U128(a3) * b2 + U128(a4) * b1);
+  const U128 t1 = U128(a0) * b1 + U128(a1) * b0 +
+                  U128(19) * (U128(a2) * b4 + U128(a3) * b3 + U128(a4) * b2);
+  const U128 t2 = U128(a0) * b2 + U128(a1) * b1 + U128(a2) * b0 +
+                  U128(19) * (U128(a3) * b4 + U128(a4) * b3);
+  const U128 t3 = U128(a0) * b3 + U128(a1) * b2 + U128(a2) * b1 +
+                  U128(a3) * b0 + U128(19) * (U128(a4) * b4);
+  const U128 t4 = U128(a0) * b4 + U128(a1) * b3 + U128(a2) * b2 +
+                  U128(a3) * b1 + U128(a4) * b0;
+  FeCarry(out, t0, t1, t2, t3, t4);
+}
+
+void FeSquare(Fe& out, const Fe& a) { FeMul(out, a, a); }
+
+void FeSquareTimes(Fe& out, const Fe& a, int n) {
+  FeSquare(out, a);
+  for (int i = 1; i < n; ++i) FeSquare(out, out);
+}
+
+// out = a * k for small constant k (used for a24 = 121665).
+void FeMulSmall(Fe& out, const Fe& a, U64 k) {
+  U128 t0 = U128(a.v[0]) * k;
+  U128 t1 = U128(a.v[1]) * k;
+  U128 t2 = U128(a.v[2]) * k;
+  U128 t3 = U128(a.v[3]) * k;
+  U128 t4 = U128(a.v[4]) * k;
+  FeCarry(out, t0, t1, t2, t3, t4);
+}
+
+// out = a^(p-2) = a^-1, standard 254-squaring addition chain.
+void FeInvert(Fe& out, const Fe& z) {
+  Fe z2, z9, z11, z2_5_0, z2_10_0, z2_20_0, z2_50_0, z2_100_0, t;
+  FeSquare(z2, z);            // 2
+  FeSquareTimes(t, z2, 2);    // 8
+  FeMul(z9, t, z);            // 9
+  FeMul(z11, z9, z2);         // 11
+  FeSquare(t, z11);           // 22
+  FeMul(z2_5_0, t, z9);       // 2^5 - 2^0 = 31
+  FeSquareTimes(t, z2_5_0, 5);
+  FeMul(z2_10_0, t, z2_5_0);  // 2^10 - 2^0
+  FeSquareTimes(t, z2_10_0, 10);
+  FeMul(z2_20_0, t, z2_10_0);  // 2^20 - 2^0
+  FeSquareTimes(t, z2_20_0, 20);
+  FeMul(t, t, z2_20_0);  // 2^40 - 2^0
+  FeSquareTimes(t, t, 10);
+  FeMul(z2_50_0, t, z2_10_0);  // 2^50 - 2^0
+  FeSquareTimes(t, z2_50_0, 50);
+  FeMul(z2_100_0, t, z2_50_0);  // 2^100 - 2^0
+  FeSquareTimes(t, z2_100_0, 100);
+  FeMul(t, t, z2_100_0);  // 2^200 - 2^0
+  FeSquareTimes(t, t, 50);
+  FeMul(t, t, z2_50_0);  // 2^250 - 2^0
+  FeSquareTimes(t, t, 5);
+  FeMul(out, t, z11);  // 2^255 - 21 = p - 2
+}
+
+void FeFromBytes(Fe& out, const std::uint8_t s[32]) {
+  out.v[0] = lw::LoadLE64(s) & kMask51;
+  out.v[1] = (lw::LoadLE64(s + 6) >> 3) & kMask51;
+  out.v[2] = (lw::LoadLE64(s + 12) >> 6) & kMask51;
+  out.v[3] = (lw::LoadLE64(s + 19) >> 1) & kMask51;
+  out.v[4] = (lw::LoadLE64(s + 24) >> 12) & kMask51;
+}
+
+void FeToBytes(std::uint8_t s[32], const Fe& a) {
+  U64 t[5];
+  std::memcpy(t, a.v, sizeof t);
+
+  // Two carry passes bring every limb under 2^51 (+ epsilon).
+  for (int pass = 0; pass < 2; ++pass) {
+    t[1] += t[0] >> 51; t[0] &= kMask51;
+    t[2] += t[1] >> 51; t[1] &= kMask51;
+    t[3] += t[2] >> 51; t[2] &= kMask51;
+    t[4] += t[3] >> 51; t[3] &= kMask51;
+    t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
+  }
+
+  // Canonicalize: add 19, carry, then add 2^255 - 19 - 19 and drop bit 255.
+  t[0] += 19;
+  t[1] += t[0] >> 51; t[0] &= kMask51;
+  t[2] += t[1] >> 51; t[1] &= kMask51;
+  t[3] += t[2] >> 51; t[2] &= kMask51;
+  t[4] += t[3] >> 51; t[3] &= kMask51;
+  t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
+
+  t[0] += (U64(1) << 51) - 19;
+  t[1] += (U64(1) << 51) - 1;
+  t[2] += (U64(1) << 51) - 1;
+  t[3] += (U64(1) << 51) - 1;
+  t[4] += (U64(1) << 51) - 1;
+
+  t[1] += t[0] >> 51; t[0] &= kMask51;
+  t[2] += t[1] >> 51; t[1] &= kMask51;
+  t[3] += t[2] >> 51; t[2] &= kMask51;
+  t[4] += t[3] >> 51; t[3] &= kMask51;
+  t[4] &= kMask51;
+
+  // Pack 5×51 bits into 32 little-endian bytes.
+  std::uint8_t out[40] = {0};
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(i) * 51;
+    const std::size_t byte = bit / 8;
+    const unsigned shift = bit % 8;
+    U64 cur = lw::LoadLE64(out + byte);
+    cur |= t[i] << shift;
+    lw::StoreLE64(out + byte, cur);
+    if (shift > 13) {  // value may spill past 8 bytes
+      out[byte + 8] = static_cast<std::uint8_t>(t[i] >> (64 - shift));
+    }
+  }
+  std::memcpy(s, out, 32);
+}
+
+// Constant-time conditional swap driven by a 0/1 flag.
+void FeCswap(Fe& a, Fe& b, U64 swap) {
+  const U64 mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    const U64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+}  // namespace
+
+void X25519(const std::uint8_t scalar[32], const std::uint8_t point[32],
+            std::uint8_t out[32]) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar, 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  std::uint8_t u[32];
+  std::memcpy(u, point, 32);
+  u[31] &= 127;  // RFC 7748: mask the unused top bit
+
+  Fe x1;
+  FeFromBytes(x1, u);
+  Fe x2 = FeOne(), z2 = FeZero(), x3 = x1, z3 = FeOne();
+  U64 swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const U64 bit = (e[t / 8] >> (t % 8)) & 1;
+    swap ^= bit;
+    FeCswap(x2, x3, swap);
+    FeCswap(z2, z3, swap);
+    swap = bit;
+
+    Fe a, aa, b, bb, eo, c, d, da, cb, tmp;
+    FeAdd(a, x2, z2);       // A = x2 + z2
+    FeSquare(aa, a);        // AA = A^2
+    FeSub(b, x2, z2);       // B = x2 - z2
+    FeSquare(bb, b);        // BB = B^2
+    FeSub(eo, aa, bb);      // E = AA - BB
+    FeAdd(c, x3, z3);       // C = x3 + z3
+    FeSub(d, x3, z3);       // D = x3 - z3
+    FeMul(da, d, a);        // DA = D*A
+    FeMul(cb, c, b);        // CB = C*B
+    FeAdd(tmp, da, cb);
+    FeSquare(x3, tmp);      // x3 = (DA + CB)^2
+    FeSub(tmp, da, cb);
+    FeSquare(tmp, tmp);
+    FeMul(z3, x1, tmp);     // z3 = x1 * (DA - CB)^2
+    FeMul(x2, aa, bb);      // x2 = AA * BB
+    FeMulSmall(tmp, eo, 121665);
+    FeAdd(tmp, aa, tmp);
+    FeMul(z2, eo, tmp);     // z2 = E * (AA + a24*E)
+  }
+  FeCswap(x2, x3, swap);
+  FeCswap(z2, z3, swap);
+
+  Fe zinv, result;
+  FeInvert(zinv, z2);
+  FeMul(result, x2, zinv);
+  FeToBytes(out, result);
+}
+
+void X25519BasePoint(const std::uint8_t scalar[32], std::uint8_t out[32]) {
+  std::uint8_t base[32] = {9};
+  X25519(scalar, base, out);
+}
+
+X25519KeyPair X25519Generate() {
+  X25519KeyPair kp;
+  kp.private_key = SecureRandom(kX25519KeySize);
+  kp.public_key.resize(kX25519KeySize);
+  X25519BasePoint(kp.private_key.data(), kp.public_key.data());
+  return kp;
+}
+
+Bytes X25519SharedSecret(ByteSpan private_key, ByteSpan peer_public) {
+  LW_CHECK(private_key.size() == kX25519KeySize);
+  LW_CHECK(peer_public.size() == kX25519KeySize);
+  Bytes out(kX25519KeySize);
+  X25519(private_key.data(), peer_public.data(), out.data());
+  return out;
+}
+
+}  // namespace lw::crypto

@@ -1,0 +1,385 @@
+#include "dpf/dpf.h"
+
+#include <cstring>
+#include <memory>
+
+#include "crypto/prg.h"
+#include "util/check.h"
+#include "util/io.h"
+#include "util/rand.h"
+
+namespace lw::dpf {
+namespace {
+
+using crypto::SharedDpfPrg;
+
+// Conditionally XORs a 16-byte correction seed, branchlessly.
+void MaskedXorSeed(std::uint8_t* dst, const std::uint8_t* src,
+                   std::uint8_t flag) {
+  const std::uint64_t mask = 0 - static_cast<std::uint64_t>(flag);
+  lw::StoreLE64(dst, lw::LoadLE64(dst) ^ (lw::LoadLE64(src) & mask));
+  lw::StoreLE64(dst + 8, lw::LoadLE64(dst + 8) ^ (lw::LoadLE64(src + 8) & mask));
+}
+
+Status CheckDomainBits(int domain_bits) {
+  if (domain_bits < 1 || domain_bits > kMaxDomainBits) {
+    return InvalidArgumentError("domain_bits out of range");
+  }
+  return Status::Ok();
+}
+
+// Serialization helpers shared by DpfKey and SubtreeKey.
+void WriteCorrectionWords(Writer& w, const std::vector<CorrectionWord>& cws) {
+  for (const CorrectionWord& cw : cws) {
+    w.Raw(ByteSpan(cw.seed, kSeedSize));
+    w.U8(static_cast<std::uint8_t>(cw.t_left | (cw.t_right << 1)));
+  }
+}
+
+Status ReadCorrectionWords(Reader& r, int count,
+                           std::vector<CorrectionWord>& out) {
+  out.resize(static_cast<std::size_t>(count));
+  for (CorrectionWord& cw : out) {
+    LW_ASSIGN_OR_RETURN(Bytes seed, r.Raw(kSeedSize));
+    std::memcpy(cw.seed, seed.data(), kSeedSize);
+    LW_ASSIGN_OR_RETURN(const std::uint8_t bits, r.U8());
+    if (bits > 3) return ProtocolError("invalid correction-word bits");
+    cw.t_left = bits & 1;
+    cw.t_right = (bits >> 1) & 1;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Tree expansion.
+//
+// Bit order: level i consumes bit i of the evaluation point (LSB first).
+// A level is laid out as [all left children || all right children], so the
+// PRG's batch output lands in its final position with no interleaving copy,
+// and after d levels leaf p sits at array position p (p's bit i chose the
+// branch at level i, contributing 2^i to the position — exactly p).
+// ---------------------------------------------------------------------------
+
+// Expands `levels` levels starting from `n` roots (seeds/ts), returning only
+// the leaf control bits, packed. Ping-pongs two uninitialized buffers: this
+// is the per-request hot loop of a ZLTP server (§5.1's "DPF evaluation").
+BitVector ExpandToLeafBits(const std::uint8_t* root_seeds,
+                           const std::uint8_t* root_ts, std::size_t n,
+                           const CorrectionWord* cws, int levels) {
+  const std::size_t final_n = n << levels;
+  if (levels == 0) {
+    BitVector out((n + 63) / 64, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i >> 6] |= std::uint64_t{root_ts[i]} << (i & 63);
+    }
+    return out;
+  }
+
+  // Uninitialized, thread-local scratch reused across queries: a ZLTP
+  // server evaluates one of these per request, and re-faulting ~130 MB of
+  // fresh pages each time would dominate the DPF cost (std::vector would
+  // additionally zero-fill it). Both ping-pong buffers need full capacity:
+  // the final level lands in either one depending on the parity of
+  // `levels`.
+  struct Scratch {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::uint8_t* Get(std::size_t want) {
+      if (size < want) {
+        data.reset(new std::uint8_t[want]);
+        size = want;
+      }
+      return data.get();
+    }
+  };
+  thread_local Scratch seeds_a, seeds_b, ts_a, ts_b;
+
+  std::uint8_t* cur = seeds_a.Get(final_n * kSeedSize);
+  std::uint8_t* next = seeds_b.Get(final_n * kSeedSize);
+  std::uint8_t* cur_t = ts_a.Get(final_n);
+  std::uint8_t* next_t = ts_b.Get(final_n);
+  std::memcpy(cur, root_seeds, n * kSeedSize);
+  std::memcpy(cur_t, root_ts, n);
+
+  for (int level = 0; level < levels; ++level) {
+    SharedDpfPrg().ExpandBatch(cur, n, /*left=*/next,
+                               /*right=*/next + n * kSeedSize,
+                               /*t_left=*/next_t, /*t_right=*/next_t + n);
+    const CorrectionWord& cw = cws[level];
+    const std::uint64_t cw_lo = lw::LoadLE64(cw.seed);
+    const std::uint64_t cw_hi = lw::LoadLE64(cw.seed + 8);
+    std::uint8_t* const right = next + n * kSeedSize;
+    // The deepest level's seeds are dead — only its control bits feed the
+    // output — so skip their correction and save a full pass over the
+    // largest buffer.
+    if (level + 1 < levels) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint64_t mask = 0 - std::uint64_t{cur_t[j]};
+        std::uint8_t* l = next + j * kSeedSize;
+        std::uint8_t* r = right + j * kSeedSize;
+        lw::StoreLE64(l, lw::LoadLE64(l) ^ (cw_lo & mask));
+        lw::StoreLE64(l + 8, lw::LoadLE64(l + 8) ^ (cw_hi & mask));
+        lw::StoreLE64(r, lw::LoadLE64(r) ^ (cw_lo & mask));
+        lw::StoreLE64(r + 8, lw::LoadLE64(r + 8) ^ (cw_hi & mask));
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      next_t[j] = static_cast<std::uint8_t>(next_t[j] ^ (cur_t[j] & cw.t_left));
+      next_t[n + j] =
+          static_cast<std::uint8_t>(next_t[n + j] ^ (cur_t[j] & cw.t_right));
+    }
+    std::swap(cur, next);
+    std::swap(cur_t, next_t);
+    n <<= 1;
+  }
+
+  BitVector out((final_n + 63) / 64, 0);
+  for (std::size_t i = 0; i < final_n; ++i) {
+    out[i >> 6] |= std::uint64_t{cur_t[i]} << (i & 63);
+  }
+  return out;
+}
+
+// Small-scale expansion keeping seeds AND control bits (used by the
+// front-end's top-of-tree split, where n stays tiny).
+void ExpandKeepingSeeds(Bytes& seeds, Bytes& ts, const CorrectionWord* cws,
+                        int levels) {
+  for (int level = 0; level < levels; ++level) {
+    const std::size_t n = ts.size();
+    Bytes next_seeds(2 * n * kSeedSize);
+    Bytes next_ts(2 * n);
+    SharedDpfPrg().ExpandBatch(seeds.data(), n, next_seeds.data(),
+                               next_seeds.data() + n * kSeedSize,
+                               next_ts.data(), next_ts.data() + n);
+    const CorrectionWord& cw = cws[level];
+    for (std::size_t j = 0; j < n; ++j) {
+      MaskedXorSeed(next_seeds.data() + j * kSeedSize, cw.seed, ts[j]);
+      MaskedXorSeed(next_seeds.data() + (n + j) * kSeedSize, cw.seed, ts[j]);
+      next_ts[j] = static_cast<std::uint8_t>(next_ts[j] ^ (ts[j] & cw.t_left));
+      next_ts[n + j] =
+          static_cast<std::uint8_t>(next_ts[n + j] ^ (ts[j] & cw.t_right));
+    }
+    seeds = std::move(next_seeds);
+    ts = std::move(next_ts);
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- serialization
+
+std::size_t DpfKey::SerializedSize() const {
+  return 2 + kSeedSize + correction_words.size() * (kSeedSize + 1);
+}
+
+Bytes DpfKey::Serialize() const {
+  Writer w;
+  w.U8(party);
+  w.U8(domain_bits);
+  w.Raw(ByteSpan(root_seed, kSeedSize));
+  WriteCorrectionWords(w, correction_words);
+  return std::move(w).Take();
+}
+
+Result<DpfKey> DpfKey::Deserialize(ByteSpan data) {
+  Reader r(data);
+  DpfKey key;
+  LW_ASSIGN_OR_RETURN(key.party, r.U8());
+  if (key.party > 1) return ProtocolError("DPF party must be 0 or 1");
+  LW_ASSIGN_OR_RETURN(key.domain_bits, r.U8());
+  LW_RETURN_IF_ERROR(CheckDomainBits(key.domain_bits));
+  LW_ASSIGN_OR_RETURN(Bytes seed, r.Raw(kSeedSize));
+  std::memcpy(key.root_seed, seed.data(), kSeedSize);
+  LW_RETURN_IF_ERROR(
+      ReadCorrectionWords(r, key.domain_bits, key.correction_words));
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return key;
+}
+
+bool DpfKey::operator==(const DpfKey& other) const {
+  if (party != other.party || domain_bits != other.domain_bits) return false;
+  if (std::memcmp(root_seed, other.root_seed, kSeedSize) != 0) return false;
+  if (correction_words.size() != other.correction_words.size()) return false;
+  for (std::size_t i = 0; i < correction_words.size(); ++i) {
+    const CorrectionWord& a = correction_words[i];
+    const CorrectionWord& b = other.correction_words[i];
+    if (std::memcmp(a.seed, b.seed, kSeedSize) != 0 || a.t_left != b.t_left ||
+        a.t_right != b.t_right) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SubtreeKey::SerializedSize() const {
+  return 3 + kSeedSize + correction_words.size() * (kSeedSize + 1);
+}
+
+Bytes SubtreeKey::Serialize() const {
+  Writer w;
+  w.U8(party);
+  w.U8(domain_bits);
+  w.U8(t);
+  w.Raw(ByteSpan(seed, kSeedSize));
+  WriteCorrectionWords(w, correction_words);
+  return std::move(w).Take();
+}
+
+Result<SubtreeKey> SubtreeKey::Deserialize(ByteSpan data) {
+  Reader r(data);
+  SubtreeKey key;
+  LW_ASSIGN_OR_RETURN(key.party, r.U8());
+  if (key.party > 1) return ProtocolError("DPF party must be 0 or 1");
+  LW_ASSIGN_OR_RETURN(key.domain_bits, r.U8());
+  if (key.domain_bits > kMaxDomainBits) {
+    return ProtocolError("subtree domain_bits out of range");
+  }
+  LW_ASSIGN_OR_RETURN(key.t, r.U8());
+  if (key.t > 1) return ProtocolError("control bit must be 0 or 1");
+  LW_ASSIGN_OR_RETURN(Bytes seed, r.Raw(kSeedSize));
+  std::memcpy(key.seed, seed.data(), kSeedSize);
+  LW_RETURN_IF_ERROR(
+      ReadCorrectionWords(r, key.domain_bits, key.correction_words));
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return key;
+}
+
+// ------------------------------------------------------------- generation
+
+KeyPair Generate(std::uint64_t alpha, int domain_bits) {
+  LW_CHECK_MSG(CheckDomainBits(domain_bits).ok(), "invalid domain_bits");
+  LW_CHECK_MSG(alpha < (std::uint64_t{1} << domain_bits),
+               "alpha outside domain");
+
+  KeyPair pair;
+  pair.key0.party = 0;
+  pair.key1.party = 1;
+  pair.key0.domain_bits = static_cast<std::uint8_t>(domain_bits);
+  pair.key1.domain_bits = static_cast<std::uint8_t>(domain_bits);
+  SecureRandomBytes(MutableByteSpan(pair.key0.root_seed, kSeedSize));
+  SecureRandomBytes(MutableByteSpan(pair.key1.root_seed, kSeedSize));
+  pair.key0.correction_words.resize(static_cast<std::size_t>(domain_bits));
+  pair.key1.correction_words.resize(static_cast<std::size_t>(domain_bits));
+
+  std::uint8_t s0[kSeedSize], s1[kSeedSize];
+  std::memcpy(s0, pair.key0.root_seed, kSeedSize);
+  std::memcpy(s1, pair.key1.root_seed, kSeedSize);
+  std::uint8_t t0 = 0, t1 = 1;
+
+  for (int level = 0; level < domain_bits; ++level) {
+    std::uint8_t l0[kSeedSize], r0[kSeedSize], l1[kSeedSize], r1[kSeedSize];
+    std::uint8_t tl0, tr0, tl1, tr1;
+    SharedDpfPrg().Expand(s0, l0, r0, &tl0, &tr0);
+    SharedDpfPrg().Expand(s1, l1, r1, &tl1, &tr1);
+
+    // Level i consumes bit i of alpha (LSB first; see ExpandToLeafBits).
+    const std::uint8_t alpha_bit =
+        static_cast<std::uint8_t>((alpha >> level) & 1);
+
+    // The "lose" side (the branch alpha does NOT take) gets a correction
+    // that makes the two parties' seeds collapse to equality off-path.
+    const std::uint8_t* lose0 = alpha_bit ? l0 : r0;
+    const std::uint8_t* lose1 = alpha_bit ? l1 : r1;
+
+    CorrectionWord cw;
+    for (std::size_t i = 0; i < kSeedSize; ++i) {
+      cw.seed[i] = static_cast<std::uint8_t>(lose0[i] ^ lose1[i]);
+    }
+    cw.t_left = static_cast<std::uint8_t>(tl0 ^ tl1 ^ alpha_bit ^ 1);
+    cw.t_right = static_cast<std::uint8_t>(tr0 ^ tr1 ^ alpha_bit);
+    pair.key0.correction_words[static_cast<std::size_t>(level)] = cw;
+    pair.key1.correction_words[static_cast<std::size_t>(level)] = cw;
+
+    // Each party advances along the alpha path, applying the correction iff
+    // its current control bit is set.
+    const std::uint8_t* keep0 = alpha_bit ? r0 : l0;
+    const std::uint8_t* keep1 = alpha_bit ? r1 : l1;
+    const std::uint8_t keep_t0 = alpha_bit ? tr0 : tl0;
+    const std::uint8_t keep_t1 = alpha_bit ? tr1 : tl1;
+    const std::uint8_t cw_t_keep = alpha_bit ? cw.t_right : cw.t_left;
+
+    std::uint8_t new_s0[kSeedSize], new_s1[kSeedSize];
+    std::memcpy(new_s0, keep0, kSeedSize);
+    std::memcpy(new_s1, keep1, kSeedSize);
+    MaskedXorSeed(new_s0, cw.seed, t0);
+    MaskedXorSeed(new_s1, cw.seed, t1);
+    const std::uint8_t new_t0 =
+        static_cast<std::uint8_t>(keep_t0 ^ (t0 & cw_t_keep));
+    const std::uint8_t new_t1 =
+        static_cast<std::uint8_t>(keep_t1 ^ (t1 & cw_t_keep));
+
+    std::memcpy(s0, new_s0, kSeedSize);
+    std::memcpy(s1, new_s1, kSeedSize);
+    t0 = new_t0;
+    t1 = new_t1;
+  }
+  return pair;
+}
+
+// ------------------------------------------------------------- evaluation
+
+std::uint8_t EvalPoint(const DpfKey& key, std::uint64_t x) {
+  const int d = key.domain_bits;
+  LW_CHECK_MSG(x < (std::uint64_t{1} << d), "x outside domain");
+
+  std::uint8_t s[kSeedSize];
+  std::memcpy(s, key.root_seed, kSeedSize);
+  std::uint8_t t = key.party;
+
+  for (int level = 0; level < d; ++level) {
+    std::uint8_t l[kSeedSize], r[kSeedSize];
+    std::uint8_t tl, tr;
+    SharedDpfPrg().Expand(s, l, r, &tl, &tr);
+    const CorrectionWord& cw =
+        key.correction_words[static_cast<std::size_t>(level)];
+    const std::uint8_t bit = static_cast<std::uint8_t>((x >> level) & 1);
+    const std::uint8_t* next = bit ? r : l;
+    const std::uint8_t next_t_raw = bit ? tr : tl;
+    const std::uint8_t cw_t = bit ? cw.t_right : cw.t_left;
+    std::uint8_t new_s[kSeedSize];
+    std::memcpy(new_s, next, kSeedSize);
+    MaskedXorSeed(new_s, cw.seed, t);
+    const std::uint8_t new_t =
+        static_cast<std::uint8_t>(next_t_raw ^ (t & cw_t));
+    std::memcpy(s, new_s, kSeedSize);
+    t = new_t;
+  }
+  return t;
+}
+
+BitVector EvalFull(const DpfKey& key) {
+  const std::uint8_t root_t = key.party;
+  return ExpandToLeafBits(key.root_seed, &root_t, 1,
+                          key.correction_words.data(), key.domain_bits);
+}
+
+std::vector<SubtreeKey> SplitForShards(const DpfKey& key, int top_bits) {
+  LW_CHECK_MSG(top_bits >= 0 && top_bits <= key.domain_bits,
+               "top_bits out of range");
+  Bytes seeds(kSeedSize);
+  std::memcpy(seeds.data(), key.root_seed, kSeedSize);
+  Bytes ts(1, key.party);
+  ExpandKeepingSeeds(seeds, ts, key.correction_words.data(), top_bits);
+
+  const std::size_t shards = ts.size();
+  const int remaining = key.domain_bits - top_bits;
+  const std::vector<CorrectionWord> tail(
+      key.correction_words.begin() + top_bits, key.correction_words.end());
+
+  std::vector<SubtreeKey> out(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out[s].party = key.party;
+    out[s].domain_bits = static_cast<std::uint8_t>(remaining);
+    std::memcpy(out[s].seed, seeds.data() + s * kSeedSize, kSeedSize);
+    out[s].t = ts[s];
+    out[s].correction_words = tail;
+  }
+  return out;
+}
+
+BitVector EvalSubtree(const SubtreeKey& key) {
+  return ExpandToLeafBits(key.seed, &key.t, 1, key.correction_words.data(),
+                          key.domain_bits);
+}
+
+}  // namespace lw::dpf

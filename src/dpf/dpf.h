@@ -1,0 +1,110 @@
+// Two-party distributed point functions (DPFs), tree construction of
+// Boyle–Gilboa–Ishai (CCS'16) with single-bit outputs.
+//
+// A DPF splits the point function f_alpha (f_alpha(alpha)=1, 0 elsewhere,
+// over domain {0,...,2^d - 1}) into two keys. Each key alone reveals nothing
+// about alpha, yet the two parties' evaluations XOR to f_alpha at every
+// point. This is exactly what ZLTP's two-server PIR mode needs (paper §2.2):
+// the client sends one key to each non-colluding server; each server XORs
+// together the records whose evaluation bit is 1; the XOR of the two answers
+// is the record at alpha.
+//
+// Key size is Θ((λ+2)·d) bits (λ = 128), matching the paper's §5.1
+// communication analysis. Full-domain evaluation costs 2^d PRG expansions,
+// which is the "DPF evaluation" half of the paper's per-request server
+// compute; the module also implements the §5.2 front-end/data-server split
+// where the top of the tree is evaluated once and sub-tree roots are shipped
+// to shards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::dpf {
+
+inline constexpr std::size_t kSeedSize = 16;
+inline constexpr int kMaxDomainBits = 40;
+inline constexpr int kLambdaBits = 128;  // PRG seed length (security param)
+
+// Per-level correction word: a seed plus one control-bit correction per side.
+struct CorrectionWord {
+  std::uint8_t seed[kSeedSize];
+  std::uint8_t t_left;   // 0 or 1
+  std::uint8_t t_right;  // 0 or 1
+};
+
+// One party's share of the DPF. Level i of the tree consumes bit i of the
+// evaluation point (least-significant first): with levels laid out as
+// [left children || right children], the PRG's batch output lands directly
+// in place and leaf p still ends up at array position p.
+struct DpfKey {
+  std::uint8_t party = 0;        // 0 or 1
+  std::uint8_t domain_bits = 0;  // d; domain size is 2^d
+  std::uint8_t root_seed[kSeedSize] = {};
+  std::vector<CorrectionWord> correction_words;  // d entries
+
+  std::size_t SerializedSize() const;
+  Bytes Serialize() const;
+  static Result<DpfKey> Deserialize(ByteSpan data);
+
+  bool operator==(const DpfKey& other) const;
+};
+
+struct KeyPair {
+  DpfKey key0;
+  DpfKey key1;
+};
+
+// Generates the two shares of f_alpha over a 2^domain_bits domain.
+// alpha must be < 2^domain_bits; 1 <= domain_bits <= kMaxDomainBits.
+KeyPair Generate(std::uint64_t alpha, int domain_bits);
+
+// Evaluates this party's share bit at a single point x.
+std::uint8_t EvalPoint(const DpfKey& key, std::uint64_t x);
+
+// Packed bit vector: bit i of the evaluation lives at
+// word[i >> 6] >> (i & 63) & 1.
+using BitVector = std::vector<std::uint64_t>;
+
+inline std::uint8_t GetBit(const BitVector& bits, std::uint64_t i) {
+  return static_cast<std::uint8_t>((bits[i >> 6] >> (i & 63)) & 1);
+}
+
+// Full-domain evaluation: all 2^d share bits, breadth-first (two AES batch
+// calls per level over contiguous buffers).
+BitVector EvalFull(const DpfKey& key);
+
+// ------------------------------------------------------------------------
+// Distributed evaluation (paper §5.2, "Distributing DPF evaluation").
+//
+// The front-end expands the top `top_bits` levels of the tree once and sends
+// each of the 2^top_bits data servers its sub-tree root; each data server
+// then pays only the cost of a DPF evaluation over the smaller
+// 2^(d - top_bits) domain.
+// ------------------------------------------------------------------------
+
+struct SubtreeKey {
+  std::uint8_t party = 0;
+  std::uint8_t domain_bits = 0;  // remaining depth below this root
+  std::uint8_t seed[kSeedSize] = {};
+  std::uint8_t t = 0;  // control bit at the sub-tree root
+  std::vector<CorrectionWord> correction_words;  // remaining levels
+
+  std::size_t SerializedSize() const;
+  Bytes Serialize() const;
+  static Result<SubtreeKey> Deserialize(ByteSpan data);
+};
+
+// Splits a key into 2^top_bits sub-tree keys. Because the tree consumes
+// evaluation-point bits LSB-first, shard s covers the residue class
+// { x : x mod 2^top_bits == s }, and leaf j of shard s is the point
+// x = s + (j << top_bits). Requires 0 <= top_bits <= domain_bits.
+std::vector<SubtreeKey> SplitForShards(const DpfKey& key, int top_bits);
+
+// Evaluates all 2^domain_bits leaves under a sub-tree root.
+BitVector EvalSubtree(const SubtreeKey& key);
+
+}  // namespace lw::dpf

@@ -1,0 +1,468 @@
+#include "json/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace lw::json {
+
+bool Value::AsBool() const {
+  LW_CHECK_MSG(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::AsNumber() const {
+  LW_CHECK_MSG(is_number(), "JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::AsInt() const {
+  return static_cast<std::int64_t>(AsNumber());
+}
+
+const std::string& Value::AsString() const {
+  LW_CHECK_MSG(is_string(), "JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::AsArray() const {
+  LW_CHECK_MSG(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+Array& Value::AsArray() {
+  LW_CHECK_MSG(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::AsObject() const {
+  LW_CHECK_MSG(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+Object& Value::AsObject() {
+  LW_CHECK_MSG(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = std::get<Object>(data_);
+  const auto it = o.find(std::string(key));
+  return it == o.end() ? nullptr : &it->second;
+}
+
+const Value* Value::At(std::size_t index) const {
+  if (!is_array()) return nullptr;
+  const Array& a = std::get<Array>(data_);
+  return index < a.size() ? &a[index] : nullptr;
+}
+
+const Value* Value::FindPath(std::string_view path) const {
+  const Value* cur = this;
+  std::size_t pos = 0;
+  while (pos <= path.size() && cur != nullptr) {
+    if (pos == path.size()) break;
+    const std::size_t dot = path.find('.', pos);
+    const std::string_view step =
+        path.substr(pos, dot == std::string_view::npos ? path.size() - pos
+                                                       : dot - pos);
+    if (step.empty()) return nullptr;
+    if (cur->is_array()) {
+      std::size_t idx = 0;
+      for (char c : step) {
+        if (c < '0' || c > '9') return nullptr;
+        idx = idx * 10 + static_cast<std::size_t>(c - '0');
+      }
+      cur = cur->At(idx);
+    } else {
+      cur = cur->Find(step);
+    }
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
+  }
+  return cur;
+}
+
+std::string Value::GetString(std::string_view path, std::string fallback) const {
+  const Value* v = FindPath(path);
+  if (v == nullptr || !v->is_string()) return fallback;
+  return v->AsString();
+}
+
+double Value::GetNumber(std::string_view path, double fallback) const {
+  const Value* v = FindPath(path);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->AsNumber();
+}
+
+// ----------------------------------------------------------------- writing
+
+namespace {
+
+void WriteString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void WriteNumber(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers print without a fractional part.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void WriteValue(std::string& out, const Value& v, const WriteOptions& opts,
+                int depth) {
+  const auto newline = [&](int d) {
+    if (opts.pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(d * opts.indent), ' ');
+    }
+  };
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += v.AsBool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      WriteNumber(out, v.AsNumber());
+      break;
+    case Type::kString:
+      WriteString(out, v.AsString());
+      break;
+    case Type::kArray: {
+      const Array& a = v.AsArray();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Value& e : a) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        WriteValue(out, e, opts, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = v.AsObject();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : o) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        WriteString(out, key);
+        out.push_back(':');
+        if (opts.pretty) out.push_back(' ');
+        WriteValue(out, val, opts, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Write(const Value& v, const WriteOptions& opts) {
+  std::string out;
+  WriteValue(out, v, opts, 0);
+  return out;
+}
+
+// ----------------------------------------------------------------- parsing
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    LW_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        LW_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(true);
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(false);
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(nullptr);
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject(int depth) {
+    LW_CHECK(Consume('{'));
+    Object obj;
+    SkipWhitespace();
+    if (Consume('}')) return Value(std::move(obj));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      LW_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      LW_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      obj[std::move(key)] = std::move(v);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(obj));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    LW_CHECK(Consume('['));
+    Array arr;
+    SkipWhitespace();
+    if (Consume(']')) return Value(std::move(arr));
+    for (;;) {
+      LW_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      arr.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(arr));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<int> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= c - '0';
+      else if (c >= 'a' && c <= 'f') v |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v |= c - 'A' + 10;
+      else return Error("invalid \\u escape");
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void AppendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Result<std::string> ParseString() {
+    LW_CHECK(Consume('"'));
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("truncated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            LW_ASSIGN_OR_RETURN(int cp, ParseHex4());
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // High surrogate: must be followed by \uDC00-\uDFFF.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired surrogate");
+              }
+              pos_ += 2;
+              LW_ASSIGN_OR_RETURN(int lo, ParseHex4());
+              if (lo < 0xdc00 || lo > 0xdfff) {
+                return Error("invalid low surrogate");
+              }
+              const std::uint32_t full = 0x10000 +
+                  ((static_cast<std::uint32_t>(cp) - 0xd800) << 10) +
+                  (static_cast<std::uint32_t>(lo) - 0xdc00);
+              AppendUtf8(out, full);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+              return Error("unpaired low surrogate");
+            } else {
+              AppendUtf8(out, static_cast<std::uint32_t>(cp));
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+      // fallthrough to digits
+    }
+    if (pos_ >= text_.size()) return Error("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      return Error("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    return Value(std::strtod(num.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace lw::json

@@ -1,0 +1,104 @@
+// Minimal-but-complete JSON library.
+//
+// Lightweb data blobs carry "relatively small JSON data objects" (paper §3.1)
+// and code blobs are JSON-encoded LightScript programs, so the browser,
+// publisher tooling, and interpreter all need a JSON value model, parser,
+// and serializer. Objects preserve deterministic (sorted) key order so that
+// serialization is canonical — blob bytes must be reproducible for tests.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const {
+    switch (data_.index()) {
+      case 0: return Type::kNull;
+      case 1: return Type::kBool;
+      case 2: return Type::kNumber;
+      case 3: return Type::kString;
+      case 4: return Type::kArray;
+      default: return Type::kObject;
+    }
+  }
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Typed accessors; LW_CHECK on type mismatch (programming error).
+  bool AsBool() const;
+  double AsNumber() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  // Object field lookup; returns nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  // Array element; nullptr when out of range or not an array.
+  const Value* At(std::size_t index) const;
+
+  // Dotted-path lookup, e.g. "headlines.0.title": object keys and array
+  // indices separated by '.'. Returns nullptr when any step is missing.
+  const Value* FindPath(std::string_view path) const;
+
+  // Convenience: string at dotted path, or `fallback`.
+  std::string GetString(std::string_view path, std::string fallback = "") const;
+  double GetNumber(std::string_view path, double fallback = 0) const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+struct WriteOptions {
+  bool pretty = false;
+  int indent = 2;
+};
+
+// Serializes to canonical JSON (object keys sorted by std::map ordering).
+std::string Write(const Value& v, const WriteOptions& opts = {});
+
+// Parses a complete JSON document (rejects trailing garbage). Supports the
+// full grammar incl. \uXXXX escapes and surrogate pairs; depth-limited.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace lw::json

@@ -1,0 +1,62 @@
+#include "lightweb/access.h"
+
+#include "crypto/aead.h"
+#include "crypto/hkdf.h"
+#include "util/rand.h"
+
+namespace lw::lightweb {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'W', 'E', '1'};
+constexpr std::size_t kHeaderSize = 4 + 4 + crypto::kAeadNonceSize;
+
+}  // namespace
+
+bool IsEncryptedPayload(ByteSpan payload) {
+  return payload.size() >= kHeaderSize &&
+         std::equal(kMagic, kMagic + 4, payload.begin());
+}
+
+PublisherKeyring::PublisherKeyring() : master_(SecureRandom(32)) {}
+
+PublisherKeyring::PublisherKeyring(Bytes master_secret)
+    : master_(std::move(master_secret)) {}
+
+Bytes PublisherKeyring::EpochKey(std::uint32_t epoch) const {
+  return crypto::Hkdf(master_, /*salt=*/{},
+                      "lightweb/content-epoch-" + std::to_string(epoch),
+                      crypto::kAeadKeySize);
+}
+
+Bytes PublisherKeyring::Encrypt(std::string_view path,
+                                ByteSpan plaintext) const {
+  const Bytes key = EpochKey(epoch_);
+  const Bytes nonce = SecureRandom(crypto::kAeadNonceSize);
+
+  Bytes out(kMagic, kMagic + 4);
+  out.resize(8);
+  StoreLE32(out.data() + 4, epoch_);
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  const Bytes ct = crypto::AeadSeal(key, nonce, ToBytes(path), plaintext);
+  out.insert(out.end(), ct.begin(), ct.end());
+  return out;
+}
+
+Result<Bytes> ClientKeyring::Decrypt(std::string_view path,
+                                     ByteSpan payload) const {
+  if (!IsEncryptedPayload(payload)) {
+    return InvalidArgumentError("payload is not access-controlled content");
+  }
+  const std::uint32_t epoch = LoadLE32(payload.data() + 4);
+  const auto it = keys_.find(epoch);
+  if (it == keys_.end()) {
+    return PermissionDeniedError(
+        "no key for content epoch " + std::to_string(epoch) +
+        " (subscription lapsed or never issued)");
+  }
+  const ByteSpan nonce = payload.subspan(8, crypto::kAeadNonceSize);
+  return crypto::AeadOpen(it->second, nonce, ToBytes(path),
+                          payload.subspan(kHeaderSize));
+}
+
+}  // namespace lw::lightweb

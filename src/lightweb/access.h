@@ -1,0 +1,73 @@
+// Access control for lightweb content (paper §3.3–3.4).
+//
+// Publishers who gate content (paywalls, members-only pages) publish
+// AEAD-encrypted data blobs; the CDN stores only ciphertext and never learns
+// per-user permissions. A subscribing client obtains the publisher's current
+// epoch key out-of-band (account signup happens outside lightweb) and
+// decrypts locally after the private-GET. Revocation = the publisher rotates
+// to a new epoch and re-encrypts future content; clients with stale keys can
+// still read old epochs they were subscribed for, but nothing new — exactly
+// the paper's "periodically rotate keys in order to revoke users' access".
+//
+// Encrypted payload wire format:
+//   "LWE1" magic || u32 epoch || 12-byte nonce || AEAD ciphertext
+// with the blob's path as associated data (a ciphertext cannot be replayed
+// under a different path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+// True if a payload looks like access-controlled content.
+bool IsEncryptedPayload(ByteSpan payload);
+
+// Publisher-side key management: master secret → per-epoch content keys.
+class PublisherKeyring {
+ public:
+  // Fresh random master secret.
+  PublisherKeyring();
+  // Deterministic (for tests / key escrow).
+  explicit PublisherKeyring(Bytes master_secret);
+
+  std::uint32_t current_epoch() const { return epoch_; }
+
+  // Rotates to the next epoch (revokes clients not re-issued keys).
+  void RotateEpoch() { ++epoch_; }
+
+  // The key a subscribed client receives for an epoch.
+  Bytes EpochKey(std::uint32_t epoch) const;
+
+  // Encrypts a payload for `path` under the current epoch.
+  Bytes Encrypt(std::string_view path, ByteSpan plaintext) const;
+
+ private:
+  Bytes master_;
+  std::uint32_t epoch_ = 1;
+};
+
+// Client-side keys for one publisher (domain).
+class ClientKeyring {
+ public:
+  void AddEpochKey(std::uint32_t epoch, Bytes key) {
+    keys_[epoch] = std::move(key);
+  }
+  bool HasEpoch(std::uint32_t epoch) const { return keys_.contains(epoch); }
+  std::size_t size() const { return keys_.size(); }
+
+  // Decrypts an encrypted payload fetched from `path`.
+  // PERMISSION_DENIED if the client lacks the epoch key or the ciphertext
+  // does not authenticate.
+  Result<Bytes> Decrypt(std::string_view path, ByteSpan payload) const;
+
+ private:
+  std::map<std::uint32_t, Bytes> keys_;
+};
+
+}  // namespace lw::lightweb

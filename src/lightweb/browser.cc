@@ -1,0 +1,143 @@
+#include "lightweb/browser.h"
+
+#include "lightweb/path.h"
+#include "util/check.h"
+
+namespace lw::lightweb {
+
+Browser::Browser(std::unique_ptr<BlobChannel> code_channel,
+                 std::unique_ptr<BlobChannel> data_channel,
+                 BrowserConfig config)
+    : config_(config),
+      code_channel_(std::move(code_channel)),
+      data_channel_(std::move(data_channel)) {
+  LW_CHECK_MSG(config_.fetches_per_page >= 1,
+               "fetch budget must be at least 1");
+  LW_CHECK_MSG(config_.code_cache_capacity >= 1,
+               "code cache needs at least one slot");
+}
+
+LocalStorage& Browser::local_storage(std::string_view domain) {
+  const auto it = local_.find(domain);
+  if (it != local_.end()) return it->second;
+  return local_.emplace(std::string(domain), LocalStorage{}).first->second;
+}
+
+ClientKeyring& Browser::keyring(std::string_view domain) {
+  const auto it = keyrings_.find(domain);
+  if (it != keyrings_.end()) return it->second;
+  return keyrings_.emplace(std::string(domain), ClientKeyring{})
+      .first->second;
+}
+
+void Browser::InvalidateCode(std::string_view domain) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->first == domain) {
+      cache_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<const CodeProgram*> Browser::GetProgram(const std::string& domain,
+                                               bool* cache_hit) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->first == domain) {
+      // LRU bump.
+      cache_.splice(cache_.begin(), cache_, it);
+      ++cache_hits_;
+      *cache_hit = true;
+      return &cache_.front().second;
+    }
+  }
+  ++cache_misses_;
+  *cache_hit = false;
+
+  LW_ASSIGN_OR_RETURN(const Bytes blob, code_channel_->PrivateGet(domain));
+  LW_ASSIGN_OR_RETURN(CodeProgram program, CodeProgram::Parse(ToString(blob)));
+  cache_.emplace_front(domain, std::move(program));
+  while (cache_.size() > config_.code_cache_capacity) {
+    cache_.pop_back();
+  }
+  return &cache_.front().second;
+}
+
+Status Browser::DecoyPageLoad() {
+  auto fetched = data_channel_->FetchPage({}, config_.fetches_per_page);
+  if (!fetched.ok()) return fetched.status();
+  return Status::Ok();
+}
+
+Result<RenderedPage> Browser::Visit(std::string_view path) {
+  LW_ASSIGN_OR_RETURN(const ParsedPath parsed, ParsePath(path));
+
+  RenderedPage page;
+  page.domain = parsed.domain;
+  page.full_path = JoinPath(parsed.domain, parsed.rest);
+
+  LW_ASSIGN_OR_RETURN(const CodeProgram* program,
+                      GetProgram(parsed.domain, &page.code_cache_hit));
+  page.site_name = program->site_name();
+  page.style = program->style();
+
+  LocalStorage& local = local_storage(parsed.domain);
+  LW_ASSIGN_OR_RETURN(const PagePlan plan,
+                      program->Plan(parsed.domain, parsed.rest, local));
+
+  const int budget = config_.fetches_per_page;
+  if (plan.fetch_paths.size() > static_cast<std::size_t>(budget)) {
+    // The universe validates this at publish time; a violating blob here
+    // means a hostile or corrupted code blob. Refusing (rather than
+    // fetching more) keeps the traffic invariant intact.
+    return FailedPreconditionError(
+        "code blob plans " + std::to_string(plan.fetch_paths.size()) +
+        " fetches, exceeding the fixed budget of " + std::to_string(budget));
+  }
+
+  // Issue exactly `budget` data-channel queries in one page-load unit:
+  // real fetches plus dummy padding (pipelined when the channel supports
+  // it).
+  page.real_fetches = static_cast<int>(plan.fetch_paths.size());
+  page.dummy_fetches = budget - page.real_fetches;
+  LW_ASSIGN_OR_RETURN(
+      const std::vector<Result<Bytes>> fetched,
+      data_channel_->FetchPage(plan.fetch_paths, page.dummy_fetches));
+
+  std::vector<json::Value> data;
+  data.reserve(plan.fetch_paths.size());
+  const ClientKeyring& keys = keyring(parsed.domain);
+  for (std::size_t i = 0; i < plan.fetch_paths.size(); ++i) {
+    const std::string& fetch_path = plan.fetch_paths[i];
+    const Result<Bytes>& payload = fetched[i];
+    if (!payload.ok()) {
+      page.fetch_status.push_back(payload.status());
+      data.emplace_back();  // null
+      continue;
+    }
+    Bytes plaintext = *payload;
+    if (IsEncryptedPayload(plaintext)) {
+      auto decrypted = keys.Decrypt(fetch_path, plaintext);
+      if (!decrypted.ok()) {
+        page.fetch_status.push_back(decrypted.status());
+        data.emplace_back();
+        continue;
+      }
+      plaintext = std::move(*decrypted);
+    }
+    auto parsed_json = json::Parse(ToString(plaintext));
+    if (!parsed_json.ok()) {
+      page.fetch_status.push_back(parsed_json.status());
+      data.emplace_back();
+      continue;
+    }
+    page.fetch_status.push_back(Status::Ok());
+    data.push_back(std::move(*parsed_json));
+  }
+
+  LW_ASSIGN_OR_RETURN(
+      page.text, program->Render(plan, parsed.domain, parsed.rest, local, data));
+  page.links = ExtractLinks(page.text);
+  return page;
+}
+
+}  // namespace lw::lightweb

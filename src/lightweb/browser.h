@@ -1,0 +1,102 @@
+// The lightweb browser (paper §3.2).
+//
+// A minimal client that speaks ZLTP and renders LightScript pages:
+//
+//   1. Parse the requested path into (domain, rest).
+//   2. Fetch the domain's code blob over the code channel — unless cached.
+//      Code blobs change rarely, so the browser caches them aggressively
+//      (LRU); a network observer learns only *when* the user first visits a
+//      domain, not which one.
+//   3. Run the code blob's route planner, then issue EXACTLY
+//      fetches_per_page data-blob requests: the plan's real fetches first,
+//      then dummy fetches at random indices. Every page view therefore has
+//      an identical traffic signature.
+//   4. Decrypt access-controlled blobs with the per-domain client keyring,
+//      parse JSON, render the page, and extract links.
+//
+// The browser enforces domain separation on local storage and keyrings.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lightweb/access.h"
+#include "lightweb/channel.h"
+#include "lightweb/lightscript.h"
+#include "lightweb/local_storage.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+struct BrowserConfig {
+  // Must equal the universe's fixed budget; every Visit issues exactly this
+  // many data-channel queries.
+  int fetches_per_page = 5;
+  std::size_t code_cache_capacity = 8;
+};
+
+struct RenderedPage {
+  std::string full_path;   // "nytimes.com/world/africa"
+  std::string domain;
+  std::string site_name;
+  std::string style;
+  std::string text;        // rendered page body
+  std::vector<PageLink> links;
+
+  int real_fetches = 0;
+  int dummy_fetches = 0;
+  bool code_cache_hit = false;
+  // Per-real-fetch status (OK, NOT_FOUND, PERMISSION_DENIED, ...): pages
+  // render best-effort with nulls for failed blobs, like a browser showing
+  // a page with a broken widget.
+  std::vector<Status> fetch_status;
+};
+
+class Browser {
+ public:
+  Browser(std::unique_ptr<BlobChannel> code_channel,
+          std::unique_ptr<BlobChannel> data_channel, BrowserConfig config);
+
+  // Loads and renders a lightweb page.
+  Result<RenderedPage> Visit(std::string_view path);
+
+  // Performs a page load's worth of cover traffic (exactly
+  // fetches_per_page dummy data queries) without rendering anything — on
+  // the wire it is indistinguishable from Visit() of a cached-code domain.
+  // Used by PacedBrowser to flatten the user's request timeline.
+  Status DecoyPageLoad();
+
+  // Per-domain client state (created on first use).
+  LocalStorage& local_storage(std::string_view domain);
+  ClientKeyring& keyring(std::string_view domain);
+
+  // Drops a cached code blob (e.g. after a publisher update notice).
+  void InvalidateCode(std::string_view domain);
+
+  std::uint64_t code_cache_hits() const { return cache_hits_; }
+  std::uint64_t code_cache_misses() const { return cache_misses_; }
+  const BlobChannel& data_channel() const { return *data_channel_; }
+  const BlobChannel& code_channel() const { return *code_channel_; }
+
+ private:
+  Result<const CodeProgram*> GetProgram(const std::string& domain,
+                                        bool* cache_hit);
+
+  BrowserConfig config_;
+  std::unique_ptr<BlobChannel> code_channel_;
+  std::unique_ptr<BlobChannel> data_channel_;
+
+  // LRU cache of parsed code blobs.
+  std::list<std::pair<std::string, CodeProgram>> cache_;  // front = newest
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+
+  std::map<std::string, LocalStorage, std::less<>> local_;
+  std::map<std::string, ClientKeyring, std::less<>> keyrings_;
+};
+
+}  // namespace lw::lightweb

@@ -1,0 +1,55 @@
+#include "lightweb/cdn.h"
+
+namespace lw::lightweb {
+
+Result<Universe*> Cdn::CreateUniverse(UniverseConfig config) {
+  if (config.name.empty()) {
+    return InvalidArgumentError("universe needs a name");
+  }
+  if (universes_.contains(config.name)) {
+    return InvalidArgumentError("universe '" + config.name +
+                                "' already exists");
+  }
+  auto universe = std::make_unique<Universe>(std::move(config));
+  Universe* ptr = universe.get();
+  universes_.emplace(ptr->name(), std::move(universe));
+  return ptr;
+}
+
+Result<Universe*> Cdn::GetUniverse(std::string_view name) {
+  const auto it = universes_.find(name);
+  if (it == universes_.end()) {
+    return NotFoundError("no universe named '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Cdn::UniverseNames() const {
+  std::vector<std::string> names;
+  names.reserve(universes_.size());
+  for (const auto& [name, u] : universes_) names.push_back(name);
+  return names;
+}
+
+std::vector<UniverseConfig> Cdn::TieredConfigs() {
+  // Page-size tiers per §3.5: the larger the fixed blob, the costlier each
+  // request, so users pick the tier matching the content they read.
+  UniverseConfig small;
+  small.name = "small";
+  small.data_blob_size = 1024;
+  small.data_domain_bits = 22;
+
+  UniverseConfig medium;
+  medium.name = "medium";
+  medium.data_blob_size = 4096;
+  medium.data_domain_bits = 22;
+
+  UniverseConfig large;
+  large.name = "large";
+  large.data_blob_size = 16 * 1024;
+  large.data_domain_bits = 20;
+
+  return {small, medium, large};
+}
+
+}  // namespace lw::lightweb

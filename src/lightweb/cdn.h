@@ -1,0 +1,43 @@
+// A content-distribution network hosting lightweb universes (paper §3.1,
+// §3.5).
+//
+// One CDN may run several universes with different cost/coverage trade-offs
+// — the paper's "small / medium / large" tiering, where blob size (and so
+// per-request scan cost) differs per universe and an observer learns only
+// WHICH universe a user queries, never which page.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lightweb/universe.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+class Cdn {
+ public:
+  explicit Cdn(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Creates a universe; its config.name must be unique within the CDN.
+  Result<Universe*> CreateUniverse(UniverseConfig config);
+
+  Result<Universe*> GetUniverse(std::string_view name);
+
+  std::vector<std::string> UniverseNames() const;
+
+  // Standard three-tier configs (paper §3.5: "small", "medium", "large"
+  // universes with different fixed page sizes).
+  static std::vector<UniverseConfig> TieredConfigs();
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Universe>, std::less<>> universes_;
+};
+
+}  // namespace lw::lightweb

@@ -1,0 +1,103 @@
+// BlobChannel: the browser's view of a ZLTP session.
+//
+// The browser needs exactly two operations per universe: a keyword
+// private-GET and a dummy GET that is indistinguishable on the wire (used to
+// pad every page load to the fixed fetch budget). Implementations:
+//
+//  * InProcessPirChannel — runs the complete two-server PIR math (DPF keygen,
+//    both servers' scans, XOR reconstruction, fingerprint check) against a
+//    PirStore in-process. Used by tests, benches, and single-binary examples;
+//    it exercises the identical code path as the networked client minus the
+//    socket hops.
+//  * ZltpPirChannel — adapts a live zltp::PirSession (two transports to two
+//    non-colluding servers).
+//  * ZltpEnclaveChannel — adapts an enclave-mode session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+#include "zltp/client.h"
+#include "zltp/store.h"
+
+namespace lw::lightweb {
+
+class BlobChannel {
+ public:
+  virtual ~BlobChannel() = default;
+
+  virtual Result<Bytes> PrivateGet(std::string_view key) = 0;
+  virtual Status DummyGet() = 0;
+  virtual std::size_t record_size() const = 0;
+
+  // Fetches a whole page load — every key plus `dummies` cover queries — as
+  // one unit. The default implementation loops PrivateGet/DummyGet;
+  // session-backed channels override it with a pipelined batch so a page
+  // load costs one round trip and the servers co-batch the scans.
+  // Returns one result per key (dummy results are discarded).
+  virtual Result<std::vector<Result<Bytes>>> FetchPage(
+      const std::vector<std::string>& keys, int dummies);
+
+  // Total private-GETs issued (real + dummy): what a network observer sees.
+  virtual std::uint64_t observed_queries() const = 0;
+};
+
+class InProcessPirChannel final : public BlobChannel {
+ public:
+  // The store plays both (replicated) logical servers; correctness and
+  // traffic shape are identical to a two-replica deployment.
+  explicit InProcessPirChannel(const zltp::PirStore& store);
+
+  Result<Bytes> PrivateGet(std::string_view key) override;
+  Status DummyGet() override;
+  std::size_t record_size() const override;
+  std::uint64_t observed_queries() const override { return queries_; }
+
+ private:
+  Result<Bytes> GetIndex(std::uint64_t index, Bytes* out_record);
+
+  const zltp::PirStore& store_;
+  std::uint64_t queries_ = 0;
+};
+
+class ZltpPirChannel final : public BlobChannel {
+ public:
+  explicit ZltpPirChannel(zltp::PirSession session);
+
+  Result<Bytes> PrivateGet(std::string_view key) override;
+  Status DummyGet() override;
+  std::size_t record_size() const override;
+  std::uint64_t observed_queries() const override;
+
+  // Pipelined page load via PirSession::PrivateGetBatch.
+  Result<std::vector<Result<Bytes>>> FetchPage(
+      const std::vector<std::string>& keys, int dummies) override;
+
+  zltp::PirSession& session() { return session_; }
+
+ private:
+  zltp::PirSession session_;
+};
+
+class ZltpEnclaveChannel final : public BlobChannel {
+ public:
+  // The blob size comes from the session's ServerHello.
+  explicit ZltpEnclaveChannel(zltp::EnclaveSession session);
+
+  Result<Bytes> PrivateGet(std::string_view key) override;
+  Status DummyGet() override;
+  std::size_t record_size() const override { return record_size_; }
+  std::uint64_t observed_queries() const override { return queries_; }
+
+ private:
+  zltp::EnclaveSession session_;
+  std::size_t record_size_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace lw::lightweb

@@ -1,0 +1,473 @@
+#include "lightweb/lightscript.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "lightweb/path.h"
+#include "util/check.h"
+
+namespace lw::lightweb {
+
+namespace internal {
+
+// Render-template AST.
+struct TemplateNode {
+  enum class Kind { kSequence, kText, kVar, kEach, kIf };
+  Kind kind = Kind::kSequence;
+  std::string text;                          // kText: literal; kVar/kEach/kIf: expr
+  bool inverted = false;                     // kIf only
+  std::vector<std::unique_ptr<TemplateNode>> children;  // kSequence/kEach/kIf
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::TemplateNode;
+
+// ------------------------------------------------------- template parsing
+
+struct TemplateParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  Result<std::unique_ptr<TemplateNode>> ParseSequence(bool expect_close) {
+    auto seq = std::make_unique<TemplateNode>();
+    seq->kind = TemplateNode::Kind::kSequence;
+    std::string literal;
+    const auto flush = [&] {
+      if (!literal.empty()) {
+        auto node = std::make_unique<TemplateNode>();
+        node->kind = TemplateNode::Kind::kText;
+        node->text = std::move(literal);
+        literal.clear();
+        seq->children.push_back(std::move(node));
+      }
+    };
+
+    while (pos < text.size()) {
+      if (text[pos] == '{' && pos + 1 < text.size() && text[pos + 1] == '{') {
+        const std::size_t close = text.find("}}", pos + 2);
+        if (close == std::string_view::npos) {
+          return InvalidArgumentError("unterminated {{ tag in template");
+        }
+        std::string_view tag = text.substr(pos + 2, close - pos - 2);
+        pos = close + 2;
+
+        if (tag.starts_with("#each ")) {
+          flush();
+          auto node = std::make_unique<TemplateNode>();
+          node->kind = TemplateNode::Kind::kEach;
+          node->text = Trim(tag.substr(6));
+          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true));
+          node->children = std::move(body->children);
+          seq->children.push_back(std::move(node));
+        } else if (tag.starts_with("#if ") || tag.starts_with("^if ")) {
+          flush();
+          auto node = std::make_unique<TemplateNode>();
+          node->kind = TemplateNode::Kind::kIf;
+          node->inverted = tag.front() == '^';
+          node->text = Trim(tag.substr(4));
+          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true));
+          node->children = std::move(body->children);
+          seq->children.push_back(std::move(node));
+        } else if (tag.starts_with("/")) {
+          flush();
+          if (!expect_close) {
+            return InvalidArgumentError("unmatched closing tag {{" +
+                                        std::string(tag) + "}}");
+          }
+          return seq;  // caller owns the section node
+        } else {
+          flush();
+          auto node = std::make_unique<TemplateNode>();
+          node->kind = TemplateNode::Kind::kVar;
+          node->text = Trim(tag);
+          if (node->text.empty()) {
+            return InvalidArgumentError("empty {{}} tag");
+          }
+          seq->children.push_back(std::move(node));
+        }
+      } else {
+        literal.push_back(text[pos]);
+        ++pos;
+      }
+    }
+    flush();
+    if (expect_close) {
+      return InvalidArgumentError("unterminated section in template");
+    }
+    return seq;
+  }
+
+  static std::string Trim(std::string_view s) {
+    while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+    while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+    return std::string(s);
+  }
+};
+
+// ------------------------------------------------------- expr resolution
+
+struct RenderScope {
+  std::string_view domain;
+  std::string_view path;
+  std::string_view site;
+  const std::map<std::string, std::string>* captures;
+  const LocalStorage* local;
+  const std::vector<json::Value>* data;
+
+  // #each nesting: current element and index.
+  std::vector<const json::Value*> dots;
+  std::vector<std::size_t> indices;
+};
+
+std::string NumberToString(double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", d);
+  return buf;
+}
+
+std::string JsonToDisplayString(const json::Value& v) {
+  switch (v.type()) {
+    case json::Type::kNull: return "";
+    case json::Type::kBool: return v.AsBool() ? "true" : "false";
+    case json::Type::kNumber: return NumberToString(v.AsNumber());
+    case json::Type::kString: return v.AsString();
+    default: return json::Write(v);  // arrays/objects render as JSON
+  }
+}
+
+// Resolves an expression to a JSON value (by value; scalars are cheap and
+// container results are only produced for #each/#if).
+json::Value ResolveExpr(std::string_view expr, const RenderScope& scope) {
+  if (expr == "@index") {
+    return scope.indices.empty()
+               ? json::Value()
+               : json::Value(static_cast<double>(scope.indices.back()));
+  }
+  if (expr == "domain") return json::Value(std::string(scope.domain));
+  if (expr == "path") return json::Value(std::string(scope.path));
+  if (expr == "site") return json::Value(std::string(scope.site));
+
+  if (expr == "." || expr.starts_with(".")) {
+    if (scope.dots.empty()) return json::Value();
+    const json::Value* cur = scope.dots.back();
+    if (expr == ".") return *cur;
+    const json::Value* found = cur->FindPath(expr.substr(1));
+    return found == nullptr ? json::Value() : *found;
+  }
+
+  if (expr.starts_with("local.")) {
+    const auto v = scope.local->Get(expr.substr(6));
+    return v.has_value() ? json::Value(*v) : json::Value();
+  }
+
+  if (expr.starts_with("data")) {
+    // dataN or dataN.json.path
+    std::size_t i = 4;
+    std::size_t n = 0;
+    bool has_digit = false;
+    while (i < expr.size() && expr[i] >= '0' && expr[i] <= '9') {
+      n = n * 10 + static_cast<std::size_t>(expr[i] - '0');
+      ++i;
+      has_digit = true;
+    }
+    if (has_digit && (i == expr.size() || expr[i] == '.')) {
+      if (n >= scope.data->size()) return json::Value();
+      const json::Value& root = (*scope.data)[n];
+      if (i == expr.size()) return root;
+      const json::Value* found = root.FindPath(expr.substr(i + 1));
+      return found == nullptr ? json::Value() : *found;
+    }
+    // else fall through: maybe a capture literally named "data..."
+  }
+
+  const auto it = scope.captures->find(std::string(expr));
+  if (it != scope.captures->end()) return json::Value(it->second);
+  return json::Value();
+}
+
+bool Truthy(const json::Value& v) {
+  switch (v.type()) {
+    case json::Type::kNull: return false;
+    case json::Type::kBool: return v.AsBool();
+    case json::Type::kNumber: return v.AsNumber() != 0;
+    case json::Type::kString: return !v.AsString().empty();
+    case json::Type::kArray: return !v.AsArray().empty();
+    case json::Type::kObject: return !v.AsObject().empty();
+  }
+  return false;
+}
+
+void RenderNode(const TemplateNode& node, RenderScope& scope,
+                std::string& out) {
+  switch (node.kind) {
+    case TemplateNode::Kind::kSequence:
+      for (const auto& child : node.children) {
+        RenderNode(*child, scope, out);
+      }
+      break;
+    case TemplateNode::Kind::kText:
+      out += node.text;
+      break;
+    case TemplateNode::Kind::kVar:
+      out += JsonToDisplayString(ResolveExpr(node.text, scope));
+      break;
+    case TemplateNode::Kind::kIf: {
+      const bool truthy = Truthy(ResolveExpr(node.text, scope));
+      if (truthy != node.inverted) {
+        for (const auto& child : node.children) {
+          RenderNode(*child, scope, out);
+        }
+      }
+      break;
+    }
+    case TemplateNode::Kind::kEach: {
+      const json::Value arr = ResolveExpr(node.text, scope);
+      if (!arr.is_array()) break;
+      const json::Array& items = arr.AsArray();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        scope.dots.push_back(&items[i]);
+        scope.indices.push_back(i);
+        for (const auto& child : node.children) {
+          RenderNode(*child, scope, out);
+        }
+        scope.dots.pop_back();
+        scope.indices.pop_back();
+      }
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------------- fetch templates
+
+// Substitutes {var} / {local.key} / {local.key|fallback} / {domain} / {path}.
+Result<std::string> SubstituteFetchTemplate(
+    std::string_view tmpl, std::string_view domain, std::string_view rest,
+    const std::map<std::string, std::string>& captures,
+    const LocalStorage& local) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < tmpl.size()) {
+    const char c = tmpl[pos];
+    if (c != '{') {
+      out.push_back(c);
+      ++pos;
+      continue;
+    }
+    const std::size_t close = tmpl.find('}', pos);
+    if (close == std::string_view::npos) {
+      return InvalidArgumentError("unterminated { in fetch template");
+    }
+    std::string_view var = tmpl.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+
+    std::string_view fallback;
+    bool has_fallback = false;
+    if (const std::size_t bar = var.find('|'); bar != std::string_view::npos) {
+      fallback = var.substr(bar + 1);
+      var = var.substr(0, bar);
+      has_fallback = true;
+    }
+
+    if (var == "domain") {
+      out += domain;
+    } else if (var == "path") {
+      out += rest;
+    } else if (var.starts_with("local.")) {
+      const auto v = local.Get(var.substr(6));
+      if (v.has_value()) {
+        out += *v;
+      } else if (has_fallback) {
+        out += fallback;
+      } else {
+        return FailedPreconditionError(
+            "fetch template needs local storage key '" +
+            std::string(var.substr(6)) + "' and no fallback was given");
+      }
+    } else {
+      const auto it = captures.find(std::string(var));
+      if (it != captures.end()) {
+        out += it->second;
+      } else if (has_fallback) {
+        out += fallback;
+      } else {
+        return InvalidArgumentError("fetch template references unknown "
+                                    "capture '" + std::string(var) + "'");
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------- route matching
+
+bool MatchRoute(const std::vector<std::string>& pattern,
+                const std::vector<std::string>& segments,
+                std::map<std::string, std::string>& captures) {
+  captures.clear();
+  std::size_t i = 0;
+  for (; i < pattern.size(); ++i) {
+    const std::string& p = pattern[i];
+    if (!p.empty() && p.front() == '*') {
+      // Tail capture: the rest of the path (possibly empty).
+      std::string tail;
+      for (std::size_t j = i; j < segments.size(); ++j) {
+        if (!tail.empty()) tail.push_back('/');
+        tail += segments[j];
+      }
+      captures[p.substr(1)] = tail;
+      return true;
+    }
+    if (i >= segments.size()) return false;
+    if (!p.empty() && p.front() == ':') {
+      captures[p.substr(1)] = segments[i];
+    } else if (p != segments[i]) {
+      return false;
+    }
+  }
+  return i == segments.size();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ CodeProgram
+
+CodeProgram::CodeProgram() = default;
+CodeProgram::CodeProgram(CodeProgram&&) noexcept = default;
+CodeProgram& CodeProgram::operator=(CodeProgram&&) noexcept = default;
+CodeProgram::~CodeProgram() = default;
+
+Result<CodeProgram> CodeProgram::Parse(std::string_view code_blob_text) {
+  LW_ASSIGN_OR_RETURN(const json::Value doc, json::Parse(code_blob_text));
+  if (!doc.is_object()) {
+    return InvalidArgumentError("code blob must be a JSON object");
+  }
+  CodeProgram program;
+  program.site_ = doc.GetString("site", "untitled site");
+  program.style_ = doc.GetString("style", "plain");
+
+  const json::Value* routes = doc.Find("routes");
+  if (routes == nullptr || !routes->is_array() || routes->AsArray().empty()) {
+    return InvalidArgumentError("code blob must declare at least one route");
+  }
+  for (const json::Value& r : routes->AsArray()) {
+    Route route;
+    const json::Value* pattern = r.Find("pattern");
+    if (pattern == nullptr || !pattern->is_string()) {
+      return InvalidArgumentError("route missing string 'pattern'");
+    }
+    LW_ASSIGN_OR_RETURN(route.pattern, SplitSegments(pattern->AsString()));
+    // Validate: '*' capture only in last position; captures named.
+    for (std::size_t i = 0; i < route.pattern.size(); ++i) {
+      const std::string& seg = route.pattern[i];
+      if (seg.front() == '*' && i + 1 != route.pattern.size()) {
+        return InvalidArgumentError("'*' capture must be last in pattern");
+      }
+      if ((seg.front() == '*' || seg.front() == ':') && seg.size() == 1) {
+        return InvalidArgumentError("unnamed capture in pattern");
+      }
+    }
+
+    if (const json::Value* fetch = r.Find("fetch"); fetch != nullptr) {
+      if (!fetch->is_array()) {
+        return InvalidArgumentError("route 'fetch' must be an array");
+      }
+      for (const json::Value& f : fetch->AsArray()) {
+        if (!f.is_string()) {
+          return InvalidArgumentError("fetch entries must be strings");
+        }
+        route.fetch_templates.push_back(f.AsString());
+      }
+    }
+
+    const json::Value* render = r.Find("render");
+    if (render == nullptr || !render->is_string()) {
+      return InvalidArgumentError("route missing string 'render'");
+    }
+    TemplateParser parser{render->AsString()};
+    LW_ASSIGN_OR_RETURN(route.render, parser.ParseSequence(false));
+
+    program.routes_.push_back(std::move(route));
+  }
+  return program;
+}
+
+std::size_t CodeProgram::max_fetches() const {
+  std::size_t m = 0;
+  for (const Route& r : routes_) {
+    m = std::max(m, r.fetch_templates.size());
+  }
+  return m;
+}
+
+Result<PagePlan> CodeProgram::Plan(std::string_view domain,
+                                   std::string_view rest,
+                                   const LocalStorage& local) const {
+  LW_ASSIGN_OR_RETURN(const std::vector<std::string> segments,
+                      SplitSegments(rest));
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    PagePlan plan;
+    if (!MatchRoute(routes_[i].pattern, segments, plan.captures)) continue;
+    plan.route_index = i;
+    for (const std::string& tmpl : routes_[i].fetch_templates) {
+      LW_ASSIGN_OR_RETURN(
+          std::string fetch_path,
+          SubstituteFetchTemplate(tmpl, domain, rest, plan.captures, local));
+      plan.fetch_paths.push_back(std::move(fetch_path));
+    }
+    return plan;
+  }
+  return NotFoundError("no route matches path '" + std::string(rest) + "'");
+}
+
+Result<std::string> CodeProgram::Render(
+    const PagePlan& plan, std::string_view domain, std::string_view rest,
+    const LocalStorage& local, const std::vector<json::Value>& data) const {
+  if (plan.route_index >= routes_.size()) {
+    return InvalidArgumentError("plan's route index out of range");
+  }
+  RenderScope scope;
+  scope.domain = domain;
+  scope.path = rest;
+  scope.site = site_;
+  scope.captures = &plan.captures;
+  scope.local = &local;
+  scope.data = &data;
+
+  std::string out;
+  RenderNode(*routes_[plan.route_index].render, scope, out);
+  return out;
+}
+
+std::vector<PageLink> ExtractLinks(std::string_view text) {
+  std::vector<PageLink> links;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t open = text.find('[', pos);
+    if (open == std::string_view::npos) break;
+    const std::size_t close = text.find(']', open);
+    if (close == std::string_view::npos) break;
+    if (close + 1 >= text.size() || text[close + 1] != '(') {
+      pos = close + 1;
+      continue;
+    }
+    const std::size_t paren = text.find(')', close + 2);
+    if (paren == std::string_view::npos) break;
+    PageLink link;
+    link.label = std::string(text.substr(open + 1, close - open - 1));
+    link.target = std::string(text.substr(close + 2, paren - close - 2));
+    if (!link.target.empty()) links.push_back(std::move(link));
+    pos = paren + 1;
+  }
+  return links;
+}
+
+}  // namespace lw::lightweb

@@ -1,0 +1,117 @@
+// LightScript: the lightweb code-blob language.
+//
+// The paper's code blobs contain "a blob of JavaScript code and style
+// information" whose single job is: given the requested path (and local
+// client state), issue a small fixed number of data-blob fetches and render
+// the fetched JSON into a page (paper §3.1–3.2). This repo replaces the
+// JavaScript engine with a declarative interpreter that performs exactly
+// that contract (see DESIGN.md, substitutions):
+//
+//   {
+//     "site": "The New York Times",
+//     "style": "serif",
+//     "routes": [
+//       { "pattern": "/world/:region",
+//         "fetch": ["nytimes.com/data/world/{region}.json"],
+//         "render": "# {{site}}: {{region}}\n{{#each data0.headlines}}\n- [{{.title}}]({{.link}}){{/each}}" }
+//     ]
+//   }
+//
+// Route patterns are slash-separated segments: literals, ":name" captures
+// (one segment), "*name" captures the remaining segments (last position
+// only). The first matching route wins.
+//
+// Fetch templates substitute "{var}" with captures, "{local.key}" with
+// client local storage (optional "{local.key|fallback}" default), plus
+// "{domain}" and "{path}".
+//
+// Render templates support:
+//   {{expr}}                   interpolation ("" for missing values)
+//   {{#each expr}}...{{/each}} array iteration ({{.}} = element,
+//                              {{.field.sub}} drill-down, {{@index}})
+//   {{#if expr}}...{{/if}}     truthy section
+//   {{^if expr}}...{{/if}}     falsy (inverted) section
+// where expr resolves against: "." scope (inside #each), "dataN[.jsonpath]"
+// (the N-th fetched blob, parsed as JSON), "local.key", "site", "domain",
+// "path", "@index", or a capture name.
+//
+// Rendered pages are plain text; hyperlinks use "[label](target-path)",
+// which the browser extracts for navigation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+#include "lightweb/local_storage.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+// A planned page load: which route matched and the exact data-blob paths to
+// fetch. The browser pads/truncates to the universe's fixed fetch budget.
+struct PagePlan {
+  std::size_t route_index = 0;
+  std::map<std::string, std::string> captures;
+  std::vector<std::string> fetch_paths;
+};
+
+namespace internal {
+struct TemplateNode;  // parsed render-template AST
+}
+
+class CodeProgram {
+ public:
+  CodeProgram(CodeProgram&&) noexcept;
+  CodeProgram& operator=(CodeProgram&&) noexcept;
+  ~CodeProgram();
+
+  // Parses and validates a code blob (JSON text). Every route's render
+  // template is compiled here, so Render cannot fail on syntax later.
+  static Result<CodeProgram> Parse(std::string_view code_blob_text);
+
+  const std::string& site_name() const { return site_; }
+  const std::string& style() const { return style_; }
+  std::size_t route_count() const { return routes_.size(); }
+
+  // Largest number of fetches any route performs. The universe's
+  // fetches-per-page budget must be >= this for the site to work.
+  std::size_t max_fetches() const;
+
+  // Matches `rest` against the routes and builds the fetch list.
+  // NOT_FOUND if no route matches.
+  Result<PagePlan> Plan(std::string_view domain, std::string_view rest,
+                        const LocalStorage& local) const;
+
+  // Renders the page given the fetched data blobs (parsed JSON; a blob that
+  // failed to fetch or parse should be passed as json::Value() null).
+  Result<std::string> Render(const PagePlan& plan, std::string_view domain,
+                             std::string_view rest, const LocalStorage& local,
+                             const std::vector<json::Value>& data) const;
+
+ private:
+  struct Route {
+    std::vector<std::string> pattern;  // segments; ":x" capture, "*x" tail
+    std::vector<std::string> fetch_templates;
+    std::unique_ptr<internal::TemplateNode> render;
+  };
+
+  CodeProgram();
+
+  std::string site_;
+  std::string style_;
+  std::vector<Route> routes_;
+};
+
+// Extracts "[label](target)" links from rendered page text, in order.
+struct PageLink {
+  std::string label;
+  std::string target;
+  bool operator==(const PageLink&) const = default;
+};
+std::vector<PageLink> ExtractLinks(std::string_view rendered_text);
+
+}  // namespace lw::lightweb

@@ -1,0 +1,38 @@
+// Per-domain client-side storage.
+//
+// Lightweb keeps today's client-side niceties — "client-side interaction,
+// local storage, and so on" (paper §3.2) — and the browser enforces domain
+// separation exactly as today's web does. Dynamic content flows through
+// here: weather.com's code blob reads the user's cached postal code to pick
+// which per-postal-code data blob to fetch (paper §3.3), all without any
+// server-side state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lw::lightweb {
+
+class LocalStorage {
+ public:
+  void Set(std::string_view key, std::string_view value) {
+    values_[std::string(key)] = std::string(value);
+  }
+
+  std::optional<std::string> Get(std::string_view key) const {
+    const auto it = values_.find(std::string(key));
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Erase(std::string_view key) { values_.erase(std::string(key)); }
+  std::size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lw::lightweb

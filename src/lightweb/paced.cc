@@ -1,0 +1,18 @@
+#include "lightweb/paced.h"
+
+namespace lw::lightweb {
+
+Result<std::optional<RenderedPage>> PacedBrowser::Tick() {
+  if (queue_.empty()) {
+    ++decoy_loads_;
+    LW_RETURN_IF_ERROR(browser_.DecoyPageLoad());
+    return std::optional<RenderedPage>();
+  }
+  const std::string path = std::move(queue_.front());
+  queue_.pop_front();
+  ++real_loads_;
+  LW_ASSIGN_OR_RETURN(RenderedPage page, browser_.Visit(path));
+  return std::optional<RenderedPage>(std::move(page));
+}
+
+}  // namespace lw::lightweb

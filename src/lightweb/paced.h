@@ -1,0 +1,50 @@
+// Constant-rate cover traffic (hardening against the paper's residual
+// timing leakage).
+//
+// ZLTP hides WHICH pages are fetched, but "an attacker that controls the
+// network can see when a client fetches a webpage and how many pages the
+// client fetches" (§1), and §3.2 gives the example of inferring news
+// reading from a page fetch every five minutes. PacedBrowser removes that
+// channel: it performs exactly ONE page load per tick — the user's oldest
+// queued navigation if any, otherwise a decoy load of dummy fetches. The
+// observer sees a constant-rate Poisson-free drumbeat regardless of user
+// behaviour; the cost is queueing latency and decoy bandwidth.
+//
+// Ticks are driven by the caller (a timer in a real client; tests call
+// Tick() directly), keeping the class deterministic and clock-free.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "lightweb/browser.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+class PacedBrowser {
+ public:
+  explicit PacedBrowser(Browser& browser) : browser_(browser) {}
+
+  // Queues a user navigation; it will be executed by a future Tick().
+  void Navigate(std::string path) { queue_.push_back(std::move(path)); }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t real_loads() const { return real_loads_; }
+  std::uint64_t decoy_loads() const { return decoy_loads_; }
+
+  // Executes one scheduled page load. Returns the rendered page when a
+  // queued navigation ran, std::nullopt when this tick was a decoy.
+  // A navigation that fails to render still consumed its tick (the traffic
+  // happened); the error is returned.
+  Result<std::optional<RenderedPage>> Tick();
+
+ private:
+  Browser& browser_;
+  std::deque<std::string> queue_;
+  std::uint64_t real_loads_ = 0;
+  std::uint64_t decoy_loads_ = 0;
+};
+
+}  // namespace lw::lightweb

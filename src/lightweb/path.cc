@@ -1,0 +1,85 @@
+#include "lightweb/path.h"
+
+namespace lw::lightweb {
+namespace {
+
+bool IsLabelChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+}  // namespace
+
+bool IsValidDomain(std::string_view domain) {
+  if (domain.empty() || domain.size() > 253) return false;
+  int labels = 0;
+  std::size_t start = 0;
+  while (start <= domain.size()) {
+    const std::size_t dot = domain.find('.', start);
+    const std::string_view label =
+        domain.substr(start, dot == std::string_view::npos
+                                 ? domain.size() - start
+                                 : dot - start);
+    if (label.empty() || label.size() > 63) return false;
+    if (label.front() == '-' || label.back() == '-') return false;
+    for (char c : label) {
+      if (!IsLabelChar(c)) return false;
+    }
+    ++labels;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return labels >= 2;
+}
+
+Result<ParsedPath> ParsePath(std::string_view path) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  // Tolerate a leading slash ("/nytimes.com/x" == "nytimes.com/x").
+  if (path.front() == '/') path.remove_prefix(1);
+  const std::size_t slash = path.find('/');
+  ParsedPath out;
+  out.domain = std::string(path.substr(0, slash));
+  out.rest = slash == std::string_view::npos
+                 ? "/"
+                 : std::string(path.substr(slash));
+  if (!IsValidDomain(out.domain)) {
+    return InvalidArgumentError("invalid domain in path: '" + out.domain +
+                                "'");
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SplitSegments(std::string_view rest) {
+  std::vector<std::string> out;
+  if (rest.empty() || rest == "/") return out;
+  if (rest.front() == '/') rest.remove_prefix(1);
+  if (!rest.empty() && rest.back() == '/') rest.remove_suffix(1);
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t slash = rest.find('/', start);
+    const std::string_view seg =
+        rest.substr(start, slash == std::string_view::npos
+                               ? rest.size() - start
+                               : slash - start);
+    if (seg.empty()) return InvalidArgumentError("empty path segment");
+    if (seg == "." || seg == "..") {
+      return InvalidArgumentError("path traversal segment rejected");
+    }
+    out.emplace_back(seg);
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return out;
+}
+
+std::string JoinPath(std::string_view domain, std::string_view rest) {
+  std::string out(domain);
+  if (rest.empty()) {
+    out.push_back('/');
+  } else {
+    if (rest.front() != '/') out.push_back('/');
+    out.append(rest);
+  }
+  return out;
+}
+
+}  // namespace lw::lightweb

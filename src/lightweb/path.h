@@ -1,0 +1,38 @@
+// Lightweb paths.
+//
+// Every data blob has a unique path whose only structural constraint is that
+// the top-level component is a valid domain (paper §3.1):
+//   nytimes.com/world/africa/2023/06/headlines.json
+// The code blob for a site is addressed by the domain alone.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+struct ParsedPath {
+  std::string domain;  // "nytimes.com"
+  std::string rest;    // "/world/africa/..." (always begins with '/'; "/" if
+                       // the path was just the domain)
+};
+
+// True for syntactically valid lightweb domains: lowercase ASCII labels
+// separated by dots, at least two labels, letters/digits/hyphens only,
+// no leading/trailing hyphen in a label.
+bool IsValidDomain(std::string_view domain);
+
+// Splits "domain/rest..." and validates the domain.
+Result<ParsedPath> ParsePath(std::string_view path);
+
+// Splits "/a/b/c" into {"a","b","c"} ("" or "/" → empty vector).
+// Rejects empty segments ("//") and "." / ".." traversal segments.
+Result<std::vector<std::string>> SplitSegments(std::string_view rest);
+
+// Joins a domain and rest back into a full path.
+std::string JoinPath(std::string_view domain, std::string_view rest);
+
+}  // namespace lw::lightweb

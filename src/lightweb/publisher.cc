@@ -1,0 +1,68 @@
+#include "lightweb/publisher.h"
+
+#include "lightweb/path.h"
+#include "util/check.h"
+
+namespace lw::lightweb {
+
+SiteBuilder::SiteBuilder(std::string domain) : domain_(std::move(domain)) {
+  LW_CHECK_MSG(IsValidDomain(domain_), "invalid domain for SiteBuilder");
+  site_name_ = domain_;
+}
+
+SiteBuilder& SiteBuilder::SetSiteName(std::string name) {
+  site_name_ = std::move(name);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::SetStyle(std::string style) {
+  style_ = std::move(style);
+  return *this;
+}
+
+SiteBuilder& SiteBuilder::AddRoute(std::string pattern,
+                                   std::vector<std::string> fetch_templates,
+                                   std::string render_template) {
+  json::Object route;
+  route["pattern"] = std::move(pattern);
+  json::Array fetch;
+  for (auto& f : fetch_templates) fetch.emplace_back(std::move(f));
+  route["fetch"] = std::move(fetch);
+  route["render"] = std::move(render_template);
+  routes_.emplace_back(std::move(route));
+  return *this;
+}
+
+std::string SiteBuilder::BuildCodeBlob() const {
+  json::Object blob;
+  blob["site"] = site_name_;
+  blob["style"] = style_;
+  blob["routes"] = routes_;
+  return json::Write(json::Value(blob));
+}
+
+Publisher::Publisher(std::string id) : id_(std::move(id)) {}
+
+Status Publisher::PublishSite(Universe& universe, const SiteBuilder& site) {
+  LW_RETURN_IF_ERROR(universe.ClaimDomain(site.domain(), id_));
+  return universe.PushCode(id_, site.domain(), site.BuildCodeBlob());
+}
+
+Status Publisher::PublishData(Universe& universe, std::string_view path,
+                              const json::Value& data) {
+  return universe.PushData(id_, path, ToBytes(json::Write(data)));
+}
+
+Status Publisher::PublishProtectedData(Universe& universe,
+                                       std::string_view path,
+                                       const json::Value& data) {
+  // Normalize the path the same way the universe stores it, so the AEAD
+  // associated data matches what the browser will present at decrypt time.
+  LW_ASSIGN_OR_RETURN(const ParsedPath parsed, ParsePath(path));
+  const std::string canonical = JoinPath(parsed.domain, parsed.rest);
+  const Bytes ciphertext =
+      keyring_.Encrypt(canonical, ToBytes(json::Write(data)));
+  return universe.PushData(id_, canonical, ciphertext);
+}
+
+}  // namespace lw::lightweb

@@ -1,0 +1,77 @@
+// Publisher tooling: building code blobs and pushing content.
+//
+// Publishers "produce content as a single root code blob ... and a large
+// number of data blobs" (paper §3.1). SiteBuilder assembles the LightScript
+// code blob; Publisher owns an identity, a content keyring for
+// access-controlled pages, and push helpers that register ownership and
+// upload blobs to one or more universes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+#include "lightweb/access.h"
+#include "lightweb/universe.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+class SiteBuilder {
+ public:
+  explicit SiteBuilder(std::string domain);
+
+  SiteBuilder& SetSiteName(std::string name);
+  SiteBuilder& SetStyle(std::string style);
+
+  // Adds a route; first match wins, so add specific routes before
+  // catch-alls.
+  SiteBuilder& AddRoute(std::string pattern,
+                        std::vector<std::string> fetch_templates,
+                        std::string render_template);
+
+  const std::string& domain() const { return domain_; }
+
+  // Serializes the code blob (canonical JSON).
+  std::string BuildCodeBlob() const;
+
+ private:
+  std::string domain_;
+  std::string site_name_;
+  std::string style_ = "plain";
+  json::Array routes_;
+};
+
+class Publisher {
+ public:
+  explicit Publisher(std::string id);
+
+  const std::string& id() const { return id_; }
+  PublisherKeyring& keyring() { return keyring_; }
+  const PublisherKeyring& keyring() const { return keyring_; }
+
+  // Claims the domain and pushes the site's code blob.
+  Status PublishSite(Universe& universe, const SiteBuilder& site);
+
+  // Publishes a public JSON data blob at `path`.
+  Status PublishData(Universe& universe, std::string_view path,
+                     const json::Value& data);
+
+  // Publishes an access-controlled JSON data blob (encrypted under the
+  // keyring's current epoch; only subscribed clients can read it).
+  Status PublishProtectedData(Universe& universe, std::string_view path,
+                              const json::Value& data);
+
+  // Key material handed to a subscribing client for an epoch (out-of-band
+  // in a real deployment — account signup happens outside lightweb).
+  Bytes IssueClientKey(std::uint32_t epoch) const {
+    return keyring_.EpochKey(epoch);
+  }
+
+ private:
+  std::string id_;
+  PublisherKeyring keyring_;
+};
+
+}  // namespace lw::lightweb

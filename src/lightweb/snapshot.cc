@@ -1,0 +1,119 @@
+#include "lightweb/snapshot.h"
+
+#include "json/json.h"
+#include "lightweb/path.h"
+#include "util/file.h"
+#include "util/hex.h"
+
+namespace lw::lightweb {
+namespace {
+
+constexpr char kFormat[] = "lightweb-universe-v1";
+
+}  // namespace
+
+Result<std::string> SaveUniverseSnapshot(const Universe& universe) {
+  json::Object root;
+  root["format"] = kFormat;
+
+  const UniverseConfig& config = universe.config();
+  json::Object cfg;
+  cfg["code_domain_bits"] = config.code_domain_bits;
+  cfg["code_blob_size"] = static_cast<double>(config.code_blob_size);
+  cfg["data_domain_bits"] = config.data_domain_bits;
+  cfg["data_blob_size"] = static_cast<double>(config.data_blob_size);
+  cfg["fetches_per_page"] = config.fetches_per_page;
+  root["config"] = std::move(cfg);
+
+  json::Object owners;
+  for (const auto& [domain, owner] : universe.DomainOwners()) {
+    owners[domain] = owner;
+  }
+  root["owners"] = std::move(owners);
+
+  json::Object code;
+  for (const std::string& domain : universe.code_store().Keys()) {
+    LW_ASSIGN_OR_RETURN(const Bytes blob,
+                        universe.code_store().DirectLookup(domain));
+    code[domain] = ToString(blob);  // code blobs are JSON text
+  }
+  root["code"] = std::move(code);
+
+  json::Object data;
+  for (const std::string& path : universe.data_store().Keys()) {
+    LW_ASSIGN_OR_RETURN(const Bytes payload,
+                        universe.data_store().DirectLookup(path));
+    data[path] = HexEncode(payload);  // payloads may be ciphertext
+  }
+  root["data"] = std::move(data);
+
+  return json::Write(json::Value(std::move(root)));
+}
+
+Status LoadUniverseSnapshot(Universe& universe, std::string_view snapshot) {
+  LW_ASSIGN_OR_RETURN(const json::Value doc, json::Parse(snapshot));
+  if (doc.GetString("format") != kFormat) {
+    return InvalidArgumentError("not a lightweb universe snapshot");
+  }
+  const UniverseConfig& config = universe.config();
+  if (doc.GetNumber("config.data_blob_size") !=
+          static_cast<double>(config.data_blob_size) ||
+      doc.GetNumber("config.code_blob_size") !=
+          static_cast<double>(config.code_blob_size) ||
+      doc.GetNumber("config.fetches_per_page") != config.fetches_per_page) {
+    return FailedPreconditionError(
+        "target universe configuration does not match snapshot");
+  }
+  if (universe.total_pages() != 0 || universe.total_domains() != 0) {
+    return FailedPreconditionError("target universe is not empty");
+  }
+
+  const json::Value* owners = doc.Find("owners");
+  if (owners == nullptr || !owners->is_object()) {
+    return InvalidArgumentError("snapshot missing owners");
+  }
+  for (const auto& [domain, owner] : owners->AsObject()) {
+    if (!owner.is_string()) return InvalidArgumentError("bad owner entry");
+    LW_RETURN_IF_ERROR(universe.ClaimDomain(domain, owner.AsString()));
+  }
+
+  if (const json::Value* code = doc.Find("code");
+      code != nullptr && code->is_object()) {
+    for (const auto& [domain, blob] : code->AsObject()) {
+      if (!blob.is_string()) return InvalidArgumentError("bad code entry");
+      LW_ASSIGN_OR_RETURN(const std::string owner,
+                          universe.OwnerOf(domain));
+      LW_RETURN_IF_ERROR(universe.PushCode(owner, domain, blob.AsString()));
+    }
+  }
+  if (const json::Value* data = doc.Find("data");
+      data != nullptr && data->is_object()) {
+    for (const auto& [path, payload_hex] : data->AsObject()) {
+      if (!payload_hex.is_string()) {
+        return InvalidArgumentError("bad data entry");
+      }
+      LW_ASSIGN_OR_RETURN(const Bytes payload,
+                          HexDecode(payload_hex.AsString()));
+      LW_ASSIGN_OR_RETURN(const ParsedPath parsed, ParsePath(path));
+      LW_ASSIGN_OR_RETURN(const std::string owner,
+                          universe.OwnerOf(parsed.domain));
+      LW_RETURN_IF_ERROR(universe.PushData(owner, path, payload));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveUniverseSnapshotToFile(const Universe& universe,
+                                  const std::string& path) {
+  LW_ASSIGN_OR_RETURN(const std::string snapshot,
+                      SaveUniverseSnapshot(universe));
+  return WriteFile(path, ToBytes(snapshot));
+}
+
+Status LoadUniverseSnapshotFromFile(Universe& universe,
+                                    const std::string& path) {
+  LW_ASSIGN_OR_RETURN(const std::string snapshot, ReadFileToString(path));
+  return LoadUniverseSnapshot(universe, snapshot);
+}
+
+}  // namespace lw::lightweb

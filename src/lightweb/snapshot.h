@@ -1,0 +1,33 @@
+// Universe snapshots: serialize a universe's complete content (ownership,
+// code blobs, data blobs) to a single JSON document and restore it — the
+// persistence story for a CDN restart, and the transfer format for seeding
+// a new peer with an existing universe's catalogue (§3.5).
+//
+// Data blob payloads are base64-free: stored as hex (payloads may be
+// AEAD ciphertext for access-controlled content, so raw JSON embedding is
+// not possible).
+#pragma once
+
+#include <string>
+
+#include "lightweb/universe.h"
+#include "util/status.h"
+
+namespace lw::lightweb {
+
+// Serializes ownership + all blobs. The universe's PIR configuration is
+// included so Load can refuse mismatched targets.
+Result<std::string> SaveUniverseSnapshot(const Universe& universe);
+
+// Restores a snapshot into an EMPTY universe whose configuration matches
+// the snapshot's (fetch budget, blob sizes, domains). Domains are claimed
+// for their recorded owners.
+Status LoadUniverseSnapshot(Universe& universe, std::string_view snapshot);
+
+// File convenience wrappers.
+Status SaveUniverseSnapshotToFile(const Universe& universe,
+                                  const std::string& path);
+Status LoadUniverseSnapshotFromFile(Universe& universe,
+                                    const std::string& path);
+
+}  // namespace lw::lightweb

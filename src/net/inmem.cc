@@ -1,0 +1,86 @@
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "net/transport.h"
+
+namespace lw::net {
+namespace {
+
+// Shared state of one direction of the pair.
+struct Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Frame> queue;
+  bool closed = false;
+
+  Status Push(Frame frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed) return UnavailableError("transport closed");
+      queue.push_back(std::move(frame));
+    }
+    cv.notify_one();
+    return Status::Ok();
+  }
+
+  Result<Frame> Pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !queue.empty() || closed; });
+    if (queue.empty()) return UnavailableError("transport closed");
+    Frame f = std::move(queue.front());
+    queue.pop_front();
+    return f;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+struct SharedState {
+  Channel a_to_b;
+  Channel b_to_a;
+};
+
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport(std::shared_ptr<SharedState> state, Channel* out,
+                    Channel* in)
+      : state_(std::move(state)), out_(out), in_(in) {}
+
+  ~InMemoryTransport() override { Close(); }
+
+  Status Send(const Frame& frame) override { return out_->Push(frame); }
+
+  Result<Frame> Receive() override { return in_->Pop(); }
+
+  void Close() override {
+    // Closing either end tears down both directions, like a socket close.
+    out_->Close();
+    in_->Close();
+  }
+
+ private:
+  std::shared_ptr<SharedState> state_;
+  Channel* out_;
+  Channel* in_;
+};
+
+}  // namespace
+
+TransportPair CreateInMemoryPair() {
+  auto state = std::make_shared<SharedState>();
+  TransportPair pair;
+  pair.a = std::make_unique<InMemoryTransport>(state, &state->a_to_b,
+                                               &state->b_to_a);
+  pair.b = std::make_unique<InMemoryTransport>(state, &state->b_to_a,
+                                               &state->a_to_b);
+  return pair;
+}
+
+}  // namespace lw::net

@@ -1,0 +1,200 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace lw::net {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+// Full-buffer send, EINTR-safe, SIGPIPE suppressed.
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+// Full-buffer receive; UNAVAILABLE on orderly close mid-message too (the
+// caller distinguishes close-at-frame-boundary via the `eof_ok` flag).
+Status RecvAll(int fd, std::uint8_t* data, std::size_t n, bool eof_ok,
+               bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, data + done, n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (r == 0) {
+      if (done == 0 && eof_ok && clean_eof != nullptr) *clean_eof = true;
+      return UnavailableError("connection closed by peer");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+  ~TcpTransport() override { Close(); }
+
+  Status Send(const Frame& frame) override {
+    if (fd_ < 0) return UnavailableError("transport closed");
+    const std::size_t body = 1 + frame.payload.size();
+    if (body > kMaxFrameSize) {
+      return InvalidArgumentError("frame exceeds kMaxFrameSize");
+    }
+    Bytes wire(4 + body);
+    StoreLE32(wire.data(), static_cast<std::uint32_t>(body));
+    wire[4] = frame.type;
+    std::copy(frame.payload.begin(), frame.payload.end(), wire.begin() + 5);
+    return SendAll(fd_, wire.data(), wire.size());
+  }
+
+  Result<Frame> Receive() override {
+    if (fd_ < 0) return UnavailableError("transport closed");
+    std::uint8_t header[4];
+    bool clean_eof = false;
+    LW_RETURN_IF_ERROR(RecvAll(fd_, header, 4, /*eof_ok=*/true, &clean_eof));
+    const std::uint32_t body = LoadLE32(header);
+    if (body == 0 || body > kMaxFrameSize) {
+      return ProtocolError("bad frame length " + std::to_string(body));
+    }
+    Bytes buf(body);
+    LW_RETURN_IF_ERROR(RecvAll(fd_, buf.data(), body, false, nullptr));
+    Frame f;
+    f.type = buf[0];
+    f.payload.assign(buf.begin() + 1, buf.end());
+    return f;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("invalid IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status s = ErrnoStatus("connect");
+    ::close(fd);
+    return s;
+  }
+  SetNoDelay(fd);
+  return std::unique_ptr<Transport>(new TcpTransport(fd));
+}
+
+Result<TcpListener> TcpListener::Listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status s = ErrnoStatus("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status s = ErrnoStatus("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status s = ErrnoStatus("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  if (fd_ < 0) return UnavailableError("listener closed");
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) return ErrnoStatus("accept");
+  SetNoDelay(client);
+  return std::unique_ptr<Transport>(new TcpTransport(client));
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace lw::net

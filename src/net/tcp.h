@@ -1,0 +1,48 @@
+// Framed TCP transport (POSIX sockets).
+//
+// Wire format per frame: u32 little-endian length N, then N bytes of
+// (u8 type || payload). Reads and writes loop over partial transfers and
+// retry EINTR; SIGPIPE is suppressed per-send. A ZLTP deployment would run
+// this over TLS; framing and protocol are independent of that choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace lw::net {
+
+// Connects to host:port (numeric IPv4 string, e.g. "127.0.0.1").
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                              std::uint16_t port);
+
+class TcpListener {
+ public:
+  // Binds and listens on 127.0.0.1:port. Pass port 0 for an ephemeral port
+  // (see bound_port()).
+  static Result<TcpListener> Listen(std::uint16_t port);
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  std::uint16_t bound_port() const { return port_; }
+
+  // Blocks for the next connection. UNAVAILABLE once the listener is closed.
+  Result<std::unique_ptr<Transport>> Accept();
+
+  void Close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace lw::net

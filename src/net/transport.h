@@ -1,0 +1,55 @@
+// Message-oriented transport abstraction.
+//
+// ZLTP is an application-layer protocol (paper §2); it runs over any
+// reliable, ordered, message-preserving byte channel. We provide two
+// implementations: an in-process loopback pair (tests, benches, and the
+// in-process CDN used by the lightweb examples) and a framed TCP transport
+// (net/tcp.h). A frame is a 1-byte type tag plus an opaque payload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::net {
+
+// Frames larger than this are rejected as a protocol violation — ZLTP
+// messages are small (DPF keys + one record), so a huge length prefix is
+// either corruption or abuse.
+inline constexpr std::size_t kMaxFrameSize = 64 * 1024 * 1024;
+
+struct Frame {
+  std::uint8_t type = 0;
+  Bytes payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one frame. UNAVAILABLE if the peer has closed.
+  virtual Status Send(const Frame& frame) = 0;
+
+  // Blocks for the next frame. UNAVAILABLE on orderly close,
+  // PROTOCOL_ERROR on malformed framing.
+  virtual Result<Frame> Receive() = 0;
+
+  // Closes the channel; concurrent and subsequent Sends/Receives (on both
+  // endpoints for the in-memory pair) fail with UNAVAILABLE.
+  virtual void Close() = 0;
+};
+
+// Creates a connected pair of in-process transports. Thread-safe: the two
+// ends may live on different threads. Frames sent on one end are received
+// on the other, in order.
+struct TransportPair {
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+TransportPair CreateInMemoryPair();
+
+}  // namespace lw::net

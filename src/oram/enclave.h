@@ -1,0 +1,91 @@
+// Simulated hardware enclave hosting an ORAM-backed key-value store.
+//
+// This models the ZLTP enclave mode of operation (paper §2.2): a hardware
+// enclave (e.g. Intel SGX) holds the decryption keys and the ORAM client
+// state, while the bulk data lives in untrusted host memory. We simulate the
+// enclave boundary in software: everything inside KvEnclave is "sealed"
+// (the host-visible surface is exactly the public key, the AEAD-encrypted
+// request/response bytes, and the UntrustedStorage access trace).
+//
+// Clients establish a per-request secure channel by sending an ephemeral
+// X25519 public key; both sides derive the AEAD channel key with
+// HKDF-SHA256. The lookup key travels only inside that channel, so the
+// host never sees it in plaintext — the ZLTP security goal (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "oram/path_oram.h"
+#include "oram/storage.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::oram {
+
+struct EnclaveConfig {
+  std::uint64_t capacity = 1024;  // maximum number of key-value pairs
+  std::size_t value_size = 256;   // fixed blob size (ZLTP serves fixed blobs)
+};
+
+// Client-side helper: builds encrypted requests and opens encrypted
+// responses, given the enclave's public key (obtained via attestation in a
+// real deployment).
+class EnclaveClient {
+ public:
+  explicit EnclaveClient(ByteSpan enclave_public_key);
+
+  // Encrypts a GET for `key`. Each request uses a fresh ephemeral keypair.
+  Bytes SealGetRequest(std::string_view key);
+
+  // Opens the enclave's response to the most recent request.
+  // NOT_FOUND if the enclave reported the key absent.
+  Result<Bytes> OpenResponse(ByteSpan response);
+
+ private:
+  Bytes enclave_public_;
+  Bytes last_channel_key_;  // channel key of the request in flight
+};
+
+class KvEnclave {
+ public:
+  // `storage` is the untrusted host memory; it must provide at least
+  // RequiredStorageBuckets(config) buckets.
+  KvEnclave(const EnclaveConfig& config, UntrustedStorage& storage);
+
+  static std::size_t RequiredStorageBuckets(const EnclaveConfig& config);
+
+  // The enclave's attestation public key (host-visible).
+  const Bytes& public_key() const { return public_key_; }
+
+  // The fixed blob size this enclave serves (announced in the ServerHello).
+  std::size_t value_size() const { return config_.value_size; }
+
+  // Provisioning path (publisher pushes content). In a real deployment this
+  // also arrives via a secure channel; the ORAM access it performs is
+  // indistinguishable from a query. `value` must be <= value_size;
+  // it is padded internally.
+  Status Put(std::string_view key, ByteSpan value);
+
+  // Host-visible query path: opaque encrypted request in, opaque encrypted
+  // response out. The host cannot distinguish hits from misses.
+  Result<Bytes> HandleEncryptedRequest(ByteSpan request);
+
+  std::size_t key_count() const { return block_of_.size(); }
+  std::size_t stash_size() const { return oram_.stash_size(); }
+
+ private:
+  Result<Bytes> LookupInsideEnclave(std::string_view key);
+
+  EnclaveConfig config_;
+  Bytes private_key_;  // enclave-sealed
+  Bytes public_key_;
+  Bytes oram_key_;     // bucket encryption key, enclave-sealed
+  PathOram oram_;
+  std::unordered_map<std::string, std::uint64_t> block_of_;  // enclave-sealed
+  std::uint64_t next_block_ = 0;
+};
+
+}  // namespace lw::oram

@@ -1,0 +1,174 @@
+#include "oram/path_oram.h"
+
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "util/check.h"
+
+namespace lw::oram {
+namespace {
+
+constexpr std::size_t kSlotHeader = 9;  // u8 occupied + u64 block id
+
+int LevelsForCapacity(std::uint64_t capacity) {
+  // Leaves = smallest power of two >= capacity (>= 2).
+  std::uint64_t leaves = 2;
+  int levels = 2;
+  while (leaves < capacity) {
+    leaves <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+std::uint64_t RandomLeaf(std::uint64_t leaf_count) {
+  // leaf_count is a power of two; mask keeps the draw uniform. Leaves must
+  // be unpredictable to the host, so this draws from the secure RNG.
+  std::uint8_t buf[8];
+  SecureRandomBytes(MutableByteSpan(buf, 8));
+  return LoadLE64(buf) & (leaf_count - 1);
+}
+
+}  // namespace
+
+std::size_t RequiredBucketCount(const PathOramConfig& config) {
+  const int levels = LevelsForCapacity(config.capacity);
+  return (std::size_t{1} << levels) - 1;
+}
+
+PathOram::PathOram(const PathOramConfig& config, UntrustedStorage& storage,
+                   ByteSpan encryption_key)
+    : config_(config),
+      storage_(storage),
+      key_(encryption_key.begin(), encryption_key.end()),
+      levels_(LevelsForCapacity(config.capacity)) {
+  LW_CHECK_MSG(config.capacity > 0, "capacity must be positive");
+  LW_CHECK_MSG(config.block_size > 0, "block_size must be positive");
+  LW_CHECK_MSG(config.bucket_capacity >= 1, "bucket_capacity must be >= 1");
+  LW_CHECK_MSG(key_.size() == crypto::kAeadKeySize,
+               "encryption key must be 32 bytes");
+  LW_CHECK_MSG(storage.bucket_count() >= RequiredBucketCount(config),
+               "storage too small for ORAM tree");
+  position_.resize(config.capacity);
+  allocated_.assign(config.capacity, false);
+  for (auto& p : position_) p = RandomLeaf(leaf_count());
+}
+
+std::size_t PathOram::BucketIndex(int level, std::uint64_t leaf) const {
+  // Root is bucket 0; level l holds 2^l buckets; the path to `leaf` passes
+  // through node (leaf >> (levels-1-l)) of that level.
+  return ((std::size_t{1} << level) - 1) +
+         static_cast<std::size_t>(leaf >> (levels_ - 1 - level));
+}
+
+Bytes PathOram::SealBucket(const std::vector<Block>& blocks) {
+  const std::size_t z = static_cast<std::size_t>(config_.bucket_capacity);
+  LW_CHECK(blocks.size() <= z);
+  Bytes plain(z * (kSlotHeader + config_.block_size), 0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::uint8_t* slot = plain.data() + i * (kSlotHeader + config_.block_size);
+    slot[0] = 1;
+    StoreLE64(slot + 1, blocks[i].id);
+    LW_CHECK(blocks[i].data.size() == config_.block_size);
+    std::memcpy(slot + kSlotHeader, blocks[i].data.data(), config_.block_size);
+  }
+  const Bytes nonce = SecureRandom(crypto::kAeadNonceSize);
+  Bytes sealed = nonce;
+  const Bytes ct = crypto::AeadSeal(key_, nonce, ToBytes("oram-bucket"), plain);
+  sealed.insert(sealed.end(), ct.begin(), ct.end());
+  return sealed;
+}
+
+std::vector<PathOram::Block> PathOram::OpenBucket(ByteSpan sealed) {
+  if (sealed.empty()) return {};  // never-written bucket
+  if (sealed.size() < crypto::kAeadNonceSize) return {};
+  const ByteSpan nonce = sealed.first(crypto::kAeadNonceSize);
+  auto plain = crypto::AeadOpen(key_, nonce, ToBytes("oram-bucket"),
+                                sealed.subspan(crypto::kAeadNonceSize));
+  // ZLTP does not promise integrity/availability against a malicious host
+  // (paper §2.1 non-goals); a tampered bucket is treated as empty.
+  if (!plain.ok()) return {};
+  std::vector<Block> out;
+  const std::size_t slot_size = kSlotHeader + config_.block_size;
+  for (std::size_t off = 0; off + slot_size <= plain->size();
+       off += slot_size) {
+    const std::uint8_t* slot = plain->data() + off;
+    if (slot[0] != 1) continue;
+    Block b;
+    b.id = LoadLE64(slot + 1);
+    b.data.assign(slot + kSlotHeader, slot + slot_size);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Result<Bytes> PathOram::Access(Op op, std::uint64_t block_id,
+                               ByteSpan new_data) {
+  std::uint64_t leaf;
+  if (op == Op::kDummy) {
+    leaf = RandomLeaf(leaf_count());
+  } else {
+    LW_CHECK_MSG(block_id < config_.capacity, "block id out of range");
+    leaf = position_[block_id];
+    position_[block_id] = RandomLeaf(leaf_count());
+  }
+
+  // Read the whole path into the stash.
+  for (int level = 0; level < levels_; ++level) {
+    for (Block& b : OpenBucket(storage_.ReadBucket(BucketIndex(level, leaf)))) {
+      stash_.emplace(b.id, std::move(b.data));
+    }
+  }
+
+  Result<Bytes> result = NotFoundError("block never written");
+  if (op != Op::kDummy) {
+    const auto it = stash_.find(block_id);
+    if (op == Op::kRead && it != stash_.end() && allocated_[block_id]) {
+      result = it->second;
+    }
+    if (op == Op::kWrite) {
+      stash_[block_id] = Bytes(new_data.begin(), new_data.end());
+      allocated_[block_id] = true;
+      result = Bytes{};
+    }
+  } else {
+    result = Bytes{};
+  }
+
+  // Write the path back, evicting stash blocks as deep as their (new)
+  // positions allow.
+  for (int level = levels_ - 1; level >= 0; --level) {
+    const std::size_t bucket = BucketIndex(level, leaf);
+    std::vector<Block> chosen;
+    for (auto it = stash_.begin();
+         it != stash_.end() &&
+         chosen.size() < static_cast<std::size_t>(config_.bucket_capacity);) {
+      const std::uint64_t p = position_[it->first];
+      if (BucketIndex(level, p) == bucket) {
+        chosen.push_back(Block{it->first, std::move(it->second)});
+        it = stash_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    storage_.WriteBucket(bucket, SealBucket(chosen));
+  }
+  return result;
+}
+
+Result<Bytes> PathOram::Read(std::uint64_t block_id) {
+  return Access(Op::kRead, block_id, {});
+}
+
+Status PathOram::Write(std::uint64_t block_id, ByteSpan data) {
+  if (data.size() != config_.block_size) {
+    return InvalidArgumentError("block size mismatch");
+  }
+  auto r = Access(Op::kWrite, block_id, data);
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+void PathOram::DummyAccess() { Access(Op::kDummy, 0, {}).ok(); }
+
+}  // namespace lw::oram

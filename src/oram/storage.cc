@@ -1,0 +1,27 @@
+#include "oram/storage.h"
+
+#include "util/check.h"
+
+namespace lw::oram {
+
+Bytes MemoryStorage::ReadBucket(std::size_t index) {
+  LW_CHECK_MSG(index < buckets_.size(), "bucket index out of range");
+  return buckets_[index];
+}
+
+void MemoryStorage::WriteBucket(std::size_t index, ByteSpan data) {
+  LW_CHECK_MSG(index < buckets_.size(), "bucket index out of range");
+  buckets_[index].assign(data.begin(), data.end());
+}
+
+Bytes TracingStorage::ReadBucket(std::size_t index) {
+  trace_.push_back({AccessEvent::Kind::kRead, index});
+  return inner_.ReadBucket(index);
+}
+
+void TracingStorage::WriteBucket(std::size_t index, ByteSpan data) {
+  trace_.push_back({AccessEvent::Kind::kWrite, index});
+  inner_.WriteBucket(index, data);
+}
+
+}  // namespace lw::oram

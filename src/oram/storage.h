@@ -1,0 +1,73 @@
+// Untrusted bucket storage underneath the (simulated) enclave.
+//
+// The security-relevant surface of ZLTP's enclave mode is the sequence of
+// reads/writes the enclave issues against memory outside its protection
+// boundary (paper §2.2: "the hardware enclave must use an oblivious-RAM
+// protocol ... to ensure that the memory-access patterns do not leak which
+// key-value pairs a client is requesting"). This interface *is* that
+// boundary: everything behind it is adversary-visible. TracingStorage
+// records the access pattern so tests and benches can check obliviousness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::oram {
+
+class UntrustedStorage {
+ public:
+  virtual ~UntrustedStorage() = default;
+
+  virtual std::size_t bucket_count() const = 0;
+
+  // Reads bucket `index` (empty if never written).
+  virtual Bytes ReadBucket(std::size_t index) = 0;
+
+  virtual void WriteBucket(std::size_t index, ByteSpan data) = 0;
+};
+
+// Plain in-memory storage (the "untrustworthy memory" of the host).
+class MemoryStorage final : public UntrustedStorage {
+ public:
+  explicit MemoryStorage(std::size_t bucket_count)
+      : buckets_(bucket_count) {}
+
+  std::size_t bucket_count() const override { return buckets_.size(); }
+  Bytes ReadBucket(std::size_t index) override;
+  void WriteBucket(std::size_t index, ByteSpan data) override;
+
+ private:
+  std::vector<Bytes> buckets_;
+};
+
+// What the adversary observes: operation kind and bucket index. Contents are
+// AEAD ciphertexts, so indices + ordering are the entire leakage surface.
+struct AccessEvent {
+  enum class Kind { kRead, kWrite };
+  Kind kind;
+  std::size_t index;
+
+  bool operator==(const AccessEvent&) const = default;
+};
+
+// Wraps a storage and records every access.
+class TracingStorage final : public UntrustedStorage {
+ public:
+  explicit TracingStorage(UntrustedStorage& inner) : inner_(inner) {}
+
+  std::size_t bucket_count() const override { return inner_.bucket_count(); }
+  Bytes ReadBucket(std::size_t index) override;
+  void WriteBucket(std::size_t index, ByteSpan data) override;
+
+  const std::vector<AccessEvent>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+ private:
+  UntrustedStorage& inner_;
+  std::vector<AccessEvent> trace_;
+};
+
+}  // namespace lw::oram

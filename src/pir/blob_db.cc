@@ -1,0 +1,133 @@
+#include "pir/blob_db.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace lw::pir {
+
+void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+#endif
+  for (; i + 8 <= n; i += 8) {
+    lw::StoreLE64(dst + i, lw::LoadLE64(dst + i) ^ lw::LoadLE64(src + i));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+BlobDatabase::BlobDatabase(int domain_bits, std::size_t record_size)
+    : domain_bits_(domain_bits), record_size_(record_size) {
+  LW_CHECK_MSG(domain_bits >= 1 && domain_bits <= dpf::kMaxDomainBits,
+               "domain_bits out of range");
+  LW_CHECK_MSG(record_size > 0, "record_size must be positive");
+}
+
+Status BlobDatabase::Insert(std::uint64_t index, ByteSpan record) {
+  if (index >= domain_size()) {
+    return InvalidArgumentError("index outside DPF domain");
+  }
+  if (record.size() != record_size_) {
+    return InvalidArgumentError("record size mismatch");
+  }
+  if (index_of_.contains(index)) {
+    return CollisionError("domain index already occupied");
+  }
+  index_of_.emplace(index, slot_index_.size());
+  slot_index_.push_back(index);
+  records_.insert(records_.end(), record.begin(), record.end());
+  return Status::Ok();
+}
+
+Status BlobDatabase::Update(std::uint64_t index, ByteSpan record) {
+  if (record.size() != record_size_) {
+    return InvalidArgumentError("record size mismatch");
+  }
+  const auto it = index_of_.find(index);
+  if (it == index_of_.end()) return NotFoundError("no record at index");
+  std::memcpy(records_.data() + it->second * record_size_, record.data(),
+              record_size_);
+  return Status::Ok();
+}
+
+Status BlobDatabase::Upsert(std::uint64_t index, ByteSpan record) {
+  if (Contains(index)) return Update(index, record);
+  return Insert(index, record);
+}
+
+Status BlobDatabase::Remove(std::uint64_t index) {
+  const auto it = index_of_.find(index);
+  if (it == index_of_.end()) return NotFoundError("no record at index");
+  const std::size_t row = it->second;
+  const std::size_t last = slot_index_.size() - 1;
+  if (row != last) {
+    // Swap-remove keeps storage dense for the linear scan.
+    std::memcpy(records_.data() + row * record_size_,
+                records_.data() + last * record_size_, record_size_);
+    slot_index_[row] = slot_index_[last];
+    index_of_[slot_index_[row]] = row;
+  }
+  records_.resize(last * record_size_);
+  slot_index_.pop_back();
+  index_of_.erase(it);
+  return Status::Ok();
+}
+
+bool BlobDatabase::Contains(std::uint64_t index) const {
+  return index_of_.contains(index);
+}
+
+Result<Bytes> BlobDatabase::Get(std::uint64_t index) const {
+  const auto it = index_of_.find(index);
+  if (it == index_of_.end()) return NotFoundError("no record at index");
+  const std::uint8_t* p = records_.data() + it->second * record_size_;
+  return Bytes(p, p + record_size_);
+}
+
+void BlobDatabase::XorRecordInto(std::size_t row, MutableByteSpan acc) const {
+  XorBytes(acc.data(), records_.data() + row * record_size_, record_size_);
+}
+
+void BlobDatabase::Answer(const dpf::BitVector& bits,
+                          MutableByteSpan out) const {
+  LW_CHECK_MSG(out.size() == record_size_, "answer buffer size mismatch");
+  LW_CHECK_MSG(bits.size() * 64 >= domain_size(), "bit vector too small");
+  std::memset(out.data(), 0, out.size());
+  const std::size_t n = slot_index_.size();
+  for (std::size_t row = 0; row < n; ++row) {
+    if (dpf::GetBit(bits, slot_index_[row])) {
+      XorRecordInto(row, out);
+    }
+  }
+}
+
+void BlobDatabase::AnswerBatch(const std::vector<dpf::BitVector>& queries,
+                               std::vector<Bytes>& answers) const {
+  answers.assign(queries.size(), Bytes(record_size_, 0));
+  for (const dpf::BitVector& q : queries) {
+    LW_CHECK_MSG(q.size() * 64 >= domain_size(), "bit vector too small");
+  }
+  const std::size_t n = slot_index_.size();
+  // One pass over the data: each row is read from memory once and XORed into
+  // every selecting query's accumulator (the batching win of §5.1).
+  for (std::size_t row = 0; row < n; ++row) {
+    const std::uint64_t idx = slot_index_[row];
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      if (dpf::GetBit(queries[qi], idx)) {
+        XorRecordInto(row, answers[qi]);
+      }
+    }
+  }
+}
+
+}  // namespace lw::pir

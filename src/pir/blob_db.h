@@ -1,0 +1,80 @@
+// Fixed-size-record blob database with DPF-selected XOR scans.
+//
+// This is the data structure a ZLTP data server scans per request (paper
+// §5.1): records live at sparse indices of the DPF output domain 2^d; an
+// answer XORs every record whose DPF evaluation bit is set into a single
+// record-sized accumulator. Batched answering amortizes the scan: one pass
+// over the data serves B queries, which is exactly the latency/throughput
+// trade the paper's batching microbenchmark measures.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dpf/dpf.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::pir {
+
+class BlobDatabase {
+ public:
+  // domain_bits: DPF output domain is 2^domain_bits.
+  // record_size: every stored record is exactly this many bytes (ZLTP serves
+  // fixed-length blobs; the lightweb layer pads — paper §3.1).
+  BlobDatabase(int domain_bits, std::size_t record_size);
+
+  int domain_bits() const { return domain_bits_; }
+  std::uint64_t domain_size() const {
+    return std::uint64_t{1} << domain_bits_;
+  }
+  std::size_t record_size() const { return record_size_; }
+  std::size_t record_count() const { return index_of_.size(); }
+  // Total payload bytes stored (the "1 GiB shard" knob of §5.1).
+  std::size_t stored_bytes() const { return record_count() * record_size_; }
+
+  // Inserts a record at a domain index. Fails with COLLISION if the index is
+  // occupied (the paper: "the publisher can simply select another key name").
+  // `record` must be exactly record_size bytes.
+  Status Insert(std::uint64_t index, ByteSpan record);
+
+  // Replaces the record at an occupied index (publisher content updates).
+  Status Update(std::uint64_t index, ByteSpan record);
+
+  // Inserts or replaces.
+  Status Upsert(std::uint64_t index, ByteSpan record);
+
+  Status Remove(std::uint64_t index);
+  bool Contains(std::uint64_t index) const;
+
+  // Direct (non-private) read, used by tests and the publisher pipeline.
+  Result<Bytes> Get(std::uint64_t index) const;
+
+  // PIR answer: XOR of all records whose bit is set in `bits` (a packed
+  // 2^domain_bits bit vector from dpf::EvalFull). `out` must be
+  // record_size bytes and is overwritten.
+  void Answer(const dpf::BitVector& bits, MutableByteSpan out) const;
+
+  // Batched PIR answer: one pass over the stored records serving all
+  // queries. answers[q] must each be record_size bytes, zeroed by callee.
+  void AnswerBatch(const std::vector<dpf::BitVector>& queries,
+                   std::vector<Bytes>& answers) const;
+
+ private:
+  void XorRecordInto(std::size_t slot, MutableByteSpan acc) const;
+
+  int domain_bits_;
+  std::size_t record_size_;
+  // Dense row storage: records_ holds record_count rows back to back in
+  // insertion order; slot_index_[row] is the domain index of that row.
+  Bytes records_;
+  std::vector<std::uint64_t> slot_index_;
+  std::unordered_map<std::uint64_t, std::size_t> index_of_;  // index -> row
+};
+
+// XORs `src` into `dst` using 32-byte AVX2 lanes when available.
+// Exposed for the benches (it is the paper's "AVX ... accelerate the scan").
+void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+}  // namespace lw::pir

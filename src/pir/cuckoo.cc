@@ -1,0 +1,128 @@
+#include "pir/cuckoo.h"
+
+#include "crypto/hkdf.h"
+#include "crypto/siphash.h"
+#include "util/check.h"
+
+namespace lw::pir {
+
+CuckooIndex::CuckooIndex(ByteSpan seed, int domain_bits, int max_kicks)
+    : domain_bits_(domain_bits), max_kicks_(max_kicks) {
+  LW_CHECK_MSG(seed.size() == crypto::kSipHashKeySize,
+               "cuckoo seed must be 16 bytes");
+  LW_CHECK_MSG(domain_bits >= 1 && domain_bits <= 63,
+               "domain_bits out of range");
+  seed1_ = crypto::Hkdf(seed, {}, "lightweb/cuckoo-h1",
+                        crypto::kSipHashKeySize);
+  seed2_ = crypto::Hkdf(seed, {}, "lightweb/cuckoo-h2",
+                        crypto::kSipHashKeySize);
+}
+
+std::uint64_t CuckooIndex::Hash(std::string_view key, int which) const {
+  const Bytes& s = which == 0 ? seed1_ : seed2_;
+  return crypto::SipHash24(s, ToBytes(key)) &
+         ((std::uint64_t{1} << domain_bits_) - 1);
+}
+
+std::pair<std::uint64_t, std::uint64_t> CuckooIndex::Candidates(
+    std::string_view key) const {
+  return {Hash(key, 0), Hash(key, 1)};
+}
+
+std::uint64_t CuckooIndex::Alternate(std::string_view key,
+                                     std::uint64_t current) const {
+  const auto [h1, h2] = Candidates(key);
+  return current == h1 ? h2 : h1;
+}
+
+Result<std::vector<CuckooIndex::Move>> CuckooIndex::Insert(
+    std::string_view key) {
+  if (slot_of_.contains(std::string(key))) {
+    return InvalidArgumentError("key already inserted");
+  }
+
+  // Keys displaced during the chain, with the slot they originally held.
+  std::vector<std::pair<std::string, std::uint64_t>> displaced;
+  std::string carried(key);
+  std::uint64_t target = Hash(carried, 0);
+  bool placed = false;
+
+  for (int kick = 0; kick <= max_kicks_ && !placed; ++kick) {
+    const auto it = occupant_.find(target);
+    if (it == occupant_.end()) {
+      occupant_.emplace(target, carried);
+      slot_of_[carried] = target;
+      placed = true;
+      break;
+    }
+    // Try the carried key's other candidate before evicting.
+    const std::uint64_t alt = Alternate(carried, target);
+    if (alt != target && !occupant_.contains(alt)) {
+      occupant_.emplace(alt, carried);
+      slot_of_[carried] = alt;
+      placed = true;
+      break;
+    }
+    // Evict the occupant and keep going with it.
+    std::string evicted = it->second;
+    displaced.emplace_back(evicted, target);
+    occupant_[target] = carried;
+    slot_of_[carried] = target;
+    carried = std::move(evicted);
+    target = Alternate(carried, target);
+  }
+
+  if (!placed) {
+    // Undo the chain without snapshots: the chain only ever wrote to the
+    // slots it evicted from ({displaced[i].from}); the original key sits at
+    // displaced[0].from and the last evicted key is dangling. Reverse
+    // replay restores every occupant exactly.
+    for (auto it = displaced.rbegin(); it != displaced.rend(); ++it) {
+      occupant_[it->second] = it->first;
+      slot_of_[it->first] = it->second;
+    }
+    slot_of_.erase(std::string(key));
+    return ResourceExhaustedError("cuckoo eviction chain exceeded max_kicks");
+  }
+
+  // Report each displaced key's old → final slot. Long chains can displace
+  // the same key twice (cycles), so deduplicate on the FIRST displacement's
+  // slot, and drop keys that ended up back where they started. Callers
+  // mirroring these moves in a blob store should read all `from` records
+  // before writing any `to` slot (a later move's source can be an earlier
+  // move's destination).
+  std::vector<Move> moves;
+  moves.reserve(displaced.size());
+  std::unordered_map<std::string, bool> seen;
+  for (const auto& [k, from] : displaced) {
+    if (seen[k]) continue;
+    seen[k] = true;
+    const std::uint64_t final_slot = slot_of_.at(k);
+    if (final_slot != from) {
+      moves.push_back(Move{k, from, final_slot});
+    }
+  }
+  return moves;
+}
+
+Status CuckooIndex::Remove(std::string_view key) {
+  const auto it = slot_of_.find(std::string(key));
+  if (it == slot_of_.end()) return NotFoundError("key not in cuckoo index");
+  occupant_.erase(it->second);
+  slot_of_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> CuckooIndex::Find(std::string_view key) const {
+  const auto it = slot_of_.find(std::string(key));
+  if (it == slot_of_.end()) return NotFoundError("key not in cuckoo index");
+  return it->second;
+}
+
+Result<std::string> CuckooIndex::KeyAt(std::uint64_t index) const {
+  const auto it = occupant_.find(index);
+  if (it == occupant_.end()) return NotFoundError("index unoccupied");
+  return it->second;
+}
+
+}  // namespace lw::pir

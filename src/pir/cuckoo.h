@@ -1,0 +1,73 @@
+// Cuckoo-hashing keyword index.
+//
+// The paper (§5.1) notes the keyword collision probability "could [be]
+// decrease[d] ... by using cuckoo hashing and probing several locations per
+// request". This index gives every key two candidate domain indices; the
+// client issues two private-GETs (one per candidate) and picks the record
+// whose fingerprint matches. Insertion uses bounded eviction chains; the
+// caller relocates the evicted records in the blob database by replaying the
+// returned move list.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::pir {
+
+class CuckooIndex {
+ public:
+  // `seed` is 16 bytes; both hash functions are derived from it.
+  CuckooIndex(ByteSpan seed, int domain_bits, int max_kicks = 500);
+
+  int domain_bits() const { return domain_bits_; }
+
+  // The two candidate indices for a key (may coincide for unlucky keys).
+  std::pair<std::uint64_t, std::uint64_t> Candidates(
+      std::string_view key) const;
+
+  // A record relocation the caller must mirror in its blob store.
+  struct Move {
+    std::string key;
+    std::uint64_t from;
+    std::uint64_t to;
+  };
+
+  // Inserts a key. On success returns the eviction moves performed (possibly
+  // empty); the new key's own placement is reported by Find(). Fails with
+  // RESOURCE_EXHAUSTED when the eviction chain exceeds max_kicks (table too
+  // full). Re-inserting a present key is an error (INVALID_ARGUMENT).
+  Result<std::vector<Move>> Insert(std::string_view key);
+
+  Status Remove(std::string_view key);
+
+  // Current index of a key, or NOT_FOUND.
+  Result<std::uint64_t> Find(std::string_view key) const;
+
+  // Key stored at an index, or NOT_FOUND.
+  Result<std::string> KeyAt(std::uint64_t index) const;
+
+  std::size_t size() const { return slot_of_.size(); }
+  double LoadFactor() const {
+    return static_cast<double>(slot_of_.size()) /
+           static_cast<double>(std::uint64_t{1} << domain_bits_);
+  }
+
+ private:
+  std::uint64_t Hash(std::string_view key, int which) const;
+  std::uint64_t Alternate(std::string_view key, std::uint64_t current) const;
+
+  Bytes seed1_;
+  Bytes seed2_;
+  int domain_bits_;
+  int max_kicks_;
+  std::unordered_map<std::uint64_t, std::string> occupant_;  // index -> key
+  std::unordered_map<std::string, std::uint64_t> slot_of_;   // key -> index
+};
+
+}  // namespace lw::pir

@@ -1,0 +1,88 @@
+#include "pir/cuckoo_store.h"
+
+#include "pir/packing.h"
+#include "util/check.h"
+#include "util/rand.h"
+
+namespace lw::pir {
+namespace {
+
+CuckooPirStore::Config Normalize(CuckooPirStore::Config config) {
+  if (config.seed.empty()) config.seed = SecureRandom(16);
+  return config;
+}
+
+}  // namespace
+
+CuckooPirStore::CuckooPirStore(Config config)
+    : config_(Normalize(std::move(config))),
+      index_(config_.seed, config_.domain_bits),
+      fingerprinter_(config_.seed, config_.domain_bits),
+      db_(config_.domain_bits, config_.record_size) {
+  LW_CHECK_MSG(config_.record_size > kRecordHeaderSize,
+               "record_size too small for packing header");
+}
+
+Status CuckooPirStore::Publish(std::string_view key, ByteSpan payload) {
+  auto packed = PackRecord(Fingerprint(key), payload, config_.record_size);
+  if (!packed.ok()) return packed.status();
+
+  // Update in place if the key is already stored.
+  if (auto existing = index_.Find(key); existing.ok()) {
+    return db_.Update(*existing, *packed);
+  }
+
+  LW_ASSIGN_OR_RETURN(const std::vector<CuckooIndex::Move> moves,
+                      index_.Insert(key));
+
+  // Relocate evicted records: read every source before writing any
+  // destination (a later move's source can be an earlier move's
+  // destination), then clear and rewrite.
+  std::vector<std::pair<std::uint64_t, Bytes>> relocations;  // (to, record)
+  relocations.reserve(moves.size());
+  for (const CuckooIndex::Move& mv : moves) {
+    LW_ASSIGN_OR_RETURN(Bytes record, db_.Get(mv.from));
+    relocations.emplace_back(mv.to, std::move(record));
+  }
+  for (const CuckooIndex::Move& mv : moves) {
+    LW_RETURN_IF_ERROR(db_.Remove(mv.from));
+  }
+  for (auto& [to, record] : relocations) {
+    LW_RETURN_IF_ERROR(db_.Insert(to, record));
+  }
+
+  LW_ASSIGN_OR_RETURN(const std::uint64_t slot, index_.Find(key));
+  return db_.Insert(slot, *packed);
+}
+
+Status CuckooPirStore::Unpublish(std::string_view key) {
+  LW_ASSIGN_OR_RETURN(const std::uint64_t slot, index_.Find(key));
+  LW_RETURN_IF_ERROR(index_.Remove(key));
+  return db_.Remove(slot);
+}
+
+bool CuckooPirStore::Contains(std::string_view key) const {
+  return index_.Find(key).ok();
+}
+
+Result<Bytes> CuckooPirStore::AnswerQuery(const dpf::DpfKey& key) const {
+  if (key.domain_bits != config_.domain_bits) {
+    return ProtocolError("DPF domain does not match store domain");
+  }
+  Bytes out(config_.record_size);
+  db_.Answer(dpf::EvalFull(key), out);
+  return out;
+}
+
+Result<Bytes> InterpretCuckooRecords(ByteSpan record_a, ByteSpan record_b,
+                                     std::uint64_t expected_fingerprint) {
+  for (const ByteSpan record : {record_a, record_b}) {
+    auto un = UnpackRecord(record);
+    if (un.ok() && un->fingerprint == expected_fingerprint) {
+      return std::move(un->payload);
+    }
+  }
+  return NotFoundError("key not present in either cuckoo slot");
+}
+
+}  // namespace lw::pir

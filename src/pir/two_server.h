@@ -1,0 +1,31 @@
+// Client-side helpers for two-server PIR.
+//
+// The client turns a desired domain index into a pair of DPF keys (one per
+// non-colluding server) and reconstructs the record by XORing the two
+// servers' answers (paper §2.2, "Private information retrieval").
+#pragma once
+
+#include "dpf/dpf.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::pir {
+
+struct QueryKeys {
+  dpf::DpfKey key0;  // for server 0
+  dpf::DpfKey key1;  // for server 1
+};
+
+// Builds the two DPF keys selecting `index` in a 2^domain_bits domain.
+QueryKeys MakeIndexQuery(std::uint64_t index, int domain_bits);
+
+// XOR-combines the two servers' record-sized answers.
+Result<Bytes> CombineAnswers(ByteSpan answer0, ByteSpan answer1);
+
+// Upload bytes for one query to ONE server (the serialized DPF key), and the
+// total per-request communication — used by the §5.1/§5.2 communication
+// benches: total = 2 * (upload + record download).
+std::size_t QueryUploadBytes(int domain_bits);
+std::size_t TotalCommunicationBytes(int domain_bits, std::size_t record_size);
+
+}  // namespace lw::pir

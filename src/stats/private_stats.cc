@@ -1,0 +1,108 @@
+#include "stats/private_stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/io.h"
+#include "util/rand.h"
+
+namespace lw::stats {
+
+ReportShares SplitIndicator(std::size_t num_buckets, std::size_t bucket) {
+  LW_CHECK_MSG(bucket < num_buckets, "bucket out of range");
+  ReportShares out;
+  out.for_server0.resize(num_buckets);
+  out.for_server1.resize(num_buckets);
+  // Share 0 is uniformly random; share 1 = e_bucket - share 0 (mod 2^64).
+  Bytes random(num_buckets * 8);
+  SecureRandomBytes(random);
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    const std::uint64_t r = LoadLE64(random.data() + i * 8);
+    out.for_server0[i] = r;
+    out.for_server1[i] = (i == bucket ? 1u : 0u) - r;  // wraps mod 2^64
+  }
+  return out;
+}
+
+Bytes SerializeShare(const Share& share) {
+  Writer w;
+  w.U32(static_cast<std::uint32_t>(share.size()));
+  for (std::uint64_t v : share) w.U64(v);
+  return std::move(w).Take();
+}
+
+Result<Share> DeserializeShare(ByteSpan data) {
+  Reader r(data);
+  LW_ASSIGN_OR_RETURN(const std::uint32_t n, r.U32());
+  if (r.remaining() != static_cast<std::size_t>(n) * 8) {
+    return ProtocolError("share length mismatch");
+  }
+  Share share(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LW_ASSIGN_OR_RETURN(share[i], r.U64());
+  }
+  return share;
+}
+
+AggregationServer::AggregationServer(std::size_t num_buckets)
+    : totals_(num_buckets, 0) {}
+
+Status AggregationServer::Accept(const Share& share) {
+  if (share.size() != totals_.size()) {
+    return InvalidArgumentError("share has wrong bucket count");
+  }
+  for (std::size_t i = 0; i < share.size(); ++i) {
+    totals_[i] += share[i];  // mod 2^64
+  }
+  ++reports_;
+  return Status::Ok();
+}
+
+void AggregationServer::Reset() {
+  std::fill(totals_.begin(), totals_.end(), 0);
+  reports_ = 0;
+}
+
+Result<std::vector<std::uint64_t>> CombineTotals(const Share& a,
+                                                 const Share& b) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("server totals have different bucket counts");
+  }
+  std::vector<std::uint64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+DomainQueryStats::DomainQueryStats(std::vector<std::string> domains)
+    : domains_(std::move(domains)) {
+  std::sort(domains_.begin(), domains_.end());
+  domains_.erase(std::unique(domains_.begin(), domains_.end()),
+                 domains_.end());
+}
+
+Result<ReportShares> DomainQueryStats::MakeReport(
+    std::string_view domain) const {
+  const auto it =
+      std::lower_bound(domains_.begin(), domains_.end(), domain);
+  if (it == domains_.end() || *it != domain) {
+    return NotFoundError("domain not registered for billing");
+  }
+  return SplitIndicator(domains_.size(),
+                        static_cast<std::size_t>(it - domains_.begin()));
+}
+
+Result<std::vector<DomainQueryStats::DomainCount>>
+DomainQueryStats::LabelTotals(
+    const std::vector<std::uint64_t>& combined) const {
+  if (combined.size() != domains_.size()) {
+    return InvalidArgumentError("combined totals have wrong bucket count");
+  }
+  std::vector<DomainCount> out;
+  out.reserve(domains_.size());
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    out.push_back(DomainCount{domains_[i], combined[i]});
+  }
+  return out;
+}
+
+}  // namespace lw::stats

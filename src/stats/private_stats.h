@@ -1,0 +1,95 @@
+// Private collection of aggregate statistics (paper §4).
+//
+// "Some CDNs could choose to charge publishers proportionally to the number
+// of queries received for their domain. In order to privately collect data
+// on the number of queries received for each domain, the CDN could use a
+// system for the private collection of aggregate statistics [Prio et al.]."
+//
+// This module implements the additive-secret-sharing core of such a system:
+// a client reporting a visit to domain bucket b splits the indicator vector
+// e_b into two uniformly random vectors over Z_2^64 that sum to e_b. Each of
+// two non-colluding aggregation servers receives one share — individually a
+// uniformly random vector, revealing nothing — and adds it into its
+// accumulator. At billing time the servers publish their accumulator totals,
+// whose sum is the exact per-domain query count.
+//
+// (Production systems add client-robustness proofs — Prio's SNIPs — so a
+// malicious client cannot contribute more than one count; we document that
+// extension in DESIGN.md and keep the aggregation core here.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw::stats {
+
+using Share = std::vector<std::uint64_t>;
+
+// Splits the indicator vector e_bucket (length num_buckets) into two
+// additive shares. bucket must be < num_buckets.
+struct ReportShares {
+  Share for_server0;
+  Share for_server1;
+};
+ReportShares SplitIndicator(std::size_t num_buckets, std::size_t bucket);
+
+// Share (de)serialization for transport.
+Bytes SerializeShare(const Share& share);
+Result<Share> DeserializeShare(ByteSpan data);
+
+// One of the two aggregation servers.
+class AggregationServer {
+ public:
+  explicit AggregationServer(std::size_t num_buckets);
+
+  std::size_t num_buckets() const { return totals_.size(); }
+  std::uint64_t reports_accepted() const { return reports_; }
+
+  // Adds a client share into the accumulator. INVALID_ARGUMENT on length
+  // mismatch.
+  Status Accept(const Share& share);
+
+  // The accumulator (meaningless alone; publish at epoch end).
+  const Share& totals() const { return totals_; }
+
+  void Reset();
+
+ private:
+  Share totals_;
+  std::uint64_t reports_ = 0;
+};
+
+// Combines the two servers' published totals into the true counts.
+Result<std::vector<std::uint64_t>> CombineTotals(const Share& a,
+                                                 const Share& b);
+
+// Convenience wrapper tying buckets to domain names: the CDN registers the
+// domains it bills for; clients report by name.
+class DomainQueryStats {
+ public:
+  explicit DomainQueryStats(std::vector<std::string> domains);
+
+  std::size_t num_domains() const { return domains_.size(); }
+  const std::vector<std::string>& domains() const { return domains_; }
+
+  // Client side: build the two shares for one page visit.
+  Result<ReportShares> MakeReport(std::string_view domain) const;
+
+  // Billing side: label combined totals with domain names.
+  struct DomainCount {
+    std::string domain;
+    std::uint64_t count;
+  };
+  Result<std::vector<DomainCount>> LabelTotals(
+      const std::vector<std::uint64_t>& combined) const;
+
+ private:
+  std::vector<std::string> domains_;  // sorted; bucket = index
+};
+
+}  // namespace lw::stats

@@ -1,0 +1,82 @@
+// Byte-buffer aliases and small helpers used across the lightweb codebase.
+//
+// We standardize on std::vector<uint8_t> for owned buffers and
+// std::span<const uint8_t> for read-only views (Core Guidelines I.13:
+// do not pass an array as a single pointer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lw {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+// Copies a string's characters into a fresh byte buffer.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Interprets a byte span as text. The bytes are copied.
+inline std::string ToString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Constant-time equality for secrets (avoids early-exit timing leaks).
+inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+// XORs `src` into `dst`; the spans must be the same length.
+inline void XorInto(MutableByteSpan dst, ByteSpan src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+// Best-effort secure wipe that the optimizer may not elide.
+inline void SecureZero(MutableByteSpan b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+}
+
+// Unaligned little-endian loads/stores (safe on all platforms via memcpy).
+inline std::uint32_t LoadLE32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline std::uint64_t LoadLE64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline void StoreLE32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+inline void StoreLE64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+inline std::uint32_t LoadBE32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+inline void StoreBE32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline void StoreBE64(std::uint8_t* p, std::uint64_t v) {
+  StoreBE32(p, static_cast<std::uint32_t>(v >> 32));
+  StoreBE32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace lw

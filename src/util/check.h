@@ -1,0 +1,45 @@
+// Precondition checking.
+//
+// LW_CHECK is for programming errors (violated invariants/preconditions):
+// it throws lw::InvariantViolation, which callers are not expected to catch.
+// Recoverable conditions (I/O failures, protocol errors, missing keys) use
+// lw::Status / lw::Result instead — see status.h.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lw {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LW_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace internal
+
+}  // namespace lw
+
+#define LW_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::lw::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+    }                                                               \
+  } while (0)
+
+#define LW_CHECK_MSG(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lw::internal::CheckFailed(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                    \
+  } while (0)

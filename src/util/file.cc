@@ -1,0 +1,32 @@
+#include "util/file.h"
+
+#include <cstdio>
+
+namespace lw {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return UnavailableError("cannot open " + path);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return UnavailableError("error reading " + path);
+  return out;
+}
+
+Status WriteFile(const std::string& path, ByteSpan contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return UnavailableError("cannot open " + path);
+  const std::size_t written = std::fwrite(contents.data(), 1,
+                                          contents.size(), f);
+  const bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok) return UnavailableError("error writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace lw

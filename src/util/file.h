@@ -1,0 +1,17 @@
+// Small file I/O helpers for the CLI tools.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw {
+
+// Reads an entire file. UNAVAILABLE if it cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Writes (truncating) a whole file.
+Status WriteFile(const std::string& path, ByteSpan contents);
+
+}  // namespace lw

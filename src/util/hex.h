@@ -1,0 +1,19 @@
+// Hex encoding/decoding for debugging, logging, and test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw {
+
+// Lower-case hex encoding of a byte span.
+std::string HexEncode(ByteSpan bytes);
+
+// Decodes a hex string (case-insensitive). Fails on odd length or
+// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace lw

@@ -1,0 +1,118 @@
+// Binary serialization primitives used by the wire protocol and blob formats.
+//
+// All integers are little-endian. Variable-length fields are length-prefixed
+// (u32). The Reader validates every bound before touching memory, so a
+// malformed frame produces a ProtocolError rather than undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace lw {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+  void U16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void U32(std::uint32_t v) {
+    const std::size_t n = buf_.size();
+    buf_.resize(n + 4);
+    StoreLE32(buf_.data() + n, v);
+  }
+  void U64(std::uint64_t v) {
+    const std::size_t n = buf_.size();
+    buf_.resize(n + 8);
+    StoreLE64(buf_.data() + n, v);
+  }
+  void Raw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  // Length-prefixed byte field.
+  void LengthPrefixed(ByteSpan b) {
+    U32(static_cast<std::uint32_t>(b.size()));
+    Raw(b);
+  }
+  void String(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  Result<std::uint8_t> U8() {
+    if (remaining() < 1) return Truncated("u8");
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> U16() {
+    if (remaining() < 2) return Truncated("u16");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> U32() {
+    if (remaining() < 4) return Truncated("u32");
+    const std::uint32_t v = LoadLE32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> U64() {
+    if (remaining() < 8) return Truncated("u64");
+    const std::uint64_t v = LoadLE64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  Result<Bytes> Raw(std::size_t n) {
+    if (remaining() < n) return Truncated("raw bytes");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  Result<Bytes> LengthPrefixed() {
+    LW_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
+    if (remaining() < n) return Truncated("length-prefixed bytes");
+    return Raw(n);
+  }
+  Result<std::string> String() {
+    LW_ASSIGN_OR_RETURN(Bytes b, LengthPrefixed());
+    return std::string(b.begin(), b.end());
+  }
+
+  // Requires that all input has been consumed (strict parsers).
+  Status ExpectEnd() const {
+    if (!AtEnd()) return ProtocolError("trailing bytes after message");
+    return Status::Ok();
+  }
+
+ private:
+  Status Truncated(const char* what) {
+    return ProtocolError(std::string("truncated input reading ") + what);
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lw

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage: LW_LOG(Info) << "served " << n << " requests";
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Messages below this level are discarded. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogLine(level_, os_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace lw
+
+#define LW_LOG(severity) \
+  ::lw::internal::LogMessage(::lw::LogLevel::k##severity)

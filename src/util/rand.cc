@@ -1,0 +1,119 @@
+#include "util/rand.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace lw {
+namespace {
+
+// Buffered reader over /dev/urandom. A process-wide lock keeps refills
+// thread-safe; the buffer amortizes syscall cost for the many small draws
+// the DPF layer makes.
+class UrandomPool {
+ public:
+  void Read(MutableByteSpan out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t done = 0;
+    while (done < out.size()) {
+      if (pos_ == buf_.size()) Refill();
+      const std::size_t take =
+          std::min(out.size() - done, buf_.size() - pos_);
+      std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + take),
+                out.begin() + static_cast<std::ptrdiff_t>(done));
+      pos_ += take;
+      done += take;
+    }
+  }
+
+ private:
+  void Refill() {
+    if (file_ == nullptr) {
+      file_ = std::fopen("/dev/urandom", "rb");
+      LW_CHECK_MSG(file_ != nullptr, "cannot open /dev/urandom");
+    }
+    const std::size_t got = std::fread(buf_.data(), 1, buf_.size(), file_);
+    LW_CHECK_MSG(got == buf_.size(), "short read from /dev/urandom");
+    pos_ = 0;
+  }
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  Bytes buf_ = Bytes(4096);
+  std::size_t pos_ = 4096;  // start empty
+};
+
+UrandomPool& Pool() {
+  static UrandomPool* pool = new UrandomPool();  // leaked singleton, CP-safe
+  return *pool;
+}
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void SecureRandomBytes(MutableByteSpan out) { Pool().Read(out); }
+
+Bytes SecureRandom(std::size_t n) {
+  Bytes out(n);
+  SecureRandomBytes(out);
+  return out;
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  LW_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+void Rng::Fill(MutableByteSpan out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    StoreLE64(out.data() + i, Next());
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint8_t tail[8];
+    StoreLE64(tail, Next());
+    std::copy(tail, tail + (out.size() - i), out.data() + i);
+  }
+}
+
+}  // namespace lw

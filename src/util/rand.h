@@ -1,0 +1,40 @@
+// Random number generation.
+//
+// SecureRandom draws from the operating system (used for cryptographic key
+// material). Rng is a fast deterministic generator (xoshiro256**) for
+// workloads, simulations, and tests that need reproducibility.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw {
+
+// Fills `out` with cryptographically secure random bytes from the OS.
+void SecureRandomBytes(MutableByteSpan out);
+
+// Returns `n` cryptographically secure random bytes.
+Bytes SecureRandom(std::size_t n);
+
+// Deterministic xoshiro256** generator. Not cryptographically secure;
+// use only for workload generation and reproducible tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound) via rejection sampling (unbiased). bound > 0.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  void Fill(MutableByteSpan out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lw

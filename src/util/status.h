@@ -1,0 +1,160 @@
+// Status / Result<T>: lightweight expected-style error handling.
+//
+// The codebase uses Status for recoverable failures (network faults,
+// protocol violations, missing keys) and exceptions only for programming
+// errors (see check.h). This mirrors the Core Guidelines' advice that error
+// codes are appropriate where failure is "normal and expected".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lw {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // key absent from the store
+  kCollision,       // keyword hash collision detected
+  kInvalidArgument,
+  kFailedPrecondition,
+  kPermissionDenied,  // access control: cannot decrypt
+  kUnavailable,       // transport closed / network fault
+  kProtocolError,     // malformed or unexpected wire message
+  kResourceExhausted,
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kCollision: return "COLLISION";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status NotFoundError(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status CollisionError(std::string m) {
+  return Status(StatusCode::kCollision, std::move(m));
+}
+inline Status InvalidArgumentError(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status FailedPreconditionError(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status PermissionDeniedError(std::string m) {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status UnavailableError(std::string m) {
+  return Status(StatusCode::kUnavailable, std::move(m));
+}
+inline Status ProtocolError(std::string m) {
+  return Status(StatusCode::kProtocolError, std::move(m));
+}
+inline Status ResourceExhaustedError(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status InternalError(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    LW_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    LW_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  const T& value() const& {
+    LW_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    LW_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace lw
+
+// Propagates a non-OK status from an expression returning Status.
+#define LW_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::lw::Status lw_status_ = (expr);           \
+    if (!lw_status_.ok()) return lw_status_;    \
+  } while (0)
+
+// Evaluates an expression returning Result<T>; on error, returns the status;
+// otherwise assigns the value to `lhs` (which must be a declaration or lvalue).
+#define LW_ASSIGN_OR_RETURN(lhs, expr)              \
+  LW_ASSIGN_OR_RETURN_IMPL_(                        \
+      LW_STATUS_CONCAT_(lw_result_, __LINE__), lhs, expr)
+
+#define LW_STATUS_CONCAT_INNER_(a, b) a##b
+#define LW_STATUS_CONCAT_(a, b) LW_STATUS_CONCAT_INNER_(a, b)
+
+#define LW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()

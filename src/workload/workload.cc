@@ -1,0 +1,138 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lw::workload {
+namespace {
+
+// Deterministic per-page RNG: mixes the corpus seed with the page index.
+Rng PageRng(const CorpusSpec& spec, std::uint64_t i) {
+  return Rng(spec.seed * 0x9e3779b97f4a7c15ULL + i);
+}
+
+}  // namespace
+
+CorpusSpec C4Like(std::uint64_t num_pages, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "c4-like";
+  spec.num_pages = num_pages;
+  spec.num_domains = std::max<std::uint64_t>(1, num_pages / 1024);
+  spec.mean_page_bytes = 0.9 * 1024;
+  spec.seed = seed;
+  return spec;
+}
+
+CorpusSpec WikipediaLike(std::uint64_t num_pages, std::uint64_t seed) {
+  CorpusSpec spec;
+  spec.name = "wikipedia-like";
+  spec.num_pages = num_pages;
+  spec.num_domains = 1;  // one site
+  spec.mean_page_bytes = 0.4 * 1024;
+  spec.seed = seed;
+  return spec;
+}
+
+SyntheticCorpus::SyntheticCorpus(CorpusSpec spec) : spec_(std::move(spec)) {
+  LW_CHECK_MSG(spec_.num_pages > 0, "corpus needs pages");
+  LW_CHECK_MSG(spec_.num_domains > 0, "corpus needs domains");
+  LW_CHECK_MSG(spec_.mean_page_bytes > 0, "mean page size must be positive");
+}
+
+std::string SyntheticCorpus::DomainOf(std::uint64_t i) const {
+  // Pages are striped over domains deterministically.
+  const std::uint64_t d = i % spec_.num_domains;
+  return "domain" + std::to_string(d) + ".example";
+}
+
+SyntheticPage SyntheticCorpus::GetPage(std::uint64_t i) const {
+  LW_CHECK_MSG(i < spec_.num_pages, "page index out of range");
+  Rng rng = PageRng(spec_, i);
+
+  SyntheticPage page;
+  page.path = DomainOf(i) + "/page/" + std::to_string(i);
+
+  // Log-normal page size with the spec's mean: if X ~ LogNormal(mu, sigma),
+  // E[X] = exp(mu + sigma^2/2), so mu = ln(mean) - sigma^2/2.
+  const double mu =
+      std::log(spec_.mean_page_bytes) - spec_.sigma * spec_.sigma / 2;
+  // Box–Muller from two uniforms.
+  const double u1 = std::max(rng.UniformDouble(), 1e-12);
+  const double u2 = rng.UniformDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  std::size_t size = static_cast<std::size_t>(
+      std::llround(std::exp(mu + spec_.sigma * z)));
+  size = std::min(std::max<std::size_t>(size, 32), spec_.max_page_bytes);
+
+  // JSON payload padded with deterministic filler text to the target size.
+  std::string body = "{\"id\":" + std::to_string(i) + ",\"text\":\"";
+  static constexpr char kWords[] =
+      "the quick private web has no baggage and fears no observer ";
+  while (body.size() + 2 < size) {
+    body += kWords[0] == '\0' ? "x" : kWords;
+    if (body.size() + 2 >= size) break;
+  }
+  body.resize(size >= 2 ? size - 2 : 0);
+  // Keep JSON valid: strip any dangling escape-prone char and close.
+  body += "\"}";
+  page.payload = ToBytes(body);
+  return page;
+}
+
+double SyntheticCorpus::SampleMeanPayloadBytes(std::uint64_t sample) const {
+  sample = std::min(sample, spec_.num_pages);
+  double total = 0;
+  for (std::uint64_t i = 0; i < sample; ++i) {
+    const std::uint64_t idx = i * (spec_.num_pages / sample);
+    total += static_cast<double>(GetPage(idx).payload.size());
+  }
+  return total / static_cast<double>(sample);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) {
+  LW_CHECK_MSG(n > 0, "Zipf needs n > 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+SessionGenerator::SessionGenerator(const SyntheticCorpus& corpus,
+                                   double zipf_s, double stay_on_domain,
+                                   std::uint64_t seed)
+    : corpus_(corpus),
+      zipf_(corpus.size(), zipf_s),
+      stay_on_domain_(stay_on_domain),
+      rng_(seed) {}
+
+std::string SessionGenerator::NextVisit() {
+  std::uint64_t page;
+  if (has_last_ && rng_.UniformDouble() < stay_on_domain_) {
+    // Follow a link within the same domain: jump to a nearby page index in
+    // the same residue class (same domain by construction).
+    const std::uint64_t d = corpus_.spec().num_domains;
+    const std::uint64_t hops = rng_.UniformInt(16) + 1;
+    page = (last_page_ + hops * d) % corpus_.size();
+    // Keep the domain: striping means index mod num_domains = domain.
+    page = page - (page % d) + (last_page_ % d);
+    if (page >= corpus_.size()) page = last_page_;
+  } else {
+    page = zipf_.Sample(rng_);
+  }
+  last_page_ = page;
+  has_last_ = true;
+  return corpus_.GetPage(page).path;
+}
+
+}  // namespace lw::workload

@@ -1,0 +1,94 @@
+// Synthetic workloads standing in for the paper's datasets (see DESIGN.md
+// substitutions).
+//
+// The paper evaluates against the C4 corpus (305 GiB, 360 M pages, 0.9 KiB
+// mean compressed page) and Wikipedia (21 GiB, 60 M pages, 0.4 KiB mean) —
+// but benchmarks run on "dummy values of the maximum blob size" because the
+// server cost depends only on record count/size. This module generates
+// deterministic corpora with the same statistics at configurable scale,
+// plus Zipf-popularity browsing sessions for end-to-end benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rand.h"
+
+namespace lw::workload {
+
+struct CorpusSpec {
+  std::string name = "c4-like";
+  std::uint64_t num_pages = 1 << 16;
+  std::uint64_t num_domains = 64;
+  double mean_page_bytes = 0.9 * 1024;  // C4 average compressed page
+  double sigma = 0.6;                   // log-normal shape parameter
+  std::size_t max_page_bytes = 4096 - 64;  // fits a 4 KiB record after packing
+  std::uint64_t seed = 1;
+};
+
+// Corpus specs matching the paper's dataset statistics, scaled down to
+// `num_pages` (the per-shard page counts the microbenchmarks need).
+CorpusSpec C4Like(std::uint64_t num_pages, std::uint64_t seed = 1);
+CorpusSpec WikipediaLike(std::uint64_t num_pages, std::uint64_t seed = 2);
+
+struct SyntheticPage {
+  std::string path;  // "domainNNN.example/page/NNNNN"
+  Bytes payload;     // JSON text of log-normal size
+};
+
+// Deterministic synthetic corpus: page i is reproducible from (spec, i)
+// alone, so benches can (re)generate slices without storing the corpus.
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(CorpusSpec spec);
+
+  const CorpusSpec& spec() const { return spec_; }
+  std::uint64_t size() const { return spec_.num_pages; }
+
+  SyntheticPage GetPage(std::uint64_t i) const;
+
+  // The domain a page belongs to.
+  std::string DomainOf(std::uint64_t i) const;
+
+  // Mean payload size over a sample (diagnostics: should approximate
+  // spec.mean_page_bytes).
+  double SampleMeanPayloadBytes(std::uint64_t sample = 1000) const;
+
+ private:
+  CorpusSpec spec_;
+};
+
+// Zipf-distributed sampler over [0, n) with exponent s (page popularity is
+// famously Zipfian; s ≈ 1).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// A user's browsing session: a sequence of page visits with Zipf page
+// popularity, biased to stay within a domain (link-following behaviour).
+class SessionGenerator {
+ public:
+  SessionGenerator(const SyntheticCorpus& corpus, double zipf_s = 1.0,
+                   double stay_on_domain = 0.6, std::uint64_t seed = 7);
+
+  // Next page path to visit.
+  std::string NextVisit();
+
+ private:
+  const SyntheticCorpus& corpus_;
+  ZipfSampler zipf_;
+  double stay_on_domain_;
+  Rng rng_;
+  std::uint64_t last_page_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace lw::workload

@@ -1,0 +1,95 @@
+#include "zltp/batch.h"
+
+#include <vector>
+
+namespace lw::zltp {
+
+BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config)
+    : store_(store), config_(config) {
+  LW_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Stop(); }
+
+Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key) {
+  // Validate up front so one malformed query cannot fail co-riders' batch.
+  if (key.domain_bits != store_.domain_bits()) {
+    return ProtocolError("DPF domain does not match universe domain");
+  }
+  std::future<Result<Bytes>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return UnavailableError("batch scheduler stopped");
+    queue_.push_back(Pending{std::move(key), {}});
+    future = queue_.back().promise.get_future();
+  }
+  cv_.notify_one();
+  return future.get();
+}
+
+void BatchScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; nothing to join twice.
+      if (!worker_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Fail any queries that never made it into a batch.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& p : leftovers) {
+    p.promise.set_value(UnavailableError("batch scheduler stopped"));
+  }
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BatchScheduler::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;
+      // First rider arrived; give co-riders a short window to join unless
+      // the batch is already full.
+      if (queue_.size() < config_.max_batch && !stopping_) {
+        cv_.wait_for(lock, config_.max_wait, [this] {
+          return queue_.size() >= config_.max_batch || stopping_;
+        });
+      }
+      const std::size_t take = std::min(queue_.size(), config_.max_batch);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.requests += take;
+      stats_.batches += 1;
+    }
+
+    std::vector<dpf::DpfKey> keys;
+    keys.reserve(batch.size());
+    for (Pending& p : batch) keys.push_back(std::move(p.key));
+    auto answers = store_.AnswerBatch(keys);
+    if (!answers.ok()) {
+      for (Pending& p : batch) p.promise.set_value(answers.status());
+      continue;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move((*answers)[i]));
+    }
+  }
+}
+
+}  // namespace lw::zltp

@@ -1,0 +1,313 @@
+#include "zltp/client.h"
+
+#include <map>
+
+#include "crypto/siphash.h"
+#include "crypto/x25519.h"
+#include "pir/keyword.h"
+#include "pir/packing.h"
+#include "pir/two_server.h"
+#include "util/rand.h"
+
+namespace lw::zltp {
+namespace {
+
+std::size_t FrameWireSize(const net::Frame& f) {
+  return 4 + 1 + f.payload.size();  // length prefix + type + payload
+}
+
+Result<ServerHello> HelloExchange(net::Transport& transport, Mode mode,
+                                  TrafficCounters& traffic) {
+  ClientHello hello;
+  hello.supported_modes = {mode};
+  const net::Frame out = Encode(hello);
+  LW_RETURN_IF_ERROR(transport.Send(out));
+  traffic.bytes_sent += FrameWireSize(out);
+
+  LW_ASSIGN_OR_RETURN(const net::Frame in, transport.Receive());
+  traffic.bytes_received += FrameWireSize(in);
+  if (in.type == static_cast<std::uint8_t>(MsgType::kError)) {
+    LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(in));
+    return StatusFromError(e);
+  }
+  LW_ASSIGN_OR_RETURN(ServerHello server_hello, DecodeServerHello(in));
+  if (server_hello.version != kProtocolVersion) {
+    return ProtocolError("server speaks unsupported version");
+  }
+  if (server_hello.mode != mode) {
+    return ProtocolError("server selected a mode we did not offer");
+  }
+  return server_hello;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- PirSession
+
+Result<PirSession> PirSession::Establish(
+    std::unique_ptr<net::Transport> server0,
+    std::unique_ptr<net::Transport> server1) {
+  PirSession session;
+  LW_ASSIGN_OR_RETURN(
+      const ServerHello h0,
+      HelloExchange(*server0, Mode::kTwoServerPir, session.traffic_));
+  LW_ASSIGN_OR_RETURN(
+      const ServerHello h1,
+      HelloExchange(*server1, Mode::kTwoServerPir, session.traffic_));
+
+  if (h0.server_role == h1.server_role) {
+    return FailedPreconditionError(
+        "both connections reached the same logical server; the "
+        "non-collusion assumption requires distinct trust domains");
+  }
+  if (h0.domain_bits != h1.domain_bits || h0.record_size != h1.record_size ||
+      h0.keyword_seed != h1.keyword_seed) {
+    return ProtocolError("servers disagree on universe parameters");
+  }
+  if (h0.keyword_seed.size() != crypto::kSipHashKeySize) {
+    return ProtocolError("bad keyword seed size");
+  }
+  if (h0.domain_bits < 1 || h0.domain_bits > dpf::kMaxDomainBits) {
+    return ProtocolError("bad domain_bits");
+  }
+
+  // Order the connections by announced role so key0 goes to role 0.
+  if (h0.server_role == 0) {
+    session.server0_ = std::move(server0);
+    session.server1_ = std::move(server1);
+  } else {
+    session.server0_ = std::move(server1);
+    session.server1_ = std::move(server0);
+  }
+  session.domain_bits_ = h0.domain_bits;
+  session.record_size_ = h0.record_size;
+  session.keyword_seed_ = h0.keyword_seed;
+  return session;
+}
+
+Result<Bytes> PirSession::RoundTrip(net::Transport& transport,
+                                    const Bytes& body,
+                                    std::uint32_t request_id) {
+  GetRequest request;
+  request.request_id = request_id;
+  request.body = body;
+  const net::Frame out = Encode(request);
+  LW_RETURN_IF_ERROR(transport.Send(out));
+  traffic_.bytes_sent += FrameWireSize(out);
+
+  LW_ASSIGN_OR_RETURN(const net::Frame in, transport.Receive());
+  traffic_.bytes_received += FrameWireSize(in);
+  if (in.type == static_cast<std::uint8_t>(MsgType::kError)) {
+    LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(in));
+    return StatusFromError(e);
+  }
+  LW_ASSIGN_OR_RETURN(const GetResponse response, DecodeGetResponse(in));
+  if (response.request_id != request_id) {
+    return ProtocolError("response id does not match request");
+  }
+  return response.body;
+}
+
+Result<Bytes> PirSession::PrivateGetIndex(std::uint64_t index) {
+  if (server0_ == nullptr) return FailedPreconditionError("session closed");
+  if (index >= (std::uint64_t{1} << domain_bits_)) {
+    return InvalidArgumentError("index outside universe domain");
+  }
+  const std::uint32_t id = next_request_id_++;
+  const pir::QueryKeys keys = pir::MakeIndexQuery(index, domain_bits_);
+
+  LW_ASSIGN_OR_RETURN(const Bytes a0,
+                      RoundTrip(*server0_, keys.key0.Serialize(), id));
+  LW_ASSIGN_OR_RETURN(const Bytes a1,
+                      RoundTrip(*server1_, keys.key1.Serialize(), id));
+  traffic_.requests += 1;
+  if (a0.size() != record_size_ || a1.size() != record_size_) {
+    return ProtocolError("server answer has wrong record size");
+  }
+  return pir::CombineAnswers(a0, a1);
+}
+
+namespace {
+
+// Interprets a reconstructed record for a keyword query: verifies presence
+// and the embedded fingerprint.
+Result<Bytes> InterpretRecord(const Bytes& record,
+                              std::uint64_t expected_fingerprint) {
+  LW_ASSIGN_OR_RETURN(const pir::UnpackedRecord un,
+                      pir::UnpackRecord(record));
+  if (un.fingerprint == 0 && un.payload.empty()) {
+    return NotFoundError("key not published in this universe");
+  }
+  if (un.fingerprint != expected_fingerprint) {
+    return CollisionError(
+        "record at this index belongs to a different key (hash collision)");
+  }
+  return un.payload;
+}
+
+}  // namespace
+
+Result<Bytes> PirSession::PrivateGet(std::string_view key) {
+  const pir::KeywordMapper mapper(keyword_seed_, domain_bits_);
+  LW_ASSIGN_OR_RETURN(const Bytes record,
+                      PrivateGetIndex(mapper.IndexOf(key)));
+  return InterpretRecord(record, mapper.Fingerprint(key));
+}
+
+Result<std::vector<Result<Bytes>>> PirSession::PrivateGetBatch(
+    const std::vector<std::string>& keys, int extra_dummies) {
+  if (server0_ == nullptr) return FailedPreconditionError("session closed");
+  if (extra_dummies < 0) return InvalidArgumentError("negative dummy count");
+  const pir::KeywordMapper mapper(keyword_seed_, domain_bits_);
+  const std::size_t total = keys.size() + static_cast<std::size_t>(extra_dummies);
+  if (total == 0) return std::vector<Result<Bytes>>{};
+
+  // Build every query up front (real keys first, then dummy cover queries
+  // at uniformly random indices — indistinguishable on the wire).
+  std::vector<std::uint32_t> ids;
+  std::vector<pir::QueryKeys> queries;
+  ids.reserve(total);
+  queries.reserve(total);
+  for (const std::string& key : keys) {
+    ids.push_back(next_request_id_++);
+    queries.push_back(
+        pir::MakeIndexQuery(mapper.IndexOf(key), domain_bits_));
+  }
+  for (int i = 0; i < extra_dummies; ++i) {
+    std::uint8_t buf[8];
+    SecureRandomBytes(MutableByteSpan(buf, 8));
+    ids.push_back(next_request_id_++);
+    queries.push_back(pir::MakeIndexQuery(
+        LoadLE64(buf) & ((std::uint64_t{1} << domain_bits_) - 1),
+        domain_bits_));
+  }
+
+  // Pipeline: all requests out to both servers before reading anything.
+  for (std::size_t i = 0; i < total; ++i) {
+    for (int side = 0; side < 2; ++side) {
+      GetRequest request;
+      request.request_id = ids[i];
+      request.body = (side == 0 ? queries[i].key0 : queries[i].key1)
+                         .Serialize();
+      const net::Frame out = Encode(request);
+      LW_RETURN_IF_ERROR((side == 0 ? server0_ : server1_)->Send(out));
+      traffic_.bytes_sent += FrameWireSize(out);
+    }
+  }
+
+  // Collect both servers' responses; they may arrive out of order.
+  const auto collect =
+      [&](net::Transport& t) -> Result<std::map<std::uint32_t, Bytes>> {
+    std::map<std::uint32_t, Bytes> by_id;
+    while (by_id.size() < total) {
+      LW_ASSIGN_OR_RETURN(const net::Frame in, t.Receive());
+      traffic_.bytes_received += FrameWireSize(in);
+      if (in.type == static_cast<std::uint8_t>(MsgType::kError)) {
+        LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(in));
+        return StatusFromError(e);
+      }
+      LW_ASSIGN_OR_RETURN(const GetResponse response, DecodeGetResponse(in));
+      if (response.body.size() != record_size_) {
+        return ProtocolError("server answer has wrong record size");
+      }
+      if (!by_id.emplace(response.request_id, response.body).second) {
+        return ProtocolError("duplicate response id");
+      }
+    }
+    return by_id;
+  };
+  LW_ASSIGN_OR_RETURN(const auto answers0, collect(*server0_));
+  LW_ASSIGN_OR_RETURN(const auto answers1, collect(*server1_));
+  traffic_.requests += total;
+
+  std::vector<Result<Bytes>> out;
+  out.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto it0 = answers0.find(ids[i]);
+    const auto it1 = answers1.find(ids[i]);
+    if (it0 == answers0.end() || it1 == answers1.end()) {
+      out.push_back(ProtocolError("missing response for request id"));
+      continue;
+    }
+    auto record = pir::CombineAnswers(it0->second, it1->second);
+    if (!record.ok()) {
+      out.push_back(record.status());
+      continue;
+    }
+    out.push_back(
+        InterpretRecord(*record, mapper.Fingerprint(keys[i])));
+  }
+  return out;
+}
+
+Status PirSession::DummyGet() {
+  std::uint8_t buf[8];
+  SecureRandomBytes(MutableByteSpan(buf, 8));
+  const std::uint64_t index =
+      LoadLE64(buf) & ((std::uint64_t{1} << domain_bits_) - 1);
+  auto r = PrivateGetIndex(index);
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+void PirSession::Close() {
+  for (auto* t : {server0_.get(), server1_.get()}) {
+    if (t != nullptr) {
+      (void)t->Send(EncodeBye());
+      t->Close();
+    }
+  }
+  server0_.reset();
+  server1_.reset();
+}
+
+// ------------------------------------------------------- EnclaveSession
+
+Result<EnclaveSession> EnclaveSession::Establish(
+    std::unique_ptr<net::Transport> server) {
+  EnclaveSession session;
+  LW_ASSIGN_OR_RETURN(
+      const ServerHello hello,
+      HelloExchange(*server, Mode::kEnclave, session.traffic_));
+  if (hello.enclave_public_key.size() != crypto::kX25519KeySize) {
+    return ProtocolError("bad enclave public key");
+  }
+  session.server_ = std::move(server);
+  session.record_size_ = hello.record_size;
+  session.enclave_client_ =
+      std::make_unique<oram::EnclaveClient>(hello.enclave_public_key);
+  return session;
+}
+
+Result<Bytes> EnclaveSession::PrivateGet(std::string_view key) {
+  if (server_ == nullptr) return FailedPreconditionError("session closed");
+  GetRequest request;
+  request.request_id = next_request_id_++;
+  request.body = enclave_client_->SealGetRequest(key);
+  const net::Frame out = Encode(request);
+  LW_RETURN_IF_ERROR(server_->Send(out));
+  traffic_.bytes_sent += FrameWireSize(out);
+
+  LW_ASSIGN_OR_RETURN(const net::Frame in, server_->Receive());
+  traffic_.bytes_received += FrameWireSize(in);
+  if (in.type == static_cast<std::uint8_t>(MsgType::kError)) {
+    LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(in));
+    return StatusFromError(e);
+  }
+  LW_ASSIGN_OR_RETURN(const GetResponse response, DecodeGetResponse(in));
+  if (response.request_id != request.request_id) {
+    return ProtocolError("response id does not match request");
+  }
+  traffic_.requests += 1;
+  return enclave_client_->OpenResponse(response.body);
+}
+
+void EnclaveSession::Close() {
+  if (server_ != nullptr) {
+    (void)server_->Send(EncodeBye());
+    server_->Close();
+    server_.reset();
+  }
+}
+
+}  // namespace lw::zltp

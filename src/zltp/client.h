@@ -1,0 +1,118 @@
+// ZLTP client sessions.
+//
+// PirSession holds connections to the two non-colluding logical servers and
+// implements the full keyword private-GET: hash the key into the DPF domain,
+// generate the two key shares, collect and XOR the answers, unpack, and
+// verify the embedded fingerprint (detecting absence and hash collisions
+// without trusting the servers). DummyGet() fetches a uniformly random index
+// — byte-for-byte indistinguishable from a real query on the wire — which
+// the lightweb browser uses to pad every page load to a fixed fetch count
+// (paper §3.2).
+//
+// EnclaveSession is the single-server enclave-mode equivalent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/transport.h"
+#include "oram/enclave.h"
+#include "util/bytes.h"
+#include "util/status.h"
+#include "zltp/messages.h"
+
+namespace lw::zltp {
+
+// Communication accounting (for the §5.1/§5.2 communication benches).
+struct TrafficCounters {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t requests = 0;
+};
+
+class PirSession {
+ public:
+  // Performs the hello exchange on both connections. Fails unless the two
+  // servers agree on blob size / domain / keyword seed and present distinct
+  // roles (a misconfigured deployment pointing both connections at the same
+  // trust domain would void the non-collusion assumption).
+  static Result<PirSession> Establish(
+      std::unique_ptr<net::Transport> server0,
+      std::unique_ptr<net::Transport> server1);
+
+  PirSession(PirSession&&) = default;
+  PirSession& operator=(PirSession&&) = default;
+
+  int domain_bits() const { return domain_bits_; }
+  std::size_t record_size() const { return record_size_; }
+  const Bytes& keyword_seed() const { return keyword_seed_; }
+
+  // Keyword private-GET. NOT_FOUND if the key is unpublished; COLLISION if
+  // the returned record belongs to a different key.
+  Result<Bytes> PrivateGet(std::string_view key);
+
+  // Pipelined batch: all requests (for every key, plus `extra_dummies`
+  // random-index cover queries) are sent to both servers before any
+  // response is read. One network round trip for the whole page load, and
+  // the server co-batches the scans (§5.1). Results are per-key, in order;
+  // dummy results are discarded. A transport failure fails the whole batch.
+  Result<std::vector<Result<Bytes>>> PrivateGetBatch(
+      const std::vector<std::string>& keys, int extra_dummies = 0);
+
+  // Raw private-GET of a domain index (returns the packed record).
+  Result<Bytes> PrivateGetIndex(std::uint64_t index);
+
+  // Cover-traffic fetch of a uniformly random index; discards the result.
+  Status DummyGet();
+
+  const TrafficCounters& traffic() const { return traffic_; }
+
+  // Sends Bye on both connections and closes them.
+  void Close();
+
+ private:
+  PirSession() = default;
+
+  Result<Bytes> RoundTrip(net::Transport& transport, const Bytes& body,
+                          std::uint32_t request_id);
+
+  std::unique_ptr<net::Transport> server0_;
+  std::unique_ptr<net::Transport> server1_;
+  int domain_bits_ = 0;
+  std::size_t record_size_ = 0;
+  Bytes keyword_seed_;
+  std::uint32_t next_request_id_ = 1;
+  TrafficCounters traffic_;
+};
+
+class EnclaveSession {
+ public:
+  static Result<EnclaveSession> Establish(
+      std::unique_ptr<net::Transport> server);
+
+  EnclaveSession(EnclaveSession&&) = default;
+  EnclaveSession& operator=(EnclaveSession&&) = default;
+
+  // Fixed blob size announced by the enclave's ServerHello.
+  std::size_t record_size() const { return record_size_; }
+
+  Result<Bytes> PrivateGet(std::string_view key);
+
+  const TrafficCounters& traffic() const { return traffic_; }
+
+  void Close();
+
+ private:
+  EnclaveSession() = default;
+
+  std::unique_ptr<net::Transport> server_;
+  std::unique_ptr<oram::EnclaveClient> enclave_client_;
+  std::size_t record_size_ = 0;
+  std::uint32_t next_request_id_ = 1;
+  TrafficCounters traffic_;
+};
+
+}  // namespace lw::zltp

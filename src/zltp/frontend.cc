@@ -1,0 +1,230 @@
+#include "zltp/frontend.h"
+
+#include "util/check.h"
+
+namespace lw::zltp {
+namespace {
+
+void SendErrorFrame(net::Transport& t, StatusCode code,
+                    const std::string& msg) {
+  ErrorMsg e;
+  e.code = code;
+  e.message = msg;
+  (void)t.Send(Encode(e));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- data shard
+
+ShardDataServer::ShardDataServer(const ShardTopology& topology,
+                                 std::size_t shard_index)
+    : topology_(topology),
+      shard_index_(shard_index),
+      db_(topology.shard_domain_bits(), topology.record_size) {
+  LW_CHECK_MSG(shard_index < topology.shard_count(), "shard index range");
+}
+
+ShardDataServer::~ShardDataServer() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (auto& t : owned_transports_) t->Close();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+std::size_t ShardDataServer::record_count() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return db_.record_count();
+}
+
+Status ShardDataServer::Load(std::uint64_t global_index, ByteSpan record) {
+  const std::uint64_t mask = topology_.shard_count() - 1;
+  if ((global_index & mask) != shard_index_) {
+    return InvalidArgumentError("index belongs to a different shard");
+  }
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return db_.Upsert(global_index >> topology_.top_bits, record);
+}
+
+Result<Bytes> ShardDataServer::Answer(const dpf::SubtreeKey& key) const {
+  if (key.domain_bits != topology_.shard_domain_bits()) {
+    return ProtocolError("sub-tree key has wrong depth for this shard");
+  }
+  const dpf::BitVector bits = dpf::EvalSubtree(key);
+  Bytes out(topology_.record_size);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  db_.Answer(bits, out);
+  return out;
+}
+
+void ShardDataServer::ServeConnection(net::Transport& transport) {
+  for (;;) {
+    auto frame = transport.Receive();
+    if (!frame.ok()) return;
+    if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
+    auto request = DecodeGetRequest(*frame);
+    if (!request.ok()) {
+      SendErrorFrame(transport, StatusCode::kProtocolError,
+                     request.status().message());
+      return;
+    }
+    auto key = dpf::SubtreeKey::Deserialize(request->body);
+    if (!key.ok()) {
+      SendErrorFrame(transport, StatusCode::kProtocolError,
+                     "malformed sub-tree key: " + key.status().message());
+      return;
+    }
+    auto answer = Answer(*key);
+    if (!answer.ok()) {
+      SendErrorFrame(transport, answer.status().code(),
+                     answer.status().message());
+      continue;
+    }
+    GetResponse response;
+    response.request_id = request->request_id;
+    response.body = std::move(*answer);
+    if (!transport.Send(Encode(response)).ok()) return;
+  }
+}
+
+void ShardDataServer::ServeConnectionDetached(
+    std::unique_ptr<net::Transport> transport) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  net::Transport* raw = transport.get();
+  owned_transports_.push_back(std::move(transport));
+  threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+// ------------------------------------------------------------- fan-out
+
+ShardFanout::ShardFanout(const ShardTopology& topology,
+                         std::vector<std::unique_ptr<net::Transport>> links)
+    : topology_(topology), shards_(std::move(links)) {
+  LW_CHECK_MSG(shards_.size() == topology_.shard_count(),
+               "need one transport per shard");
+}
+
+Result<Bytes> ShardFanout::Answer(const dpf::DpfKey& key) {
+  if (key.domain_bits != topology_.domain_bits) {
+    return ProtocolError("DPF domain does not match deployment");
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  const std::uint32_t id = next_request_id_++;
+
+  // Front-end work: expand the top of the tree once (cheap; §5.2), then
+  // ship each shard its sub-tree root. Requests are pipelined to all
+  // shards before collecting any response.
+  const std::vector<dpf::SubtreeKey> subkeys =
+      dpf::SplitForShards(key, topology_.top_bits);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    GetRequest request;
+    request.request_id = id;
+    request.body = subkeys[s].Serialize();
+    LW_RETURN_IF_ERROR(shards_[s]->Send(Encode(request)));
+  }
+
+  Bytes combined(topology_.record_size, 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    LW_ASSIGN_OR_RETURN(const net::Frame frame, shards_[s]->Receive());
+    if (frame.type == static_cast<std::uint8_t>(MsgType::kError)) {
+      LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(frame));
+      return StatusFromError(e);
+    }
+    LW_ASSIGN_OR_RETURN(const GetResponse response, DecodeGetResponse(frame));
+    if (response.request_id != id) {
+      return ProtocolError("shard response id mismatch");
+    }
+    if (response.body.size() != topology_.record_size) {
+      return ProtocolError("shard answer has wrong record size");
+    }
+    XorInto(combined, response.body);
+  }
+  return combined;
+}
+
+// ------------------------------------------------------------ front-end
+
+FrontEndServer::FrontEndServer(std::uint8_t role, Bytes keyword_seed,
+                               ShardFanout fanout)
+    : role_(role),
+      keyword_seed_(std::move(keyword_seed)),
+      fanout_(std::move(fanout)) {
+  LW_CHECK_MSG(role <= 1, "front-end role must be 0 or 1");
+}
+
+FrontEndServer::~FrontEndServer() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (auto& t : owned_transports_) t->Close();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void FrontEndServer::ServeConnection(net::Transport& transport) {
+  // Standard ZLTP hello.
+  auto frame = transport.Receive();
+  if (!frame.ok()) return;
+  auto hello = DecodeClientHello(*frame);
+  if (!hello.ok()) {
+    SendErrorFrame(transport, StatusCode::kProtocolError,
+                   hello.status().message());
+    return;
+  }
+  bool supports_pir = false;
+  for (Mode m : hello->supported_modes) {
+    supports_pir |= (m == Mode::kTwoServerPir);
+  }
+  if (hello->version != kProtocolVersion || !supports_pir) {
+    SendErrorFrame(transport, StatusCode::kFailedPrecondition,
+                   "front-end requires two-server-pir mode");
+    return;
+  }
+  ServerHello server_hello;
+  server_hello.mode = Mode::kTwoServerPir;
+  server_hello.server_role = role_;
+  server_hello.domain_bits =
+      static_cast<std::uint8_t>(fanout_.topology().domain_bits);
+  server_hello.record_size =
+      static_cast<std::uint32_t>(fanout_.topology().record_size);
+  server_hello.keyword_seed = keyword_seed_;
+  if (!transport.Send(Encode(server_hello)).ok()) return;
+
+  for (;;) {
+    auto next = transport.Receive();
+    if (!next.ok()) return;
+    if (next->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
+    auto request = DecodeGetRequest(*next);
+    if (!request.ok()) {
+      SendErrorFrame(transport, StatusCode::kProtocolError,
+                     request.status().message());
+      return;
+    }
+    auto key = dpf::DpfKey::Deserialize(request->body);
+    if (!key.ok()) {
+      SendErrorFrame(transport, StatusCode::kProtocolError,
+                     "malformed DPF key: " + key.status().message());
+      return;
+    }
+    auto answer = fanout_.Answer(*key);
+    if (!answer.ok()) {
+      SendErrorFrame(transport, answer.status().code(),
+                     answer.status().message());
+      continue;
+    }
+    GetResponse response;
+    response.request_id = request->request_id;
+    response.body = std::move(*answer);
+    if (!transport.Send(Encode(response)).ok()) return;
+  }
+}
+
+void FrontEndServer::ServeConnectionDetached(
+    std::unique_ptr<net::Transport> transport) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  net::Transport* raw = transport.get();
+  owned_transports_.push_back(std::move(transport));
+  threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+}  // namespace lw::zltp

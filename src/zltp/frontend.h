@@ -1,0 +1,126 @@
+// Networked sharded deployment (paper §5.2).
+//
+// "To scale up from 1 GiB with a single c5.large data server, we consider a
+// deployment of 305 c5.large data servers, each managing 1 GiB of the
+// dataset. Such a deployment would also need several front-end servers to
+// intercept incoming client requests, route them to the data servers, and
+// combine the results. ... the front-end server can build the top part of
+// the tree and then, for each sub-tree, send the sub-tree root to the
+// corresponding server."
+//
+// ShardDataServer holds one residue class of the universe (shard s owns
+// indices ≡ s mod 2^top_bits, matching dpf::SplitForShards) and answers
+// sub-tree queries over an internal framed transport. FrontEndServer speaks
+// standard ZLTP to clients; per GET it expands the top of the client's DPF
+// key once, fans the sub-tree roots out to every shard, and XOR-combines
+// the shard answers into the client's record share.
+//
+// The front-end/shard link is CDN-internal (one trust domain per logical
+// server), so it uses bare GetRequest/GetResponse frames without a hello.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dpf/dpf.h"
+#include "net/transport.h"
+#include "pir/blob_db.h"
+#include "util/bytes.h"
+#include "util/status.h"
+#include "zltp/messages.h"
+
+namespace lw::zltp {
+
+struct ShardTopology {
+  int domain_bits = 22;       // full universe domain
+  int top_bits = 2;           // 2^top_bits shards
+  std::size_t record_size = 4096;
+
+  int shard_domain_bits() const { return domain_bits - top_bits; }
+  std::size_t shard_count() const { return std::size_t{1} << top_bits; }
+};
+
+class ShardDataServer {
+ public:
+  ShardDataServer(const ShardTopology& topology, std::size_t shard_index);
+  ~ShardDataServer();
+
+  ShardDataServer(const ShardDataServer&) = delete;
+  ShardDataServer& operator=(const ShardDataServer&) = delete;
+
+  std::size_t shard_index() const { return shard_index_; }
+  std::size_t record_count() const;
+
+  // Loads a record at a universe-global index. INVALID_ARGUMENT if the
+  // index does not belong to this shard's residue class.
+  Status Load(std::uint64_t global_index, ByteSpan record);
+
+  // Local answer to one sub-tree query (for in-process use and tests).
+  Result<Bytes> Answer(const dpf::SubtreeKey& key) const;
+
+  // Serves framed sub-tree queries until the peer disconnects.
+  void ServeConnection(net::Transport& transport);
+  void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
+
+ private:
+  ShardTopology topology_;
+  std::size_t shard_index_;
+  mutable std::mutex db_mu_;
+  pir::BlobDatabase db_;
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+};
+
+// The front-end's private-GET engine: splits a client key and queries every
+// shard over its transport. Exposed separately from the ZLTP session loop
+// so ZltpPirServer-style serving and benches can share it.
+class ShardFanout {
+ public:
+  // One transport per shard, in shard order. The front-end owns them.
+  ShardFanout(const ShardTopology& topology,
+              std::vector<std::unique_ptr<net::Transport>> shard_links);
+
+  const ShardTopology& topology() const { return topology_; }
+
+  // Splits, fans out, and XOR-combines. Serializes concurrent callers (the
+  // shard links are single-stream).
+  Result<Bytes> Answer(const dpf::DpfKey& key);
+
+ private:
+  ShardTopology topology_;
+  // unique_ptr keeps ShardFanout movable (it is constructed and handed to
+  // a FrontEndServer by value).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::vector<std::unique_ptr<net::Transport>> shards_;
+  std::uint32_t next_request_id_ = 1;
+};
+
+// A complete logical ZLTP server built from a fan-out: speaks the standard
+// client protocol (hello + GETs), so PirSession works unchanged against a
+// sharded deployment.
+class FrontEndServer {
+ public:
+  FrontEndServer(std::uint8_t role, Bytes keyword_seed, ShardFanout fanout);
+  ~FrontEndServer();
+
+  FrontEndServer(const FrontEndServer&) = delete;
+  FrontEndServer& operator=(const FrontEndServer&) = delete;
+
+  void ServeConnection(net::Transport& transport);
+  void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
+
+ private:
+  std::uint8_t role_;
+  Bytes keyword_seed_;
+  ShardFanout fanout_;
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+};
+
+}  // namespace lw::zltp

@@ -1,0 +1,146 @@
+#include "zltp/messages.h"
+
+#include "util/io.h"
+
+namespace lw::zltp {
+namespace {
+
+Status CheckType(const net::Frame& f, MsgType expected) {
+  if (f.type != static_cast<std::uint8_t>(expected)) {
+    return ProtocolError("unexpected frame type " + std::to_string(f.type));
+  }
+  return Status::Ok();
+}
+
+net::Frame MakeFrame(MsgType type, Bytes payload) {
+  net::Frame f;
+  f.type = static_cast<std::uint8_t>(type);
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kTwoServerPir: return "two-server-pir";
+    case Mode::kEnclave: return "enclave";
+  }
+  return "unknown";
+}
+
+net::Frame Encode(const ClientHello& m) {
+  Writer w;
+  w.U16(m.version);
+  w.U8(static_cast<std::uint8_t>(m.supported_modes.size()));
+  for (Mode mode : m.supported_modes) w.U8(static_cast<std::uint8_t>(mode));
+  return MakeFrame(MsgType::kClientHello, std::move(w).Take());
+}
+
+Result<ClientHello> DecodeClientHello(const net::Frame& f) {
+  LW_RETURN_IF_ERROR(CheckType(f, MsgType::kClientHello));
+  Reader r(f.payload);
+  ClientHello m;
+  LW_ASSIGN_OR_RETURN(m.version, r.U16());
+  LW_ASSIGN_OR_RETURN(const std::uint8_t n, r.U8());
+  for (int i = 0; i < n; ++i) {
+    LW_ASSIGN_OR_RETURN(const std::uint8_t mode, r.U8());
+    if (mode != 1 && mode != 2) return ProtocolError("unknown mode");
+    m.supported_modes.push_back(static_cast<Mode>(mode));
+  }
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
+}
+
+net::Frame Encode(const ServerHello& m) {
+  Writer w;
+  w.U16(m.version);
+  w.U8(static_cast<std::uint8_t>(m.mode));
+  w.U8(m.server_role);
+  w.U8(m.domain_bits);
+  w.U32(m.record_size);
+  w.LengthPrefixed(m.keyword_seed);
+  w.LengthPrefixed(m.enclave_public_key);
+  return MakeFrame(MsgType::kServerHello, std::move(w).Take());
+}
+
+Result<ServerHello> DecodeServerHello(const net::Frame& f) {
+  LW_RETURN_IF_ERROR(CheckType(f, MsgType::kServerHello));
+  Reader r(f.payload);
+  ServerHello m;
+  LW_ASSIGN_OR_RETURN(m.version, r.U16());
+  LW_ASSIGN_OR_RETURN(const std::uint8_t mode, r.U8());
+  if (mode != 1 && mode != 2) return ProtocolError("unknown mode");
+  m.mode = static_cast<Mode>(mode);
+  LW_ASSIGN_OR_RETURN(m.server_role, r.U8());
+  if (m.server_role > 1) return ProtocolError("server role must be 0 or 1");
+  LW_ASSIGN_OR_RETURN(m.domain_bits, r.U8());
+  LW_ASSIGN_OR_RETURN(m.record_size, r.U32());
+  LW_ASSIGN_OR_RETURN(m.keyword_seed, r.LengthPrefixed());
+  LW_ASSIGN_OR_RETURN(m.enclave_public_key, r.LengthPrefixed());
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
+}
+
+net::Frame Encode(const GetRequest& m) {
+  Writer w;
+  w.U32(m.request_id);
+  w.LengthPrefixed(m.body);
+  return MakeFrame(MsgType::kGetRequest, std::move(w).Take());
+}
+
+Result<GetRequest> DecodeGetRequest(const net::Frame& f) {
+  LW_RETURN_IF_ERROR(CheckType(f, MsgType::kGetRequest));
+  Reader r(f.payload);
+  GetRequest m;
+  LW_ASSIGN_OR_RETURN(m.request_id, r.U32());
+  LW_ASSIGN_OR_RETURN(m.body, r.LengthPrefixed());
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
+}
+
+net::Frame Encode(const GetResponse& m) {
+  Writer w;
+  w.U32(m.request_id);
+  w.LengthPrefixed(m.body);
+  return MakeFrame(MsgType::kGetResponse, std::move(w).Take());
+}
+
+Result<GetResponse> DecodeGetResponse(const net::Frame& f) {
+  LW_RETURN_IF_ERROR(CheckType(f, MsgType::kGetResponse));
+  Reader r(f.payload);
+  GetResponse m;
+  LW_ASSIGN_OR_RETURN(m.request_id, r.U32());
+  LW_ASSIGN_OR_RETURN(m.body, r.LengthPrefixed());
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
+}
+
+net::Frame Encode(const ErrorMsg& m) {
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(m.code));
+  w.String(m.message);
+  return MakeFrame(MsgType::kError, std::move(w).Take());
+}
+
+Result<ErrorMsg> DecodeError(const net::Frame& f) {
+  LW_RETURN_IF_ERROR(CheckType(f, MsgType::kError));
+  Reader r(f.payload);
+  ErrorMsg m;
+  LW_ASSIGN_OR_RETURN(const std::uint8_t code, r.U8());
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return ProtocolError("unknown status code in error frame");
+  }
+  m.code = static_cast<StatusCode>(code);
+  LW_ASSIGN_OR_RETURN(m.message, r.String());
+  LW_RETURN_IF_ERROR(r.ExpectEnd());
+  return m;
+}
+
+net::Frame EncodeBye() { return MakeFrame(MsgType::kBye, {}); }
+
+Status StatusFromError(const ErrorMsg& e) {
+  return Status(e.code, "server error: " + e.message);
+}
+
+}  // namespace lw::zltp

@@ -1,0 +1,197 @@
+#include "zltp/server.h"
+
+#include <atomic>
+
+#include "util/log.h"
+
+namespace lw::zltp {
+namespace {
+
+// Sends an error frame, ignoring transport failures (we are already on the
+// way out if the send fails).
+void SendError(net::Transport& t, StatusCode code, const std::string& msg) {
+  ErrorMsg e;
+  e.code = code;
+  e.message = msg;
+  (void)t.Send(Encode(e));
+}
+
+// Shared hello handling: reads the ClientHello and checks the mode.
+Status ExpectHelloWithMode(net::Transport& t, Mode required) {
+  auto frame = t.Receive();
+  if (!frame.ok()) return frame.status();
+  auto hello = DecodeClientHello(*frame);
+  if (!hello.ok()) {
+    SendError(t, StatusCode::kProtocolError, hello.status().message());
+    return hello.status();
+  }
+  if (hello->version != kProtocolVersion) {
+    SendError(t, StatusCode::kProtocolError, "unsupported protocol version");
+    return ProtocolError("client speaks version " +
+                         std::to_string(hello->version));
+  }
+  for (Mode m : hello->supported_modes) {
+    if (m == required) return Status::Ok();
+  }
+  SendError(t, StatusCode::kFailedPrecondition,
+            std::string("server only supports mode ") + ModeName(required));
+  return FailedPreconditionError("client does not support required mode");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- PIR
+
+ZltpPirServer::ZltpPirServer(const PirStore& store, std::uint8_t role,
+                             BatchConfig batch_config)
+    : store_(store), role_(role), batcher_(store, batch_config) {
+  LW_CHECK_MSG(role <= 1, "PIR server role must be 0 or 1");
+}
+
+ZltpPirServer::~ZltpPirServer() {
+  batcher_.Stop();
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (auto& t : owned_transports_) t->Close();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void ZltpPirServer::ServeConnection(net::Transport& transport) {
+  if (!ExpectHelloWithMode(transport, Mode::kTwoServerPir).ok()) return;
+
+  ServerHello hello;
+  hello.mode = Mode::kTwoServerPir;
+  hello.server_role = role_;
+  hello.domain_bits = static_cast<std::uint8_t>(store_.domain_bits());
+  hello.record_size = static_cast<std::uint32_t>(store_.record_size());
+  hello.keyword_seed = store_.config().keyword_seed;
+  if (!transport.Send(Encode(hello)).ok()) return;
+
+  // Pipelined requests from one connection are handled concurrently so they
+  // co-ride the batch scheduler's scans (responses may be sent out of
+  // order; the protocol matches them by request id). Worker count is
+  // bounded: excess requests are handled inline, which naturally
+  // back-pressures a flooding client.
+  constexpr int kMaxInflight = 32;
+  std::mutex send_mu;
+  std::atomic<int> inflight{0};
+  std::vector<std::thread> workers;
+
+  const auto handle = [this, &transport, &send_mu](std::uint32_t request_id,
+                                                   dpf::DpfKey key) {
+    auto answer = batcher_.Submit(std::move(key));
+    std::lock_guard<std::mutex> lock(send_mu);
+    if (!answer.ok()) {
+      SendError(transport, answer.status().code(),
+                answer.status().message());
+      return;
+    }
+    GetResponse response;
+    response.request_id = request_id;
+    response.body = std::move(*answer);
+    (void)transport.Send(Encode(response));
+  };
+
+  for (;;) {
+    auto frame = transport.Receive();
+    if (!frame.ok()) break;  // disconnect
+    if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) break;
+
+    auto request = DecodeGetRequest(*frame);
+    if (!request.ok()) {
+      std::lock_guard<std::mutex> lock(send_mu);
+      SendError(transport, StatusCode::kProtocolError,
+                request.status().message());
+      break;
+    }
+    auto key = dpf::DpfKey::Deserialize(request->body);
+    if (!key.ok()) {
+      std::lock_guard<std::mutex> lock(send_mu);
+      SendError(transport, StatusCode::kProtocolError,
+                "malformed DPF key: " + key.status().message());
+      break;
+    }
+    if (inflight.load() < kMaxInflight) {
+      ++inflight;
+      workers.emplace_back(
+          [&handle, &inflight, id = request->request_id,
+           k = std::move(*key)]() mutable {
+            handle(id, std::move(k));
+            --inflight;
+          });
+    } else {
+      handle(request->request_id, std::move(*key));
+    }
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ZltpPirServer::ServeConnectionDetached(
+    std::unique_ptr<net::Transport> transport) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  net::Transport* raw = transport.get();
+  owned_transports_.push_back(std::move(transport));
+  threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+// ------------------------------------------------------------ enclave
+
+ZltpEnclaveServer::ZltpEnclaveServer(oram::KvEnclave& enclave)
+    : enclave_(enclave) {}
+
+ZltpEnclaveServer::~ZltpEnclaveServer() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (auto& t : owned_transports_) t->Close();
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
+  if (!ExpectHelloWithMode(transport, Mode::kEnclave).ok()) return;
+
+  ServerHello hello;
+  hello.mode = Mode::kEnclave;
+  hello.record_size = static_cast<std::uint32_t>(enclave_.value_size());
+  hello.enclave_public_key = enclave_.public_key();
+  if (!transport.Send(Encode(hello)).ok()) return;
+
+  for (;;) {
+    auto frame = transport.Receive();
+    if (!frame.ok()) return;
+    if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
+
+    auto request = DecodeGetRequest(*frame);
+    if (!request.ok()) {
+      SendError(transport, StatusCode::kProtocolError,
+                request.status().message());
+      return;
+    }
+    Result<Bytes> sealed = UnavailableError("unset");
+    {
+      std::lock_guard<std::mutex> lock(enclave_mu_);
+      sealed = enclave_.HandleEncryptedRequest(request->body);
+    }
+    if (!sealed.ok()) {
+      SendError(transport, sealed.status().code(), sealed.status().message());
+      continue;
+    }
+    GetResponse response;
+    response.request_id = request->request_id;
+    response.body = std::move(*sealed);
+    if (!transport.Send(Encode(response)).ok()) return;
+  }
+}
+
+void ZltpEnclaveServer::ServeConnectionDetached(
+    std::unique_ptr<net::Transport> transport) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  net::Transport* raw = transport.get();
+  owned_transports_.push_back(std::move(transport));
+  threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+}  // namespace lw::zltp

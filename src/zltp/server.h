@@ -1,0 +1,76 @@
+// ZLTP servers.
+//
+// ZltpPirServer serves one logical half of the two-server PIR mode: it owns
+// no data itself but answers queries against a PirStore (the CDN runs two
+// such logical servers on disjoint trust domains, each with a replica of the
+// universe). Queries funnel through a BatchScheduler so concurrent clients
+// share data scans (paper §5.1 batching).
+//
+// ZltpEnclaveServer fronts a simulated hardware enclave (paper §2.2's second
+// mode): the host merely relays opaque encrypted requests into the enclave.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "oram/enclave.h"
+#include "zltp/batch.h"
+#include "zltp/messages.h"
+#include "zltp/store.h"
+
+namespace lw::zltp {
+
+class ZltpPirServer {
+ public:
+  // `role` is 0 or 1 — which of the two non-colluding servers this is.
+  ZltpPirServer(const PirStore& store, std::uint8_t role,
+                BatchConfig batch_config = {});
+  ~ZltpPirServer();
+
+  ZltpPirServer(const ZltpPirServer&) = delete;
+  ZltpPirServer& operator=(const ZltpPirServer&) = delete;
+
+  // Serves one client connection until the peer says Bye or disconnects.
+  // Blocking; safe to call from many threads at once.
+  void ServeConnection(net::Transport& transport);
+
+  // Spawns a thread serving the connection; the thread (and transport) are
+  // reaped by the destructor.
+  void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
+
+  BatchScheduler::Stats batch_stats() const { return batcher_.stats(); }
+
+ private:
+  const PirStore& store_;
+  std::uint8_t role_;
+  BatchScheduler batcher_;
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+};
+
+class ZltpEnclaveServer {
+ public:
+  explicit ZltpEnclaveServer(oram::KvEnclave& enclave);
+  ~ZltpEnclaveServer();
+
+  ZltpEnclaveServer(const ZltpEnclaveServer&) = delete;
+  ZltpEnclaveServer& operator=(const ZltpEnclaveServer&) = delete;
+
+  void ServeConnection(net::Transport& transport);
+  void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
+
+ private:
+  oram::KvEnclave& enclave_;
+  std::mutex enclave_mu_;  // the enclave processes one request at a time
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+};
+
+}  // namespace lw::zltp

@@ -1,0 +1,250 @@
+// DPF tests: correctness over full domains, point/full-eval agreement,
+// sharded (distributed) evaluation, serialization, and key-privacy
+// structure. Parameterized sweeps cover domain sizes 1..14 bits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "dpf/dpf.h"
+#include "util/rand.h"
+
+namespace lw::dpf {
+namespace {
+
+// XOR of both parties' bits at x must be the point-function value.
+void ExpectPointFunction(const KeyPair& pair, std::uint64_t alpha,
+                         std::uint64_t domain) {
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    const std::uint8_t v =
+        EvalPoint(pair.key0, x) ^ EvalPoint(pair.key1, x);
+    EXPECT_EQ(v, x == alpha ? 1 : 0) << "x=" << x << " alpha=" << alpha;
+  }
+}
+
+TEST(Dpf, TinyDomainExhaustive) {
+  // Every alpha in a 3-bit domain, every point checked.
+  for (std::uint64_t alpha = 0; alpha < 8; ++alpha) {
+    ExpectPointFunction(Generate(alpha, 3), alpha, 8);
+  }
+}
+
+TEST(Dpf, SingleBitDomain) {
+  for (std::uint64_t alpha = 0; alpha < 2; ++alpha) {
+    ExpectPointFunction(Generate(alpha, 1), alpha, 2);
+  }
+}
+
+class DpfDomainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpfDomainTest, FullEvalXorIsPointFunction) {
+  const int d = GetParam();
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  Rng rng(static_cast<std::uint64_t>(d) * 7919);
+  const std::uint64_t alpha = rng.UniformInt(domain);
+
+  const KeyPair pair = Generate(alpha, d);
+  const BitVector b0 = EvalFull(pair.key0);
+  const BitVector b1 = EvalFull(pair.key1);
+  ASSERT_EQ(b0.size(), (domain + 63) / 64);
+
+  std::uint64_t ones = 0;
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    const std::uint8_t v = GetBit(b0, x) ^ GetBit(b1, x);
+    if (v) {
+      EXPECT_EQ(x, alpha);
+      ++ones;
+    }
+  }
+  EXPECT_EQ(ones, 1u);
+}
+
+TEST_P(DpfDomainTest, EvalPointMatchesEvalFull) {
+  const int d = GetParam();
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  Rng rng(static_cast<std::uint64_t>(d) * 104729);
+  const std::uint64_t alpha = rng.UniformInt(domain);
+  const KeyPair pair = Generate(alpha, d);
+  const BitVector full = EvalFull(pair.key0);
+  // Sample points (all points for small domains).
+  const std::uint64_t step = domain <= 256 ? 1 : domain / 128;
+  for (std::uint64_t x = 0; x < domain; x += step) {
+    EXPECT_EQ(EvalPoint(pair.key0, x), GetBit(full, x)) << "x=" << x;
+  }
+  EXPECT_EQ(EvalPoint(pair.key0, alpha), GetBit(full, alpha));
+}
+
+TEST_P(DpfDomainTest, SingleKeyLooksBalanced) {
+  // One party's share alone should be a pseudorandom bit vector: roughly
+  // half ones, regardless of alpha. (A structural privacy smoke test.)
+  const int d = GetParam();
+  if (d < 8) return;  // too small for a meaningful balance check
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  const KeyPair pair = Generate(/*alpha=*/0, d);
+  const BitVector b0 = EvalFull(pair.key0);
+  std::uint64_t ones = 0;
+  for (std::uint64_t x = 0; x < domain; ++x) ones += GetBit(b0, x);
+  EXPECT_GT(ones, domain * 40 / 100);
+  EXPECT_LT(ones, domain * 60 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, DpfDomainTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12, 14));
+
+TEST(Dpf, AlphaAtDomainEdges) {
+  const int d = 10;
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  for (std::uint64_t alpha : {std::uint64_t{0}, domain - 1, domain / 2}) {
+    const KeyPair pair = Generate(alpha, d);
+    const BitVector b0 = EvalFull(pair.key0);
+    const BitVector b1 = EvalFull(pair.key1);
+    for (std::uint64_t x = 0; x < domain; ++x) {
+      EXPECT_EQ(GetBit(b0, x) ^ GetBit(b1, x), x == alpha ? 1 : 0);
+    }
+  }
+}
+
+TEST(Dpf, FreshKeysDiffer) {
+  const KeyPair a = Generate(5, 8);
+  const KeyPair b = Generate(5, 8);
+  // Same alpha, fresh randomness: serialized keys must differ.
+  EXPECT_NE(a.key0.Serialize(), b.key0.Serialize());
+}
+
+TEST(Dpf, KeySizeIndependentOfAlpha) {
+  // (λ+2)·d-bit keys: size must leak nothing about alpha (paper §5.1).
+  const auto size_for = [](std::uint64_t alpha) {
+    return Generate(alpha, 22).key0.Serialize().size();
+  };
+  const std::size_t s = size_for(0);
+  EXPECT_EQ(s, size_for(123456));
+  EXPECT_EQ(s, size_for((1u << 22) - 1));
+  // 2 bytes header + 16-byte seed + d * 17 bytes.
+  EXPECT_EQ(s, 2 + 16 + 22 * 17);
+}
+
+TEST(Dpf, SerializeDeserializeRoundTrip) {
+  const KeyPair pair = Generate(99, 12);
+  for (const DpfKey* key : {&pair.key0, &pair.key1}) {
+    const Bytes wire = key->Serialize();
+    EXPECT_EQ(wire.size(), key->SerializedSize());
+    auto parsed = DpfKey::Deserialize(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == *key);
+  }
+}
+
+TEST(Dpf, DeserializedKeyEvaluatesIdentically) {
+  const KeyPair pair = Generate(777, 11);
+  const Bytes wire = pair.key1.Serialize();
+  const DpfKey parsed = DpfKey::Deserialize(wire).value();
+  const BitVector original = EvalFull(pair.key1);
+  const BitVector reparsed = EvalFull(parsed);
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(Dpf, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DpfKey::Deserialize(Bytes{}).ok());
+  EXPECT_FALSE(DpfKey::Deserialize(Bytes(5, 0xab)).ok());
+  // Valid prefix but truncated correction words.
+  Bytes wire = Generate(3, 8).key0.Serialize();
+  wire.resize(wire.size() - 4);
+  EXPECT_FALSE(DpfKey::Deserialize(wire).ok());
+  // Trailing garbage.
+  Bytes wire2 = Generate(3, 8).key0.Serialize();
+  wire2.push_back(0);
+  EXPECT_FALSE(DpfKey::Deserialize(wire2).ok());
+  // Bad party byte.
+  Bytes wire3 = Generate(3, 8).key0.Serialize();
+  wire3[0] = 9;
+  EXPECT_FALSE(DpfKey::Deserialize(wire3).ok());
+}
+
+TEST(Dpf, GenerateRejectsBadArguments) {
+  EXPECT_THROW(Generate(0, 0), InvariantViolation);
+  EXPECT_THROW(Generate(0, 99), InvariantViolation);
+  EXPECT_THROW(Generate(1u << 8, 8), InvariantViolation);  // alpha too big
+}
+
+// ----------------------------------------------------- distributed eval
+
+class DpfShardTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DpfShardTest, ShardedEvalMatchesFullEval) {
+  const auto [d, top_bits] = GetParam();
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  Rng rng(static_cast<std::uint64_t>(d * 31 + top_bits));
+  const std::uint64_t alpha = rng.UniformInt(domain);
+  const KeyPair pair = Generate(alpha, d);
+
+  for (const DpfKey* key : {&pair.key0, &pair.key1}) {
+    const BitVector full = EvalFull(*key);
+    const std::vector<SubtreeKey> shards = SplitForShards(*key, top_bits);
+    ASSERT_EQ(shards.size(), std::uint64_t{1} << top_bits);
+
+    // Shard s covers the residue class x ≡ s (mod #shards); its leaf j is
+    // the point x = s + (j << top_bits).
+    const std::uint64_t per_shard = domain >> top_bits;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const BitVector sub = EvalSubtree(shards[s]);
+      for (std::uint64_t j = 0; j < per_shard; ++j) {
+        EXPECT_EQ(GetBit(sub, j), GetBit(full, s + (j << top_bits)))
+            << "shard " << s << " leaf " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, DpfShardTest,
+    ::testing::Values(std::tuple{8, 0}, std::tuple{8, 1}, std::tuple{8, 3},
+                      std::tuple{8, 8}, std::tuple{12, 4},
+                      std::tuple{14, 6}));
+
+TEST(DpfShard, TwoPartyShardedStillPointFunction) {
+  // Shard both parties' keys, evaluate shard-wise, and confirm the XOR is
+  // still the point function (this is the §5.2 deployment path).
+  const int d = 10, top = 3;
+  const std::uint64_t alpha = 421;
+  const KeyPair pair = Generate(alpha, d);
+  const auto shards0 = SplitForShards(pair.key0, top);
+  const auto shards1 = SplitForShards(pair.key1, top);
+  const std::uint64_t per_shard = std::uint64_t{1} << (d - top);
+
+  std::uint64_t ones = 0;
+  for (std::size_t s = 0; s < shards0.size(); ++s) {
+    const BitVector b0 = EvalSubtree(shards0[s]);
+    const BitVector b1 = EvalSubtree(shards1[s]);
+    for (std::uint64_t j = 0; j < per_shard; ++j) {
+      const std::uint8_t v = GetBit(b0, j) ^ GetBit(b1, j);
+      if (v) {
+        EXPECT_EQ(s + (j << top), alpha);
+        ++ones;
+      }
+    }
+  }
+  EXPECT_EQ(ones, 1u);
+}
+
+TEST(DpfShard, SubtreeKeySerializationRoundTrip) {
+  const KeyPair pair = Generate(100, 10);
+  const auto shards = SplitForShards(pair.key0, 4);
+  for (const SubtreeKey& sk : shards) {
+    const Bytes wire = sk.Serialize();
+    EXPECT_EQ(wire.size(), sk.SerializedSize());
+    auto parsed = SubtreeKey::Deserialize(wire);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(EvalSubtree(*parsed), EvalSubtree(sk));
+  }
+}
+
+TEST(DpfShard, SubtreeKeySmallerThanFullKey) {
+  // The per-shard key the front-end ships is smaller than the client's key:
+  // that is the point of the §5.2 tree split.
+  const KeyPair pair = Generate(7, 22);
+  const auto shards = SplitForShards(pair.key0, 8);
+  EXPECT_LT(shards[0].SerializedSize(), pair.key0.SerializedSize());
+}
+
+}  // namespace
+}  // namespace lw::dpf

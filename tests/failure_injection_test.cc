@@ -1,0 +1,255 @@
+// Failure injection: transports that die mid-protocol, servers vanishing
+// between requests, and shard outages. The client stack must surface clean
+// UNAVAILABLE/PROTOCOL errors — never hang, crash, or fabricate data.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "lightweb/browser.h"
+#include "lightweb/channel.h"
+#include "lightweb/publisher.h"
+#include "lightweb/universe.h"
+#include "net/transport.h"
+#include "pir/keyword.h"
+#include "pir/packing.h"
+#include "pir/two_server.h"
+#include "zltp/client.h"
+#include "zltp/frontend.h"
+#include "zltp/server.h"
+#include "zltp/store.h"
+
+namespace lw {
+namespace {
+
+// Wraps a transport and kills the connection after a fixed number of
+// operations (sends + receives), simulating a mid-protocol crash.
+class DyingTransport final : public net::Transport {
+ public:
+  DyingTransport(std::unique_ptr<net::Transport> inner, int ops_before_death)
+      : inner_(std::move(inner)), remaining_(ops_before_death) {}
+
+  Status Send(const net::Frame& frame) override {
+    if (Expired()) return UnavailableError("injected failure");
+    return inner_->Send(frame);
+  }
+  Result<net::Frame> Receive() override {
+    if (Expired()) return UnavailableError("injected failure");
+    return inner_->Receive();
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  bool Expired() {
+    if (remaining_.fetch_sub(1) <= 0) {
+      inner_->Close();
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<net::Transport> inner_;
+  std::atomic<int> remaining_;
+};
+
+// Corrupts every received frame's payload (bit flips), simulating an
+// in-path tamperer.
+class CorruptingTransport final : public net::Transport {
+ public:
+  explicit CorruptingTransport(std::unique_ptr<net::Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Send(const net::Frame& frame) override { return inner_->Send(frame); }
+  Result<net::Frame> Receive() override {
+    auto frame = inner_->Receive();
+    if (frame.ok() && !frame->payload.empty()) {
+      frame->payload[frame->payload.size() / 2] ^= 0x40;
+    }
+    return frame;
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<net::Transport> inner_;
+};
+
+zltp::PirStoreConfig StoreConfig() {
+  zltp::PirStoreConfig c;
+  c.domain_bits = 12;
+  c.record_size = 128;
+  c.keyword_seed = Bytes(16, 0x5a);
+  return c;
+}
+
+TEST(FailureInjection, SessionDiesDuringEstablish) {
+  zltp::PirStore store(StoreConfig());
+  zltp::ZltpPirServer server0(store, 0);
+  zltp::ZltpPirServer server1(store, 1);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+
+  // Connection 0 dies before the hello completes.
+  auto session = zltp::PirSession::Establish(
+      std::make_unique<DyingTransport>(std::move(p0.a), 1),
+      std::move(p1.a));
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureInjection, ServerDiesBetweenRequests) {
+  zltp::PirStore store(StoreConfig());
+  ASSERT_TRUE(store.Publish("k", ToBytes("v")).ok());
+  zltp::ZltpPirServer server0(store, 0);
+  zltp::ZltpPirServer server1(store, 1);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+
+  // Hello (2 ops) + first GET (2 ops) survive; the link dies afterwards.
+  auto session = zltp::PirSession::Establish(
+      std::make_unique<DyingTransport>(std::move(p0.a), 4),
+      std::move(p1.a));
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->PrivateGet("k").ok());
+
+  auto second = session->PrivateGet("k");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  // Subsequent calls keep failing cleanly rather than crashing.
+  EXPECT_FALSE(session->PrivateGet("k").ok());
+  session->Close();
+}
+
+TEST(FailureInjection, BatchFailsCleanlyWhenServerDies) {
+  zltp::PirStore store(StoreConfig());
+  for (int i = 0; i < 5; ++i) {
+    (void)store.Publish("k" + std::to_string(i), ToBytes("v"));
+  }
+  zltp::ZltpPirServer server0(store, 0);
+  zltp::ZltpPirServer server1(store, 1);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+
+  auto session = zltp::PirSession::Establish(
+      std::move(p0.a),
+      std::make_unique<DyingTransport>(std::move(p1.a), 6));
+  ASSERT_TRUE(session.ok());
+  auto batch = session->PrivateGetBatch({"k0", "k1", "k2", "k3", "k4"});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureInjection, CorruptedServerAnswerDetected) {
+  // A tamperer flips bits in the record share: reconstruction yields a
+  // record whose fingerprint cannot match — reported as COLLISION or a
+  // protocol error, never silently-wrong data.
+  zltp::PirStore store(StoreConfig());
+  ASSERT_TRUE(store.Publish("page", ToBytes("truth")).ok());
+  zltp::ZltpPirServer server0(store, 0);
+  zltp::ZltpPirServer server1(store, 1);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+
+  auto session = zltp::PirSession::Establish(
+      std::move(p0.a),
+      std::make_unique<CorruptingTransport>(std::move(p1.a)));
+  // The hello itself may already fail to parse; if it succeeds, the GET
+  // must not return fabricated content.
+  if (!session.ok()) {
+    SUCCEED();
+    return;
+  }
+  auto value = session->PrivateGet("page");
+  if (value.ok()) {
+    // Astronomically unlikely: corruption preserved the fingerprint AND
+    // the payload. Treat as failure.
+    FAIL() << "corrupted answer authenticated: " << ToString(*value);
+  }
+}
+
+TEST(FailureInjection, ShardOutageFailsFanout) {
+  zltp::ShardTopology topology;
+  topology.domain_bits = 10;
+  topology.top_bits = 1;  // 2 shards
+  topology.record_size = 64;
+
+  zltp::ShardDataServer shard0(topology, 0);
+  zltp::ShardDataServer shard1(topology, 1);
+  net::TransportPair l0 = net::CreateInMemoryPair();
+  net::TransportPair l1 = net::CreateInMemoryPair();
+  shard0.ServeConnectionDetached(std::move(l0.b));
+  shard1.ServeConnectionDetached(std::move(l1.b));
+
+  std::vector<std::unique_ptr<net::Transport>> links;
+  links.push_back(std::move(l0.a));
+  // Shard 1's link is already dead.
+  links.push_back(std::make_unique<DyingTransport>(std::move(l1.a), 0));
+  zltp::ShardFanout fanout(topology, std::move(links));
+
+  const pir::QueryKeys q = pir::MakeIndexQuery(3, 10);
+  auto answer = fanout.Answer(q.key0);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureInjection, BrowserSurfacesChannelFailure) {
+  using namespace lightweb;
+  UniverseConfig config;
+  config.name = "failing";
+  config.code_domain_bits = 10;
+  config.code_blob_size = 4096;
+  config.data_domain_bits = 12;
+  config.data_blob_size = 256;
+  config.fetches_per_page = 2;
+  Universe universe(config);
+  Publisher pub("p");
+  SiteBuilder site("a.example");
+  site.AddRoute("/*rest", {"a.example/data.json"}, "{{data0.x}}");
+  ASSERT_TRUE(pub.PublishSite(universe, site).ok());
+  json::Object blob;
+  blob["x"] = "y";
+  ASSERT_TRUE(pub.PublishData(universe, "a.example/data.json",
+                              json::Value(blob)).ok());
+
+  zltp::ZltpPirServer code0(universe.code_store(), 0);
+  zltp::ZltpPirServer code1(universe.code_store(), 1);
+  zltp::ZltpPirServer data0(universe.data_store(), 0);
+  zltp::ZltpPirServer data1(universe.data_store(), 1);
+  net::TransportPair c0 = net::CreateInMemoryPair();
+  net::TransportPair c1 = net::CreateInMemoryPair();
+  net::TransportPair d0 = net::CreateInMemoryPair();
+  net::TransportPair d1 = net::CreateInMemoryPair();
+  code0.ServeConnectionDetached(std::move(c0.b));
+  code1.ServeConnectionDetached(std::move(c1.b));
+  data0.ServeConnectionDetached(std::move(d0.b));
+  data1.ServeConnectionDetached(std::move(d1.b));
+
+  auto code_session =
+      zltp::PirSession::Establish(std::move(c0.a), std::move(c1.a));
+  // The data channel dies after the hello.
+  auto data_session = zltp::PirSession::Establish(
+      std::make_unique<DyingTransport>(std::move(d0.a), 2),
+      std::move(d1.a));
+  ASSERT_TRUE(code_session.ok());
+  ASSERT_TRUE(data_session.ok());
+
+  BrowserConfig bconfig;
+  bconfig.fetches_per_page = universe.fetches_per_page();
+  Browser browser(
+      std::make_unique<ZltpPirChannel>(std::move(*code_session)),
+      std::make_unique<ZltpPirChannel>(std::move(*data_session)), bconfig);
+
+  auto page = browser.Visit("a.example/anything");
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,173 @@
+// Whole-system integration: synthetic corpus → universes → browser sessions.
+//
+// Publishes a C4-like corpus (many domains, log-normal page sizes) into a
+// universe, then drives Zipf browsing sessions through the browser and
+// checks the global invariants: every page view renders, and the data
+// channel sees EXACTLY fetches_per_page queries per visit regardless of
+// page, domain, hit, or miss.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lightweb/browser.h"
+#include "lightweb/channel.h"
+#include "lightweb/publisher.h"
+#include "lightweb/universe.h"
+#include "workload/workload.h"
+
+namespace lw::lightweb {
+namespace {
+
+class CorpusUniverse {
+ public:
+  CorpusUniverse()
+      : corpus_(workload::C4Like(kPages, /*seed=*/11)),
+        universe_(Config()) {
+    // One publisher per synthetic domain, each with a generic one-route
+    // site: /page/:id fetches the page blob and renders its text.
+    std::set<std::string> domains;
+    for (std::uint64_t i = 0; i < kPages; ++i) {
+      domains.insert(corpus_.DomainOf(i));
+    }
+    for (const std::string& domain : domains) {
+      Publisher pub("pub-" + domain);
+      SiteBuilder site(domain);
+      site.SetSiteName(domain).AddRoute(
+          "/page/:id", {"{domain}/page/{id}"},
+          "# {{site}} page {{id}}\n{{data0.text}}\n");
+      EXPECT_TRUE(pub.PublishSite(universe_, site).ok()) << domain;
+      publishers_.emplace(domain, std::move(pub));
+    }
+    for (std::uint64_t i = 0; i < kPages; ++i) {
+      const workload::SyntheticPage page = corpus_.GetPage(i);
+      const std::string domain = corpus_.DomainOf(i);
+      // Raw payload push (the payload is already JSON text).
+      const Status s = universe_.PushData("pub-" + domain, page.path,
+                                          page.payload);
+      published_ += s.ok();  // rare hash collisions are expected and fine
+    }
+  }
+
+  static constexpr std::uint64_t kPages = 2000;
+
+  static UniverseConfig Config() {
+    UniverseConfig c;
+    c.name = "integration";
+    c.code_domain_bits = 10;
+    c.code_blob_size = 4096;
+    c.data_domain_bits = 16;
+    c.data_blob_size = 4096;
+    c.fetches_per_page = 3;
+    c.master_seed = Bytes(16, 0x5c);
+    return c;
+  }
+
+  const workload::SyntheticCorpus& corpus() const { return corpus_; }
+  const Universe& universe() const { return universe_; }
+  int published() const { return published_; }
+
+ private:
+  workload::SyntheticCorpus corpus_;
+  Universe universe_;
+  std::map<std::string, Publisher> publishers_;
+  int published_ = 0;
+};
+
+// Shared across tests in this file (construction publishes 2000 blobs).
+CorpusUniverse& SharedCorpusUniverse() {
+  static CorpusUniverse* cu = new CorpusUniverse();
+  return *cu;
+}
+
+TEST(Integration, CorpusPublishes) {
+  CorpusUniverse& cu = SharedCorpusUniverse();
+  // With 2000 keys in a 2^16 domain, expect only a handful of collisions.
+  EXPECT_GT(cu.published(), 1950);
+  EXPECT_EQ(cu.universe().total_pages(),
+            static_cast<std::size_t>(cu.published()));
+  EXPECT_GT(cu.universe().total_domains(), 0u);
+}
+
+TEST(Integration, ZipfSessionsKeepTrafficInvariant) {
+  CorpusUniverse& cu = SharedCorpusUniverse();
+  BrowserConfig config;
+  config.fetches_per_page = cu.universe().fetches_per_page();
+  config.code_cache_capacity = 4;  // smaller than #domains: forces misses
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(cu.universe().code_store()),
+      std::make_unique<InProcessPirChannel>(cu.universe().data_store()),
+      config);
+
+  workload::SessionGenerator session(cu.corpus(), 1.0, 0.7, /*seed=*/99);
+  const int kVisits = 60;
+  int rendered = 0;
+  for (int v = 0; v < kVisits; ++v) {
+    auto page = browser.Visit(session.NextVisit());
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    rendered += !page->text.empty();
+    EXPECT_EQ(page->real_fetches + page->dummy_fetches,
+              cu.universe().fetches_per_page());
+  }
+  EXPECT_EQ(rendered, kVisits);
+  // THE invariant: total data-channel queries = visits × budget, exactly.
+  EXPECT_EQ(browser.data_channel().observed_queries(),
+            static_cast<std::uint64_t>(kVisits) *
+                static_cast<std::uint64_t>(
+                    cu.universe().fetches_per_page()));
+  // Code-channel queries = cache misses only.
+  EXPECT_EQ(browser.code_channel().observed_queries(),
+            browser.code_cache_misses());
+  EXPECT_GT(browser.code_cache_hits(), 0u);
+}
+
+TEST(Integration, ContentRoundTripsThroughFullStack) {
+  CorpusUniverse& cu = SharedCorpusUniverse();
+  BrowserConfig config;
+  config.fetches_per_page = cu.universe().fetches_per_page();
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(cu.universe().code_store()),
+      std::make_unique<InProcessPirChannel>(cu.universe().data_store()),
+      config);
+
+  // Spot-check: rendered pages carry the corpus text for published blobs.
+  int checked = 0;
+  for (std::uint64_t i = 0; i < CorpusUniverse::kPages && checked < 10;
+       i += 197) {
+    const workload::SyntheticPage p = cu.corpus().GetPage(i);
+    if (!cu.universe().data_store().Contains(p.path)) continue;  // collided
+    auto page = browser.Visit(p.path);
+    ASSERT_TRUE(page.ok()) << p.path;
+    ASSERT_TRUE(page->fetch_status.at(0).ok()) << p.path;
+    // The render contains the page id header.
+    EXPECT_NE(page->text.find("page " + std::to_string(i)),
+              std::string::npos);
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Integration, UpdatesPropagateImmediately) {
+  CorpusUniverse& cu = SharedCorpusUniverse();
+  // Publishers can update a live page; browsers see the new content on the
+  // next visit (data blobs are never cached client-side).
+  const workload::SyntheticPage p = cu.corpus().GetPage(7);
+  const std::string domain = cu.corpus().DomainOf(7);
+  Universe& universe = const_cast<Universe&>(cu.universe());
+  ASSERT_TRUE(universe
+                  .PushData("pub-" + domain, p.path,
+                            ToBytes(R"({"text":"freshly edited"})"))
+                  .ok());
+
+  BrowserConfig config;
+  config.fetches_per_page = cu.universe().fetches_per_page();
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(cu.universe().code_store()),
+      std::make_unique<InProcessPirChannel>(cu.universe().data_store()),
+      config);
+  auto page = browser.Visit(p.path);
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page->text.find("freshly edited"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lw::lightweb

@@ -1,0 +1,175 @@
+// JSON library tests: parsing (full grammar incl. escapes and surrogate
+// pairs), serialization, round-trips, path lookup, and malformed inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "json/json.h"
+#include "util/check.h"
+
+namespace lw::json {
+namespace {
+
+Value MustParse(std::string_view text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << text;
+  return std::move(r).value();
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").AsBool(), true);
+  EXPECT_EQ(MustParse("false").AsBool(), false);
+  EXPECT_DOUBLE_EQ(MustParse("42").AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.25").AsNumber(), -3.25);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("2.5E-2").AsNumber(), 0.025);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParse, Containers) {
+  const Value v = MustParse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.AsObject().size(), 2u);
+  const Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->At(0)->AsNumber(), 1.0);
+  EXPECT_EQ(a->At(2)->Find("b")->AsString(), "c");
+  EXPECT_TRUE(v.Find("d")->is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d\b\f\n\r\t")").AsString(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(MustParse(R"("Aé")").AsString(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 (emoji).
+  EXPECT_EQ(MustParse(R"("😀")").AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Value v = MustParse("  {\n\t\"k\" :\r [ 1 , 2 ]\n} ");
+  EXPECT_EQ(v.Find("k")->AsArray().size(), 2u);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(MustParse("{}").AsObject().empty());
+  EXPECT_TRUE(MustParse("[]").AsArray().empty());
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  const char* bad[] = {
+      "",           "{",          "}",        "[1,]",     "{\"a\":}",
+      "{\"a\" 1}",  "tru",        "nul",      "01",       "1.",
+      "1e",         "\"unterminated", "\"\\q\"",  "[1 2]",
+      "{\"a\":1,}", "\"\\ud800\"",  // unpaired surrogate
+      "{\"a\":1} extra",
+      "\"tab\tinside\"",  // unescaped control character
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << "should reject: " << text;
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string shallow(50, '[');
+  shallow += std::string(50, ']');
+  EXPECT_TRUE(Parse(shallow).ok());
+}
+
+TEST(JsonWrite, Scalars) {
+  EXPECT_EQ(Write(Value(nullptr)), "null");
+  EXPECT_EQ(Write(Value(true)), "true");
+  EXPECT_EQ(Write(Value(3)), "3");
+  EXPECT_EQ(Write(Value(-2.5)), "-2.5");
+  EXPECT_EQ(Write(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonWrite, EscapesSpecials) {
+  EXPECT_EQ(Write(Value("a\"b\\c\n\x01")), R"("a\"b\\c\n\u0001")");
+}
+
+TEST(JsonWrite, CanonicalKeyOrder) {
+  Object o;
+  o["zebra"] = 1;
+  o["apple"] = 2;
+  EXPECT_EQ(Write(Value(o)), R"({"apple":2,"zebra":1})");
+}
+
+TEST(JsonWrite, Pretty) {
+  Object o;
+  o["a"] = Array{1, 2};
+  WriteOptions opts;
+  opts.pretty = true;
+  EXPECT_EQ(Write(Value(o), opts), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull) {
+  EXPECT_EQ(Write(Value(std::nan(""))), "null");
+}
+
+TEST(JsonRoundTrip, ParseWriteParse) {
+  const std::string docs[] = {
+      R"({"headlines":[{"title":"A","link":"x"},{"title":"B"}],"n":3})",
+      R"([true,false,null,0.5,"s",{"k":[]}])",
+      R"({"unicode":"café","nested":{"deep":{"deeper":[1]}}})",
+  };
+  for (const auto& doc : docs) {
+    const Value v1 = MustParse(doc);
+    const std::string out = Write(v1);
+    const Value v2 = MustParse(out);
+    EXPECT_TRUE(v1 == v2) << doc;
+    EXPECT_EQ(out, Write(v2));  // canonical: stable under re-serialization
+  }
+}
+
+TEST(JsonPath, FindPath) {
+  const Value v = MustParse(
+      R"({"site":{"sections":[{"name":"world"},{"name":"tech"}]}})");
+  ASSERT_NE(v.FindPath("site.sections.1.name"), nullptr);
+  EXPECT_EQ(v.FindPath("site.sections.1.name")->AsString(), "tech");
+  EXPECT_EQ(v.FindPath("site.sections.7.name"), nullptr);
+  EXPECT_EQ(v.FindPath("site.missing"), nullptr);
+  EXPECT_EQ(v.FindPath("site.sections.x"), nullptr);
+}
+
+TEST(JsonPath, GetStringAndNumberFallbacks) {
+  const Value v = MustParse(R"({"a":{"b":"text","n":7}})");
+  EXPECT_EQ(v.GetString("a.b"), "text");
+  EXPECT_EQ(v.GetString("a.z", "fallback"), "fallback");
+  EXPECT_EQ(v.GetString("a.n", "not-a-string"), "not-a-string");
+  EXPECT_DOUBLE_EQ(v.GetNumber("a.n"), 7.0);
+  EXPECT_DOUBLE_EQ(v.GetNumber("a.b", -1.0), -1.0);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = MustParse("42");
+  EXPECT_THROW(v.AsString(), InvariantViolation);
+  EXPECT_THROW(v.AsObject(), InvariantViolation);
+  EXPECT_NO_THROW(v.AsNumber());
+}
+
+TEST(JsonValue, AsIntTruncates) {
+  EXPECT_EQ(MustParse("3.9").AsInt(), 3);
+  EXPECT_EQ(MustParse("-2.5").AsInt(), -2);
+}
+
+TEST(JsonValue, LargeDocument) {
+  Array arr;
+  for (int i = 0; i < 1000; ++i) {
+    Object o;
+    o["i"] = i;
+    o["s"] = "item-" + std::to_string(i);
+    arr.push_back(std::move(o));
+  }
+  const std::string text = Write(Value(arr));
+  const Value parsed = MustParse(text);
+  EXPECT_EQ(parsed.AsArray().size(), 1000u);
+  EXPECT_EQ(parsed.FindPath("999.s")->AsString(), "item-999");
+}
+
+}  // namespace
+}  // namespace lw::json

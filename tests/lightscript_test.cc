@@ -1,0 +1,275 @@
+// LightScript interpreter tests: code-blob parsing, route matching, fetch
+// templates, render templates, and link extraction.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+#include "lightweb/lightscript.h"
+#include "lightweb/local_storage.h"
+
+namespace lw::lightweb {
+namespace {
+
+CodeProgram MustParse(std::string_view text) {
+  auto p = CodeProgram::Parse(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+json::Value MustJson(std::string_view text) {
+  auto v = json::Parse(text);
+  EXPECT_TRUE(v.ok());
+  return std::move(v).value();
+}
+
+constexpr char kNewsBlob[] = R"({
+  "site": "The Daily Planet",
+  "style": "serif",
+  "routes": [
+    {"pattern": "/world/:region",
+     "fetch": ["planet.com/data/world/{region}.json"],
+     "render": "# {{site}} — {{region}}\n{{#each data0.headlines}}- [{{.title}}]({{.link}})\n{{/each}}"},
+    {"pattern": "/about",
+     "fetch": [],
+     "render": "About {{site}}."},
+    {"pattern": "/*rest",
+     "fetch": ["planet.com/data/home.json"],
+     "render": "{{data0.greeting}} You asked for '{{rest}}'."}
+  ]
+})";
+
+TEST(CodeProgram, ParseValidBlob) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  EXPECT_EQ(p.site_name(), "The Daily Planet");
+  EXPECT_EQ(p.style(), "serif");
+  EXPECT_EQ(p.route_count(), 3u);
+  EXPECT_EQ(p.max_fetches(), 1u);
+}
+
+TEST(CodeProgram, ParseRejectsMalformed) {
+  EXPECT_FALSE(CodeProgram::Parse("not json").ok());
+  EXPECT_FALSE(CodeProgram::Parse("[]").ok());
+  EXPECT_FALSE(CodeProgram::Parse("{}").ok());  // no routes
+  EXPECT_FALSE(CodeProgram::Parse(R"({"routes": []})").ok());
+  EXPECT_FALSE(CodeProgram::Parse(R"({"routes": [{"render":"x"}]})").ok());
+  EXPECT_FALSE(
+      CodeProgram::Parse(R"({"routes": [{"pattern":"/a"}]})").ok());
+  // '*' not in last position.
+  EXPECT_FALSE(CodeProgram::Parse(
+                   R"({"routes":[{"pattern":"/*x/y","render":"r"}]})")
+                   .ok());
+  // Unnamed captures.
+  EXPECT_FALSE(CodeProgram::Parse(
+                   R"({"routes":[{"pattern":"/:","render":"r"}]})")
+                   .ok());
+  // Bad template syntax is caught at parse time.
+  EXPECT_FALSE(CodeProgram::Parse(
+                   R"({"routes":[{"pattern":"/a","render":"{{#each x}}no close"}]})")
+                   .ok());
+  EXPECT_FALSE(CodeProgram::Parse(
+                   R"({"routes":[{"pattern":"/a","render":"{{unclosed"}]})")
+                   .ok());
+}
+
+TEST(CodeProgram, PlanMatchesFirstRoute) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  auto plan = p.Plan("planet.com", "/world/africa", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->route_index, 0u);
+  EXPECT_EQ(plan->captures.at("region"), "africa");
+  ASSERT_EQ(plan->fetch_paths.size(), 1u);
+  EXPECT_EQ(plan->fetch_paths[0], "planet.com/data/world/africa.json");
+}
+
+TEST(CodeProgram, PlanLiteralRoute) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  auto plan = p.Plan("planet.com", "/about", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->route_index, 1u);
+  EXPECT_TRUE(plan->fetch_paths.empty());
+}
+
+TEST(CodeProgram, PlanFallsThroughToCatchAll) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  auto plan = p.Plan("planet.com", "/anything/else/here", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->route_index, 2u);
+  EXPECT_EQ(plan->captures.at("rest"), "anything/else/here");
+}
+
+TEST(CodeProgram, CatchAllMatchesRoot) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  auto plan = p.Plan("planet.com", "/", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->route_index, 2u);
+  EXPECT_EQ(plan->captures.at("rest"), "");
+}
+
+TEST(CodeProgram, NoMatchIsNotFound) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{"pattern": "/only/this", "render": "x"}]})");
+  LocalStorage local;
+  auto plan = p.Plan("a.com", "/other", local);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodeProgram, FetchTemplateUsesLocalStorage) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/",
+      "fetch": ["weather.com/by-zip/{local.postal_code}.json"],
+      "render": "ok"}]})");
+  LocalStorage local;
+  local.Set("postal_code", "94703");
+  auto plan = p.Plan("weather.com", "/", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->fetch_paths[0], "weather.com/by-zip/94703.json");
+}
+
+TEST(CodeProgram, FetchTemplateLocalFallback) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/",
+      "fetch": ["weather.com/by-zip/{local.postal_code|00000}.json"],
+      "render": "ok"}]})");
+  LocalStorage local;  // no postal code cached yet
+  auto plan = p.Plan("weather.com", "/", local);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->fetch_paths[0], "weather.com/by-zip/00000.json");
+}
+
+TEST(CodeProgram, FetchTemplateMissingLocalWithoutFallbackFails) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/",
+      "fetch": ["weather.com/{local.missing}.json"],
+      "render": "ok"}]})");
+  LocalStorage local;
+  auto plan = p.Plan("weather.com", "/", local);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CodeProgram, FetchTemplateUnknownCaptureFails) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/:a",
+      "fetch": ["x.com/{typo}.json"],
+      "render": "ok"}]})");
+  LocalStorage local;
+  EXPECT_FALSE(p.Plan("x.com", "/v", local).ok());
+}
+
+TEST(CodeProgram, RenderInterpolation) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  const auto plan = p.Plan("planet.com", "/world/europe", local).value();
+  const std::vector<json::Value> data = {MustJson(R"({
+    "headlines": [
+      {"title": "Alpha", "link": "planet.com/story/alpha"},
+      {"title": "Beta",  "link": "planet.com/story/beta"}
+    ]})")};
+  const std::string out =
+      p.Render(plan, "planet.com", "/world/europe", local, data).value();
+  EXPECT_NE(out.find("The Daily Planet — europe"), std::string::npos);
+  EXPECT_NE(out.find("- [Alpha](planet.com/story/alpha)"), std::string::npos);
+  EXPECT_NE(out.find("- [Beta](planet.com/story/beta)"), std::string::npos);
+}
+
+TEST(CodeProgram, RenderMissingDataIsEmpty) {
+  const CodeProgram p = MustParse(kNewsBlob);
+  LocalStorage local;
+  const auto plan = p.Plan("planet.com", "/world/mars", local).value();
+  // Fetch failed: null stands in.
+  const std::vector<json::Value> data = {json::Value()};
+  const std::string out =
+      p.Render(plan, "planet.com", "/world/mars", local, data).value();
+  EXPECT_NE(out.find("The Daily Planet — mars"), std::string::npos);
+  // No headlines rendered, no crash.
+  EXPECT_EQ(out.find("- ["), std::string::npos);
+}
+
+TEST(Template, IfSections) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/",
+      "fetch": ["a.com/d.json"],
+      "render": "{{#if data0.premium}}PREMIUM{{/if}}{{^if data0.premium}}FREE{{/if}}"}]})");
+  LocalStorage local;
+  const auto plan = p.Plan("a.com", "/", local).value();
+  EXPECT_EQ(p.Render(plan, "a.com", "/", local,
+                     {MustJson(R"({"premium": true})")})
+                .value(),
+            "PREMIUM");
+  EXPECT_EQ(p.Render(plan, "a.com", "/", local,
+                     {MustJson(R"({"premium": false})")})
+                .value(),
+            "FREE");
+  EXPECT_EQ(p.Render(plan, "a.com", "/", local, {json::Value()}).value(),
+            "FREE");
+}
+
+TEST(Template, NestedEachWithIndex) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{
+      "pattern": "/",
+      "fetch": ["a.com/d.json"],
+      "render": "{{#each data0.sections}}{{@index}}:{{.name}}({{#each .items}}{{.}},{{/each}}) {{/each}}"}]})");
+  LocalStorage local;
+  const auto plan = p.Plan("a.com", "/", local).value();
+  const std::string out =
+      p.Render(plan, "a.com", "/", local, {MustJson(R"({
+        "sections": [
+          {"name": "world", "items": ["a", "b"]},
+          {"name": "tech",  "items": ["c"]}
+        ]})")})
+          .value();
+  EXPECT_EQ(out, "0:world(a,b,) 1:tech(c,) ");
+}
+
+TEST(Template, LocalAndBuiltins) {
+  const CodeProgram p = MustParse(R"({
+    "site": "W",
+    "routes": [{
+      "pattern": "/:city",
+      "fetch": [],
+      "render": "{{site}}|{{domain}}|{{path}}|{{city}}|{{local.units}}"}]})");
+  LocalStorage local;
+  local.Set("units", "celsius");
+  const auto plan = p.Plan("w.com", "/berlin", local).value();
+  EXPECT_EQ(p.Render(plan, "w.com", "/berlin", local, {}).value(),
+            "W|w.com|/berlin|berlin|celsius");
+}
+
+TEST(Template, NumbersRenderCleanly) {
+  const CodeProgram p = MustParse(R"({
+    "routes": [{"pattern": "/", "fetch": ["a.com/d.json"],
+                "render": "{{data0.n}}/{{data0.f}}"}]})");
+  LocalStorage local;
+  const auto plan = p.Plan("a.com", "/", local).value();
+  EXPECT_EQ(p.Render(plan, "a.com", "/", local,
+                     {MustJson(R"({"n": 42, "f": 2.5})")})
+                .value(),
+            "42/2.5");
+}
+
+TEST(Links, ExtractLinks) {
+  const auto links = ExtractLinks(
+      "Read [Alpha](planet.com/story/alpha) and "
+      "[Beta](planet.com/story/beta). Broken [nope] and [empty]().");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], (PageLink{"Alpha", "planet.com/story/alpha"}));
+  EXPECT_EQ(links[1], (PageLink{"Beta", "planet.com/story/beta"}));
+}
+
+TEST(Links, NoLinks) {
+  EXPECT_TRUE(ExtractLinks("plain text only").empty());
+  EXPECT_TRUE(ExtractLinks("").empty());
+}
+
+}  // namespace
+}  // namespace lw::lightweb

@@ -1,0 +1,89 @@
+// Path parsing and domain validation tests.
+#include <gtest/gtest.h>
+
+#include "lightweb/path.h"
+
+namespace lw::lightweb {
+namespace {
+
+TEST(Domain, ValidDomains) {
+  for (const char* d : {"nytimes.com", "a.b", "weather.example.org",
+                        "poodleclubofamerica.org", "x1-2.y3", "123.com"}) {
+    EXPECT_TRUE(IsValidDomain(d)) << d;
+  }
+}
+
+TEST(Domain, InvalidDomains) {
+  for (const char* d :
+       {"", "nodots", "UPPER.com", ".leading", "trailing.", "sp ace.com",
+        "under_score.com", "-lead.com", "trail-.com", "a..b", "dom/ain.com"}) {
+    EXPECT_FALSE(IsValidDomain(d)) << d;
+  }
+}
+
+TEST(Domain, RejectsOverlongLabelsAndNames) {
+  const std::string long_label(64, 'a');
+  EXPECT_FALSE(IsValidDomain(long_label + ".com"));
+  const std::string ok_label(63, 'a');
+  EXPECT_TRUE(IsValidDomain(ok_label + ".com"));
+  std::string huge;
+  for (int i = 0; i < 100; ++i) huge += "abc.";
+  huge += "com";
+  EXPECT_FALSE(IsValidDomain(huge));
+}
+
+TEST(Path, ParseFullPath) {
+  auto p = ParsePath("nytimes.com/world/africa/2023/06/headlines.json");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->domain, "nytimes.com");
+  EXPECT_EQ(p->rest, "/world/africa/2023/06/headlines.json");
+}
+
+TEST(Path, ParseDomainOnly) {
+  auto p = ParsePath("weather.com");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->domain, "weather.com");
+  EXPECT_EQ(p->rest, "/");
+}
+
+TEST(Path, ToleratesLeadingSlash) {
+  auto p = ParsePath("/cnn.com/politics");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->domain, "cnn.com");
+  EXPECT_EQ(p->rest, "/politics");
+}
+
+TEST(Path, RejectsInvalidDomain) {
+  EXPECT_FALSE(ParsePath("not_a_domain/x").ok());
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("/").ok());
+}
+
+TEST(Path, SplitSegments) {
+  auto s = SplitSegments("/a/b/c");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitSegments("/").value().empty());
+  EXPECT_TRUE(SplitSegments("").value().empty());
+  // Trailing slash tolerated.
+  EXPECT_EQ(SplitSegments("/a/b/").value(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Path, SplitRejectsBadSegments) {
+  EXPECT_FALSE(SplitSegments("/a//b").ok());
+  EXPECT_FALSE(SplitSegments("/a/../b").ok());
+  EXPECT_FALSE(SplitSegments("/./a").ok());
+}
+
+TEST(Path, JoinPath) {
+  EXPECT_EQ(JoinPath("a.com", "/x/y"), "a.com/x/y");
+  EXPECT_EQ(JoinPath("a.com", "x/y"), "a.com/x/y");
+  EXPECT_EQ(JoinPath("a.com", ""), "a.com/");
+  // Round trip with parse.
+  auto p = ParsePath("a.com/x");
+  EXPECT_EQ(JoinPath(p->domain, p->rest), "a.com/x");
+}
+
+}  // namespace
+}  // namespace lw::lightweb

@@ -1,0 +1,140 @@
+// Universe snapshot tests: full round trip including access-controlled
+// (ciphertext) blobs, ownership, and rejection of mismatched targets.
+#include <gtest/gtest.h>
+
+#include "lightweb/browser.h"
+#include "lightweb/channel.h"
+#include "lightweb/publisher.h"
+#include "lightweb/snapshot.h"
+#include "lightweb/universe.h"
+
+namespace lw::lightweb {
+namespace {
+
+UniverseConfig SnapConfig() {
+  UniverseConfig c;
+  c.name = "snap";
+  c.code_domain_bits = 10;
+  c.code_blob_size = 4096;
+  c.data_domain_bits = 14;
+  c.data_blob_size = 512;
+  c.fetches_per_page = 2;
+  c.master_seed = Bytes(16, 0x3c);
+  return c;
+}
+
+Publisher FillUniverse(Universe& universe) {
+  Publisher pub("snap-pub");
+  SiteBuilder site("snap.example");
+  site.SetSiteName("Snapshot Site")
+      .AddRoute("/p/:id", {"snap.example/data/{id}.json"},
+                "{{data0.body}}");
+  EXPECT_TRUE(pub.PublishSite(universe, site).ok());
+  json::Object pub_blob;
+  pub_blob["body"] = "public text";
+  EXPECT_TRUE(pub.PublishData(universe, "snap.example/data/free.json",
+                              json::Value(pub_blob))
+                  .ok());
+  json::Object prem;
+  prem["body"] = "premium text";
+  EXPECT_TRUE(pub.PublishProtectedData(universe,
+                                       "snap.example/data/prem.json",
+                                       json::Value(prem))
+                  .ok());
+  return pub;
+}
+
+TEST(Snapshot, RoundTripRestoresEverything) {
+  Universe original(SnapConfig());
+  Publisher pub = FillUniverse(original);
+
+  auto snapshot = SaveUniverseSnapshot(original);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  // Restore into a fresh universe (different master seed: restore is
+  // content-level, not index-level).
+  UniverseConfig fresh_config = SnapConfig();
+  fresh_config.master_seed = Bytes(16, 0x99);
+  Universe restored(fresh_config);
+  ASSERT_TRUE(LoadUniverseSnapshot(restored, *snapshot).ok());
+
+  EXPECT_EQ(restored.total_pages(), original.total_pages());
+  EXPECT_EQ(restored.total_domains(), original.total_domains());
+  EXPECT_EQ(restored.OwnerOf("snap.example").value(), "snap-pub");
+
+  // Public page renders from the restored universe.
+  BrowserConfig bconfig;
+  bconfig.fetches_per_page = restored.fetches_per_page();
+  Browser browser(
+      std::make_unique<InProcessPirChannel>(restored.code_store()),
+      std::make_unique<InProcessPirChannel>(restored.data_store()),
+      bconfig);
+  auto page = browser.Visit("snap.example/p/free");
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page->text.find("public text"), std::string::npos);
+
+  // The protected blob survived as ciphertext: a keyed client decrypts it.
+  Browser subscriber(
+      std::make_unique<InProcessPirChannel>(restored.code_store()),
+      std::make_unique<InProcessPirChannel>(restored.data_store()),
+      bconfig);
+  subscriber.keyring("snap.example")
+      .AddEpochKey(pub.keyring().current_epoch(),
+                   pub.IssueClientKey(pub.keyring().current_epoch()));
+  page = subscriber.Visit("snap.example/p/prem");
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page->text.find("premium text"), std::string::npos);
+  // ...and the unkeyed one cannot.
+  page = browser.Visit("snap.example/p/prem");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->text.find("premium text"), std::string::npos);
+}
+
+TEST(Snapshot, LoadRejectsMismatchedConfig) {
+  Universe original(SnapConfig());
+  FillUniverse(original);
+  const std::string snapshot = SaveUniverseSnapshot(original).value();
+
+  UniverseConfig other = SnapConfig();
+  other.data_blob_size = 1024;  // different fixed blob size
+  Universe target(other);
+  EXPECT_EQ(LoadUniverseSnapshot(target, snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Snapshot, LoadRejectsNonEmptyTarget) {
+  Universe original(SnapConfig());
+  FillUniverse(original);
+  const std::string snapshot = SaveUniverseSnapshot(original).value();
+
+  Universe target(SnapConfig());
+  ASSERT_TRUE(target.ClaimDomain("occupied.example", "someone").ok());
+  EXPECT_EQ(LoadUniverseSnapshot(target, snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Snapshot, LoadRejectsGarbage) {
+  Universe target(SnapConfig());
+  EXPECT_FALSE(LoadUniverseSnapshot(target, "not json").ok());
+  EXPECT_FALSE(LoadUniverseSnapshot(target, "{}").ok());
+  EXPECT_FALSE(
+      LoadUniverseSnapshot(target, R"({"format":"something-else"})").ok());
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Universe original(SnapConfig());
+  FillUniverse(original);
+  const std::string path = "/tmp/lw_snapshot_test.json";
+  ASSERT_TRUE(SaveUniverseSnapshotToFile(original, path).ok());
+
+  UniverseConfig fresh = SnapConfig();
+  fresh.master_seed.clear();  // random
+  Universe restored(fresh);
+  ASSERT_TRUE(LoadUniverseSnapshotFromFile(restored, path).ok());
+  EXPECT_EQ(restored.total_pages(), original.total_pages());
+  EXPECT_FALSE(
+      LoadUniverseSnapshotFromFile(restored, "/no/such/file").ok());
+}
+
+}  // namespace
+}  // namespace lw::lightweb

@@ -1,0 +1,126 @@
+// Private aggregate statistics tests: share splitting, aggregation,
+// combination, serialization, and the privacy property that a single share
+// is (statistically) uninformative.
+#include <gtest/gtest.h>
+
+#include "stats/private_stats.h"
+#include "util/rand.h"
+
+namespace lw::stats {
+namespace {
+
+TEST(SplitIndicator, SharesSumToIndicator) {
+  for (std::size_t bucket : {0u, 3u, 9u}) {
+    const ReportShares r = SplitIndicator(10, bucket);
+    ASSERT_EQ(r.for_server0.size(), 10u);
+    ASSERT_EQ(r.for_server1.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      const std::uint64_t sum = r.for_server0[i] + r.for_server1[i];
+      EXPECT_EQ(sum, i == bucket ? 1u : 0u) << "i=" << i;
+    }
+  }
+}
+
+TEST(SplitIndicator, SingleShareLooksRandom) {
+  // Each share alone is uniform: check bucket values differ across reports
+  // and are not simply 0/1.
+  const ReportShares a = SplitIndicator(4, 2);
+  const ReportShares b = SplitIndicator(4, 2);
+  EXPECT_NE(a.for_server0, b.for_server0);
+  int trivial = 0;
+  for (std::uint64_t v : a.for_server0) trivial += (v <= 1);
+  EXPECT_LT(trivial, 4);  // overwhelming probability
+}
+
+TEST(SplitIndicator, RejectsBadBucket) {
+  EXPECT_THROW(SplitIndicator(4, 4), InvariantViolation);
+}
+
+TEST(Aggregation, EndToEndCounts) {
+  constexpr std::size_t kDomains = 5;
+  AggregationServer s0(kDomains), s1(kDomains);
+
+  // 100 clients report visits; we track ground truth.
+  std::vector<std::uint64_t> truth(kDomains, 0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t bucket = rng.UniformInt(kDomains);
+    ++truth[bucket];
+    const ReportShares r = SplitIndicator(kDomains, bucket);
+    ASSERT_TRUE(s0.Accept(r.for_server0).ok());
+    ASSERT_TRUE(s1.Accept(r.for_server1).ok());
+  }
+  EXPECT_EQ(s0.reports_accepted(), 100u);
+
+  auto combined = CombineTotals(s0.totals(), s1.totals());
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, truth);
+
+  // Each server's accumulator alone does not equal the truth (whp).
+  EXPECT_NE(s0.totals(), truth);
+}
+
+TEST(Aggregation, RejectsWrongLength) {
+  AggregationServer s(4);
+  EXPECT_FALSE(s.Accept(Share(5, 0)).ok());
+  EXPECT_EQ(s.reports_accepted(), 0u);
+}
+
+TEST(Aggregation, Reset) {
+  AggregationServer s(2);
+  ASSERT_TRUE(s.Accept(Share{1, 2}).ok());
+  s.Reset();
+  EXPECT_EQ(s.reports_accepted(), 0u);
+  EXPECT_EQ(s.totals(), (Share{0, 0}));
+}
+
+TEST(Aggregation, CombineRejectsMismatch) {
+  EXPECT_FALSE(CombineTotals(Share{1}, Share{1, 2}).ok());
+}
+
+TEST(ShareSerialization, RoundTrip) {
+  const Share share{0, 1, 0xffffffffffffffffULL, 42};
+  auto parsed = DeserializeShare(SerializeShare(share));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, share);
+}
+
+TEST(ShareSerialization, RejectsTruncated) {
+  Bytes wire = SerializeShare(Share{1, 2, 3});
+  wire.pop_back();
+  EXPECT_FALSE(DeserializeShare(wire).ok());
+}
+
+TEST(DomainStats, ReportAndBill) {
+  DomainQueryStats stats({"cnn.com", "nytimes.com", "poodles.org"});
+  AggregationServer s0(stats.num_domains()), s1(stats.num_domains());
+
+  const auto visit = [&](std::string_view domain) {
+    auto r = stats.MakeReport(domain);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(s0.Accept(r->for_server0).ok());
+    ASSERT_TRUE(s1.Accept(r->for_server1).ok());
+  };
+  visit("nytimes.com");
+  visit("nytimes.com");
+  visit("poodles.org");
+
+  auto combined = CombineTotals(s0.totals(), s1.totals());
+  ASSERT_TRUE(combined.ok());
+  auto labeled = stats.LabelTotals(*combined);
+  ASSERT_TRUE(labeled.ok());
+  ASSERT_EQ(labeled->size(), 3u);
+  for (const auto& dc : *labeled) {
+    if (dc.domain == "nytimes.com") EXPECT_EQ(dc.count, 2u);
+    if (dc.domain == "poodles.org") EXPECT_EQ(dc.count, 1u);
+    if (dc.domain == "cnn.com") EXPECT_EQ(dc.count, 0u);
+  }
+}
+
+TEST(DomainStats, UnknownDomainRejected) {
+  DomainQueryStats stats({"a.com"});
+  EXPECT_FALSE(stats.MakeReport("b.com").ok());
+}
+
+}  // namespace
+}  // namespace lw::stats

@@ -1,0 +1,224 @@
+// Unit tests for the util substrate: bytes, hex, Result/Status, Reader/Writer,
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/hex.h"
+#include "util/io.h"
+#include "util/rand.h"
+#include "util/status.h"
+
+namespace lw {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = ToBytes("hello");
+  EXPECT_EQ(ToString(b), "hello");
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abc")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abd")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abcd")));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0x0f, 0xf0, 0xaa};
+  const Bytes b = {0xff, 0xff, 0xaa};
+  XorInto(a, b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0x0f, 0x00}));
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  std::uint8_t buf[8];
+  StoreLE32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadLE32(buf), 0xdeadbeefu);
+  StoreLE64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadLE64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, BigEndian) {
+  std::uint8_t buf[4];
+  StoreBE32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(LoadBE32(buf), 0x01020304u);
+}
+
+TEST(Hex, EncodeDecode) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+  auto decoded = HexDecode("0001abff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(Hex, DecodeUppercase) {
+  auto decoded = HexDecode("ABFF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xff}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFoundError("no such key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such key");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = InvalidArgumentError("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r = InternalError("boom");
+  EXPECT_THROW(r.value(), InvariantViolation);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  LW_ASSIGN_OR_RETURN(const int h, Halve(x));
+  return Halve(h);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(LW_CHECK(1 == 2), InvariantViolation);
+  EXPECT_NO_THROW(LW_CHECK(1 == 1));
+}
+
+TEST(Io, WriterReaderRoundTrip) {
+  Writer w;
+  w.U8(7);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.String("lightweb");
+  w.LengthPrefixed(Bytes{1, 2, 3});
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.U8().value(), 7);
+  EXPECT_EQ(r.U16().value(), 0xbeef);
+  EXPECT_EQ(r.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.String().value(), "lightweb");
+  EXPECT_EQ(r.LengthPrefixed().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(Io, ReaderRejectsTruncation) {
+  Writer w;
+  w.U32(5);
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.U64().ok());
+}
+
+TEST(Io, ReaderRejectsBadLengthPrefix) {
+  Writer w;
+  w.U32(1000);  // claims 1000 bytes, none present
+  Reader r(w.bytes());
+  auto res = r.LengthPrefixed();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(Io, ExpectEndFailsWithTrailingBytes) {
+  Writer w;
+  w.U8(1);
+  w.U8(2);
+  Reader r(w.bytes());
+  ASSERT_TRUE(r.U8().ok());
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+TEST(Rand, SecureRandomProducesDistinctBuffers) {
+  const Bytes a = SecureRandom(32);
+  const Bytes b = SecureRandom(32);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);  // astronomically unlikely to collide
+}
+
+TEST(Rand, DeterministicRngReproducible) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rand, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rand, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(10), 10u);
+  }
+}
+
+TEST(Rand, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rand, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rand, FillProducesAllLengths) {
+  Rng rng(9);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u}) {
+    Bytes buf(n, 0xcc);
+    rng.Fill(buf);
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace lw

@@ -1,0 +1,116 @@
+// Workload generator tests: determinism, size statistics, JSON validity,
+// Zipf sampling, and session generation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "json/json.h"
+#include "lightweb/path.h"
+#include "workload/workload.h"
+
+namespace lw::workload {
+namespace {
+
+TEST(Corpus, Deterministic) {
+  const SyntheticCorpus a(C4Like(1000));
+  const SyntheticCorpus b(C4Like(1000));
+  for (std::uint64_t i : {0u, 1u, 999u}) {
+    EXPECT_EQ(a.GetPage(i).path, b.GetPage(i).path);
+    EXPECT_EQ(a.GetPage(i).payload, b.GetPage(i).payload);
+  }
+  const SyntheticCorpus c(C4Like(1000, /*seed=*/99));
+  EXPECT_NE(a.GetPage(5).payload, c.GetPage(5).payload);
+}
+
+TEST(Corpus, PathsAreValidLightwebPaths) {
+  const SyntheticCorpus corpus(C4Like(500));
+  for (std::uint64_t i = 0; i < 500; i += 37) {
+    const auto page = corpus.GetPage(i);
+    auto parsed = lightweb::ParsePath(page.path);
+    ASSERT_TRUE(parsed.ok()) << page.path;
+    EXPECT_EQ(parsed->domain, corpus.DomainOf(i));
+  }
+}
+
+TEST(Corpus, PayloadsAreValidJson) {
+  const SyntheticCorpus corpus(C4Like(200));
+  for (std::uint64_t i = 0; i < 200; i += 11) {
+    const auto page = corpus.GetPage(i);
+    auto v = json::Parse(ToString(page.payload));
+    ASSERT_TRUE(v.ok()) << "page " << i << ": " << v.status().ToString();
+    EXPECT_EQ(v->GetNumber("id", -1), static_cast<double>(i));
+  }
+}
+
+TEST(Corpus, MeanSizeMatchesSpec) {
+  // C4: mean compressed page ≈ 0.9 KiB; Wikipedia ≈ 0.4 KiB.
+  const SyntheticCorpus c4(C4Like(20000));
+  const double c4_mean = c4.SampleMeanPayloadBytes(2000);
+  EXPECT_NEAR(c4_mean, 0.9 * 1024, 0.25 * 1024);
+
+  const SyntheticCorpus wiki(WikipediaLike(20000));
+  const double wiki_mean = wiki.SampleMeanPayloadBytes(2000);
+  EXPECT_NEAR(wiki_mean, 0.4 * 1024, 0.15 * 1024);
+  EXPECT_LT(wiki_mean, c4_mean);
+}
+
+TEST(Corpus, SizesNeverExceedRecordBudget) {
+  const SyntheticCorpus corpus(C4Like(5000));
+  for (std::uint64_t i = 0; i < 5000; i += 13) {
+    EXPECT_LE(corpus.GetPage(i).payload.size(),
+              corpus.spec().max_page_bytes);
+    EXPECT_GE(corpus.GetPage(i).payload.size(), 30u);
+  }
+}
+
+TEST(Zipf, HeadHeavierThanTail) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(42);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  // Rank 0 should dominate rank 100 by roughly 100× (s=1).
+  EXPECT_GT(counts[0], 50 * std::max(counts[100], 1) / 10);
+  // All samples in range.
+  for (const auto& [k, v] : counts) EXPECT_LT(k, 1000u);
+}
+
+TEST(Zipf, UniformWhenSIsZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[zipf.Sample(rng)]++;
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_GT(counts[k], 700);
+    EXPECT_LT(counts[k], 1300);
+  }
+}
+
+TEST(Sessions, VisitsAreValidCorpusPages) {
+  const SyntheticCorpus corpus(C4Like(2000));
+  SessionGenerator gen(corpus);
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = gen.NextVisit();
+    EXPECT_TRUE(lightweb::ParsePath(path).ok()) << path;
+  }
+}
+
+TEST(Sessions, StayOnDomainBias) {
+  const SyntheticCorpus corpus(C4Like(4096));
+  SessionGenerator gen(corpus, 1.0, /*stay_on_domain=*/0.9, 3);
+  std::string prev_domain;
+  int same = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::string path = gen.NextVisit();
+    const std::string domain = lightweb::ParsePath(path)->domain;
+    if (!prev_domain.empty()) {
+      ++total;
+      same += (domain == prev_domain);
+    }
+    prev_domain = domain;
+  }
+  // With 0.9 stickiness, well over half of transitions stay on-domain.
+  EXPECT_GT(same, total / 2);
+}
+
+}  // namespace
+}  // namespace lw::workload

@@ -1,0 +1,579 @@
+// ZLTP protocol tests: message codecs, the PirStore (single-node and
+// sharded), batching, and full client/server sessions over in-memory and
+// TCP transports in both modes of operation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "oram/enclave.h"
+#include "oram/storage.h"
+#include "pir/packing.h"
+#include "pir/two_server.h"
+#include "util/rand.h"
+#include "zltp/batch.h"
+#include "zltp/client.h"
+#include "zltp/messages.h"
+#include "zltp/server.h"
+#include "zltp/store.h"
+
+namespace lw::zltp {
+namespace {
+
+PirStoreConfig SmallStoreConfig(int domain_bits = 12,
+                                std::size_t record_size = 128,
+                                int shard_top_bits = 0) {
+  PirStoreConfig c;
+  c.domain_bits = domain_bits;
+  c.record_size = record_size;
+  c.keyword_seed = Bytes(16, 0x5a);
+  c.shard_top_bits = shard_top_bits;
+  return c;
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(Messages, ClientHelloRoundTrip) {
+  ClientHello m;
+  m.supported_modes = {Mode::kTwoServerPir, Mode::kEnclave};
+  auto decoded = DecodeClientHello(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kProtocolVersion);
+  EXPECT_EQ(decoded->supported_modes, m.supported_modes);
+}
+
+TEST(Messages, ServerHelloRoundTrip) {
+  ServerHello m;
+  m.mode = Mode::kTwoServerPir;
+  m.server_role = 1;
+  m.domain_bits = 22;
+  m.record_size = 4096;
+  m.keyword_seed = Bytes(16, 7);
+  auto decoded = DecodeServerHello(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->server_role, 1);
+  EXPECT_EQ(decoded->domain_bits, 22);
+  EXPECT_EQ(decoded->record_size, 4096u);
+  EXPECT_EQ(decoded->keyword_seed, m.keyword_seed);
+  EXPECT_TRUE(decoded->enclave_public_key.empty());
+}
+
+TEST(Messages, GetRequestResponseRoundTrip) {
+  GetRequest req;
+  req.request_id = 42;
+  req.body = ToBytes("dpf-key-bytes");
+  auto dreq = DecodeGetRequest(Encode(req));
+  ASSERT_TRUE(dreq.ok());
+  EXPECT_EQ(dreq->request_id, 42u);
+  EXPECT_EQ(dreq->body, req.body);
+
+  GetResponse resp;
+  resp.request_id = 42;
+  resp.body = ToBytes("record");
+  auto dresp = DecodeGetResponse(Encode(resp));
+  ASSERT_TRUE(dresp.ok());
+  EXPECT_EQ(dresp->request_id, 42u);
+}
+
+TEST(Messages, ErrorRoundTrip) {
+  ErrorMsg e;
+  e.code = StatusCode::kNotFound;
+  e.message = "nope";
+  auto decoded = DecodeError(Encode(e));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded->message, "nope");
+  EXPECT_EQ(StatusFromError(*decoded).code(), StatusCode::kNotFound);
+}
+
+TEST(Messages, DecodeRejectsWrongType) {
+  EXPECT_FALSE(DecodeServerHello(Encode(ClientHello{})).ok());
+  EXPECT_FALSE(DecodeGetRequest(EncodeBye()).ok());
+}
+
+TEST(Messages, DecodeRejectsTruncated) {
+  net::Frame f = Encode(GetRequest{1, ToBytes("body")});
+  f.payload.resize(f.payload.size() - 2);
+  EXPECT_FALSE(DecodeGetRequest(f).ok());
+}
+
+// -------------------------------------------------------------- PirStore
+
+TEST(PirStore, PublishAndDirectLookup) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("a.com/x", ToBytes("payload-x")).ok());
+  EXPECT_TRUE(store.Contains("a.com/x"));
+  EXPECT_EQ(ToString(store.DirectLookup("a.com/x").value()), "payload-x");
+  EXPECT_EQ(store.record_count(), 1u);
+}
+
+TEST(PirStore, RepublishUpdatesContent) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("a.com/x", ToBytes("v1")).ok());
+  ASSERT_TRUE(store.Publish("a.com/x", ToBytes("v2")).ok());
+  EXPECT_EQ(ToString(store.DirectLookup("a.com/x").value()), "v2");
+  EXPECT_EQ(store.record_count(), 1u);
+}
+
+TEST(PirStore, OversizedPayloadRejected) {
+  PirStore store(SmallStoreConfig(12, 64));
+  EXPECT_FALSE(store.Publish("k", Bytes(100, 1)).ok());
+  EXPECT_FALSE(store.Contains("k"));  // registration rolled back
+  // And publishing something valid under the same key afterwards works.
+  EXPECT_TRUE(store.Publish("k", Bytes(10, 1)).ok());
+}
+
+TEST(PirStore, UnpublishRemoves) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("k", ToBytes("v")).ok());
+  ASSERT_TRUE(store.Unpublish("k").ok());
+  EXPECT_FALSE(store.Contains("k"));
+  EXPECT_FALSE(store.DirectLookup("k").ok());
+  EXPECT_FALSE(store.Unpublish("k").ok());
+}
+
+TEST(PirStore, CollisionReported) {
+  // Tiny domain: many keys must collide.
+  PirStore store(SmallStoreConfig(4, 64));
+  int collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Status s =
+        store.Publish("key-" + std::to_string(i), ToBytes("v"));
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCollision);
+      ++collisions;
+    }
+  }
+  EXPECT_GT(collisions, 0);
+}
+
+TEST(PirStore, AnswerQueryRetrievesRecord) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("page", ToBytes("content")).ok());
+  const std::uint64_t index = store.mapper().IndexOf("page");
+  const pir::QueryKeys q = pir::MakeIndexQuery(index, store.domain_bits());
+  const Bytes a0 = store.AnswerQuery(q.key0).value();
+  const Bytes a1 = store.AnswerQuery(q.key1).value();
+  const Bytes record = pir::CombineAnswers(a0, a1).value();
+  auto un = pir::UnpackRecord(record);
+  ASSERT_TRUE(un.ok());
+  EXPECT_EQ(ToString(un->payload), "content");
+  EXPECT_EQ(un->fingerprint, store.mapper().Fingerprint("page"));
+}
+
+TEST(PirStore, AnswerRejectsWrongDomain) {
+  PirStore store(SmallStoreConfig(12, 128));
+  const pir::QueryKeys q = pir::MakeIndexQuery(0, 10);  // wrong domain
+  EXPECT_FALSE(store.AnswerQuery(q.key0).ok());
+}
+
+class ShardedStoreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedStoreTest, ShardedAnswersMatchSingleNode) {
+  const int top_bits = GetParam();
+  PirStore single(SmallStoreConfig(10, 96, 0));
+  PirStore sharded(SmallStoreConfig(10, 96, top_bits));
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "site.com/page-" + std::to_string(i);
+    const Bytes payload = ToBytes("content-" + std::to_string(i));
+    const Status s1 = single.Publish(key, payload);
+    const Status s2 = sharded.Publish(key, payload);
+    EXPECT_EQ(s1.ok(), s2.ok());  // same seed → same collisions
+  }
+  EXPECT_EQ(sharded.shard_count(), std::size_t{1} << top_bits);
+  EXPECT_EQ(single.record_count(), sharded.record_count());
+
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const std::uint64_t index = rng.UniformInt(1 << 10);
+    const pir::QueryKeys q = pir::MakeIndexQuery(index, 10);
+    EXPECT_EQ(single.AnswerQuery(q.key0).value(),
+              sharded.AnswerQuery(q.key0).value())
+        << "index " << index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedStoreTest,
+                         ::testing::Values(1, 2, 4, 6));
+
+TEST(PirStore, BatchMatchesIndividual) {
+  for (int top_bits : {0, 3}) {
+    PirStore store(SmallStoreConfig(10, 96, top_bits));
+    for (int i = 0; i < 30; ++i) {
+      (void)store.Publish("p" + std::to_string(i), ToBytes("v"));
+    }
+    std::vector<dpf::DpfKey> keys;
+    std::vector<Bytes> individual;
+    Rng rng(11);
+    for (int i = 0; i < 7; ++i) {
+      const pir::QueryKeys q =
+          pir::MakeIndexQuery(rng.UniformInt(1 << 10), 10);
+      keys.push_back(q.key0);
+      individual.push_back(store.AnswerQuery(q.key0).value());
+    }
+    auto batch = store.AnswerBatch(keys);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*batch, individual) << "top_bits=" << top_bits;
+  }
+}
+
+TEST(PirStore, KeysEnumeratesPublished) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("a", ToBytes("1")).ok());
+  ASSERT_TRUE(store.Publish("b", ToBytes("2")).ok());
+  auto keys = store.Keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------- batcher
+
+TEST(BatchScheduler, SingleSubmitWorks) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("k", ToBytes("v")).ok());
+  BatchScheduler batcher(store, BatchConfig{});
+  const pir::QueryKeys q =
+      pir::MakeIndexQuery(store.mapper().IndexOf("k"), store.domain_bits());
+  auto a0 = batcher.Submit(q.key0);
+  ASSERT_TRUE(a0.ok());
+  EXPECT_EQ(*a0, store.AnswerQuery(q.key0).value());
+}
+
+TEST(BatchScheduler, ConcurrentSubmitsShareBatches) {
+  PirStore store(SmallStoreConfig());
+  for (int i = 0; i < 20; ++i) {
+    (void)store.Publish("k" + std::to_string(i), ToBytes("v"));
+  }
+  BatchConfig config;
+  config.max_batch = 8;
+  config.max_wait = std::chrono::milliseconds(50);
+  BatchScheduler batcher(store, config);
+
+  constexpr int kClients = 24;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const pir::QueryKeys q = pir::MakeIndexQuery(
+          static_cast<std::uint64_t>(c), store.domain_bits());
+      auto answer = batcher.Submit(q.key0);
+      if (!answer.ok() || *answer != store.AnswerQuery(q.key0).value()) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients));
+  // With a 50 ms window, the 24 clients must have shared batches.
+  EXPECT_LT(stats.batches, static_cast<std::uint64_t>(kClients));
+  EXPECT_GT(stats.average_batch_size(), 1.0);
+}
+
+TEST(BatchScheduler, RejectsWrongDomainWithoutPoisoningBatch) {
+  PirStore store(SmallStoreConfig(12, 128));
+  BatchScheduler batcher(store, BatchConfig{});
+  const pir::QueryKeys bad = pir::MakeIndexQuery(0, 8);
+  EXPECT_FALSE(batcher.Submit(bad.key0).ok());
+  const pir::QueryKeys good = pir::MakeIndexQuery(0, 12);
+  EXPECT_TRUE(batcher.Submit(good.key0).ok());
+}
+
+TEST(BatchScheduler, StopFailsPendingAndFutureSubmits) {
+  PirStore store(SmallStoreConfig());
+  BatchScheduler batcher(store, BatchConfig{});
+  batcher.Stop();
+  const pir::QueryKeys q = pir::MakeIndexQuery(0, store.domain_bits());
+  EXPECT_EQ(batcher.Submit(q.key0).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// --------------------------------------------- end-to-end PIR sessions
+
+class PirSessionTest : public ::testing::Test {
+ protected:
+  PirSessionTest()
+      : store_(SmallStoreConfig()),
+        server0_(store_, 0),
+        server1_(store_, 1) {}
+
+  // In the real system the two logical servers hold replicas in separate
+  // trust domains; sharing one PirStore in-process is equivalent for
+  // correctness tests.
+  Result<PirSession> Connect() {
+    net::TransportPair p0 = net::CreateInMemoryPair();
+    net::TransportPair p1 = net::CreateInMemoryPair();
+    server0_.ServeConnectionDetached(std::move(p0.b));
+    server1_.ServeConnectionDetached(std::move(p1.b));
+    return PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  }
+
+  PirStore store_;
+  ZltpPirServer server0_;
+  ZltpPirServer server1_;
+};
+
+TEST_F(PirSessionTest, EstablishNegotiatesParameters) {
+  auto session = Connect();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->domain_bits(), store_.domain_bits());
+  EXPECT_EQ(session->record_size(), store_.record_size());
+  EXPECT_EQ(session->keyword_seed(), store_.config().keyword_seed);
+  session->Close();
+}
+
+TEST_F(PirSessionTest, PrivateGetRoundTrip) {
+  ASSERT_TRUE(store_.Publish("nytimes.com/africa", ToBytes("uganda news")).ok());
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  auto value = session->PrivateGet("nytimes.com/africa");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(ToString(*value), "uganda news");
+  session->Close();
+}
+
+TEST_F(PirSessionTest, MissingKeyIsNotFound) {
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  auto value = session->PrivateGet("never-published");
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kNotFound);
+  session->Close();
+}
+
+TEST_F(PirSessionTest, ManyKeysRoundTrip) {
+  std::vector<std::string> published;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "site/page" + std::to_string(i);
+    if (store_.Publish(key, ToBytes("content" + std::to_string(i))).ok()) {
+      published.push_back(key);
+    }
+  }
+  ASSERT_GT(published.size(), 30u);
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  for (const auto& key : published) {
+    auto value = session->PrivateGet(key);
+    ASSERT_TRUE(value.ok()) << key << ": " << value.status().ToString();
+    EXPECT_EQ(ToString(*value),
+              "content" + key.substr(std::string("site/page").size()));
+  }
+  session->Close();
+}
+
+TEST_F(PirSessionTest, DummyGetIndistinguishableTrafficCost) {
+  ASSERT_TRUE(store_.Publish("real-page", ToBytes("data")).ok());
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+
+  const auto before = session->traffic();
+  ASSERT_TRUE(session->PrivateGet("real-page").ok());
+  const auto after_real = session->traffic();
+  ASSERT_TRUE(session->DummyGet().ok());
+  const auto after_dummy = session->traffic();
+
+  const std::uint64_t real_sent = after_real.bytes_sent - before.bytes_sent;
+  const std::uint64_t dummy_sent =
+      after_dummy.bytes_sent - after_real.bytes_sent;
+  EXPECT_EQ(real_sent, dummy_sent);
+  const std::uint64_t real_recv =
+      after_real.bytes_received - before.bytes_received;
+  const std::uint64_t dummy_recv =
+      after_dummy.bytes_received - after_real.bytes_received;
+  EXPECT_EQ(real_recv, dummy_recv);
+}
+
+TEST_F(PirSessionTest, PublishAfterConnectIsVisible) {
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->PrivateGet("late").ok());
+  ASSERT_TRUE(store_.Publish("late", ToBytes("arrived")).ok());
+  EXPECT_EQ(ToString(session->PrivateGet("late").value()), "arrived");
+}
+
+TEST(PirSessionErrors, BothConnectionsSameRoleRejected) {
+  PirStore store(SmallStoreConfig());
+  ZltpPirServer server0(store, 0);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server0.ServeConnectionDetached(std::move(p1.b));  // same role twice!
+  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PirSessionErrors, MismatchedUniversesRejected) {
+  PirStore store_a(SmallStoreConfig(12, 128));
+  PirStore store_b(SmallStoreConfig(14, 128));  // different domain
+  ZltpPirServer server0(store_a, 0);
+  ZltpPirServer server1(store_b, 1);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(PirSessionErrors, ServerRejectsUnsupportedMode) {
+  PirStore store(SmallStoreConfig());
+  ZltpPirServer server(store, 0);
+  net::TransportPair p = net::CreateInMemoryPair();
+  server.ServeConnectionDetached(std::move(p.b));
+  // An enclave-only client hello.
+  ClientHello hello;
+  hello.supported_modes = {Mode::kEnclave};
+  ASSERT_TRUE(p.a->Send(Encode(hello)).ok());
+  auto reply = p.a->Receive();
+  ASSERT_TRUE(reply.ok());
+  auto error = DecodeError(*reply);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------- enclave-mode session
+
+TEST(EnclaveSessionTest, EndToEnd) {
+  oram::EnclaveConfig config;
+  config.capacity = 64;
+  config.value_size = 128;
+  oram::MemoryStorage storage(oram::KvEnclave::RequiredStorageBuckets(config));
+  oram::KvEnclave enclave(config, storage);
+  ASSERT_TRUE(enclave.Put("wiki/Uganda", ToBytes("landlocked country")).ok());
+
+  ZltpEnclaveServer server(enclave);
+  net::TransportPair p = net::CreateInMemoryPair();
+  server.ServeConnectionDetached(std::move(p.b));
+
+  auto session = EnclaveSession::Establish(std::move(p.a));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto value = session->PrivateGet("wiki/Uganda");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(ToString(*value), "landlocked country");
+
+  auto missing = session->PrivateGet("wiki/Atlantis");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  session->Close();
+}
+
+// ------------------------------------------------- pipelined batch GETs
+
+TEST_F(PirSessionTest, BatchMatchesIndividualGets) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "batch/page" + std::to_string(i);
+    if (store_.Publish(key, ToBytes("v" + std::to_string(i))).ok()) {
+      keys.push_back(key);
+    }
+  }
+  keys.push_back("batch/unpublished");  // NOT_FOUND inside the batch
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+
+  auto batch = session->PrivateGetBatch(keys, /*extra_dummies=*/2);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto individual = session->PrivateGet(keys[i]);
+    EXPECT_EQ((*batch)[i].ok(), individual.ok()) << keys[i];
+    if (individual.ok()) {
+      EXPECT_EQ((*batch)[i].value(), *individual);
+    } else {
+      EXPECT_EQ((*batch)[i].status().code(), individual.status().code());
+    }
+  }
+  session->Close();
+}
+
+TEST_F(PirSessionTest, BatchCountsDummiesInTraffic) {
+  ASSERT_TRUE(store_.Publish("k", ToBytes("v")).ok());
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  const auto before = session->traffic();
+  auto batch = session->PrivateGetBatch({"k"}, /*extra_dummies=*/4);
+  ASSERT_TRUE(batch.ok());
+  const auto after = session->traffic();
+  // 5 requests on the wire: the observer cannot tell real from dummy.
+  EXPECT_EQ(after.requests - before.requests, 5u);
+  session->Close();
+}
+
+TEST_F(PirSessionTest, EmptyBatchIsNoop) {
+  auto session = Connect();
+  ASSERT_TRUE(session.ok());
+  auto batch = session->PrivateGetBatch({}, 0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
+  EXPECT_FALSE(session->PrivateGetBatch({}, -1).ok());
+}
+
+TEST(PirBatchCoBatching, PipelinedRequestsShareServerScans) {
+  PirStore store(SmallStoreConfig());
+  for (int i = 0; i < 10; ++i) {
+    (void)store.Publish("p" + std::to_string(i), ToBytes("v"));
+  }
+  BatchConfig batch_config;
+  batch_config.max_batch = 16;
+  batch_config.max_wait = std::chrono::milliseconds(50);
+  ZltpPirServer server0(store, 0, batch_config);
+  ZltpPirServer server1(store, 1, batch_config);
+  net::TransportPair p0 = net::CreateInMemoryPair();
+  net::TransportPair p1 = net::CreateInMemoryPair();
+  server0.ServeConnectionDetached(std::move(p0.b));
+  server1.ServeConnectionDetached(std::move(p1.b));
+  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  ASSERT_TRUE(session.ok());
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("p" + std::to_string(i));
+  auto batch = session->PrivateGetBatch(keys);
+  ASSERT_TRUE(batch.ok());
+  for (const auto& r : *batch) EXPECT_TRUE(r.ok());
+
+  // The 8 pipelined requests must have shared server-side scans.
+  const auto stats = server0.batch_stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_LT(stats.batches, 8u);
+  EXPECT_GT(stats.average_batch_size(), 1.5);
+  session->Close();
+}
+
+// ----------------------------------------------------- sessions over TCP
+
+TEST(TcpSessionTest, PirOverRealSockets) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("tcp-page", ToBytes("over the wire")).ok());
+  ZltpPirServer server0(store, 0);
+  ZltpPirServer server1(store, 1);
+
+  auto l0 = net::TcpListener::Listen(0);
+  auto l1 = net::TcpListener::Listen(0);
+  ASSERT_TRUE(l0.ok() && l1.ok());
+
+  std::thread acceptor([&] {
+    auto c0 = l0->Accept();
+    ASSERT_TRUE(c0.ok());
+    server0.ServeConnectionDetached(std::move(*c0));
+    auto c1 = l1->Accept();
+    ASSERT_TRUE(c1.ok());
+    server1.ServeConnectionDetached(std::move(*c1));
+  });
+
+  auto t0 = net::TcpConnect("127.0.0.1", l0->bound_port());
+  auto t1 = net::TcpConnect("127.0.0.1", l1->bound_port());
+  ASSERT_TRUE(t0.ok() && t1.ok());
+  acceptor.join();
+
+  auto session = PirSession::Establish(std::move(*t0), std::move(*t1));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(ToString(session->PrivateGet("tcp-page").value()),
+            "over the wire");
+  session->Close();
+}
+
+}  // namespace
+}  // namespace lw::zltp

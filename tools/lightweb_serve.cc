@@ -1,0 +1,200 @@
+// lightweb_serve — host a lightweb universe over TCP.
+//
+// Loads one or more site files (JSON: domain + LightScript code + data
+// blobs), builds a universe, and serves it as four ZLTP endpoints on
+// consecutive loopback ports:
+//
+//   base+0  code universe, logical server role 0
+//   base+1  code universe, logical server role 1
+//   base+2  data universe, logical server role 0
+//   base+3  data universe, logical server role 1
+//
+// (In production roles 0 and 1 live in separate trust domains; one process
+// hosting both is a demo convenience.)
+//
+// Usage:
+//   lightweb_serve <base_port> [--snapshot state.json] <site.json> ...
+//
+// With --snapshot, an existing snapshot file is loaded before any site
+// files, and the final universe (snapshot + newly loaded sites) is written
+// back — simple persistence across restarts.
+//
+// Site file format:
+//   {
+//     "domain": "planet.example",
+//     "publisher": "planet-media",
+//     "code": { "site": "...", "routes": [ ... LightScript ... ] },
+//     "data": { "planet.example/data/x.json": { ...blob json... }, ... }
+//   }
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "json/json.h"
+#include "lightweb/snapshot.h"
+#include "lightweb/universe.h"
+#include "net/tcp.h"
+#include "util/file.h"
+#include "util/log.h"
+#include "zltp/server.h"
+
+namespace {
+
+using namespace lw;
+
+// The served universe's parameters. Kept small enough that a laptop serves
+// requests interactively; see bench_server_compute for paper-scale costs.
+lightweb::UniverseConfig ServeConfig() {
+  lightweb::UniverseConfig config;
+  config.name = "served";
+  config.code_domain_bits = 12;
+  config.code_blob_size = 16 * 1024;
+  config.data_domain_bits = 16;
+  config.data_blob_size = 2048;
+  config.fetches_per_page = 5;
+  return config;
+}
+
+bool LoadSite(lightweb::Universe& universe, const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 text.status().ToString().c_str());
+    return false;
+  }
+  auto doc = json::Parse(*text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return false;
+  }
+  const std::string domain = doc->GetString("domain");
+  const std::string publisher = doc->GetString("publisher", "publisher");
+  const json::Value* code = doc->Find("code");
+  if (domain.empty() || code == nullptr) {
+    std::fprintf(stderr, "%s: need \"domain\" and \"code\"\n", path.c_str());
+    return false;
+  }
+  Status s = universe.ClaimDomain(domain, publisher);
+  if (s.ok()) s = universe.PushCode(publisher, domain, json::Write(*code));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: push code: %s\n", path.c_str(),
+                 s.ToString().c_str());
+    return false;
+  }
+  std::size_t blobs = 0;
+  if (const json::Value* data = doc->Find("data");
+      data != nullptr && data->is_object()) {
+    for (const auto& [blob_path, blob] : data->AsObject()) {
+      const Status ps = universe.PushData(publisher, blob_path,
+                                          ToBytes(json::Write(blob)));
+      if (!ps.ok()) {
+        std::fprintf(stderr, "%s: push %s: %s\n", path.c_str(),
+                     blob_path.c_str(), ps.ToString().c_str());
+        return false;
+      }
+      ++blobs;
+    }
+  }
+  std::printf("loaded %s: domain %s, %zu data blobs\n", path.c_str(),
+              domain.c_str(), blobs);
+  return true;
+}
+
+// Accept loop: every connection gets a detached server thread.
+void AcceptLoop(net::TcpListener listener, zltp::ZltpPirServer& server,
+                const char* label) {
+  std::printf("listening on 127.0.0.1:%u (%s)\n", listener.bound_port(),
+              label);
+  for (;;) {
+    auto conn = listener.Accept();
+    if (!conn.ok()) return;
+    server.ServeConnectionDetached(std::move(*conn));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <base_port> <site.json> [more-sites.json ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int base_port = std::atoi(argv[1]);
+  if (base_port <= 0 || base_port > 65531) {
+    std::fprintf(stderr, "bad base port\n");
+    return 2;
+  }
+
+  std::string snapshot_path;
+  std::vector<std::string> site_files;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else {
+      site_files.emplace_back(argv[i]);
+    }
+  }
+
+  lightweb::Universe universe(ServeConfig());
+  if (!snapshot_path.empty()) {
+    const Status s =
+        lightweb::LoadUniverseSnapshotFromFile(universe, snapshot_path);
+    if (s.ok()) {
+      std::printf("restored snapshot %s (%zu pages)\n",
+                  snapshot_path.c_str(), universe.total_pages());
+    } else if (s.code() != StatusCode::kUnavailable) {
+      // Missing file is fine on first run; anything else is a real error.
+      std::fprintf(stderr, "snapshot load: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& site : site_files) {
+    if (!LoadSite(universe, site)) return 1;
+  }
+  if (!snapshot_path.empty()) {
+    const Status s =
+        lightweb::SaveUniverseSnapshotToFile(universe, snapshot_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "snapshot save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved snapshot to %s\n", snapshot_path.c_str());
+  }
+  std::printf("universe ready: %zu pages, %zu domains\n\n",
+              universe.total_pages(), universe.total_domains());
+
+  zltp::ZltpPirServer code0(universe.code_store(), 0);
+  zltp::ZltpPirServer code1(universe.code_store(), 1);
+  zltp::ZltpPirServer data0(universe.data_store(), 0);
+  zltp::ZltpPirServer data1(universe.data_store(), 1);
+
+  struct Endpoint {
+    zltp::ZltpPirServer* server;
+    const char* label;
+  };
+  const Endpoint endpoints[4] = {{&code0, "code role 0"},
+                                 {&code1, "code role 1"},
+                                 {&data0, "data role 0"},
+                                 {&data1, "data role 1"}};
+  std::vector<std::thread> loops;
+  for (int i = 0; i < 4; ++i) {
+    auto listener =
+        net::TcpListener::Listen(static_cast<std::uint16_t>(base_port + i));
+    if (!listener.ok()) {
+      std::fprintf(stderr, "listen %d: %s\n", base_port + i,
+                   listener.status().ToString().c_str());
+      return 1;
+    }
+    loops.emplace_back(AcceptLoop, std::move(*listener),
+                       std::ref(*endpoints[i].server), endpoints[i].label);
+  }
+  std::printf("\nbrowse with: lightweb_browse 127.0.0.1 %d "
+              "<domain/path>\n",
+              base_port);
+  for (auto& t : loops) t.join();
+  return 0;
+}
