@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monthly_cost.dir/bench_monthly_cost.cc.o"
+  "CMakeFiles/bench_monthly_cost.dir/bench_monthly_cost.cc.o.d"
+  "bench_monthly_cost"
+  "bench_monthly_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monthly_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

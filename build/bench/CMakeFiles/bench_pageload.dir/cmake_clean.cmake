@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pageload.dir/bench_pageload.cc.o"
+  "CMakeFiles/bench_pageload.dir/bench_pageload.cc.o.d"
+  "bench_pageload"
+  "bench_pageload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pageload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_server_compute.cc" "bench/CMakeFiles/bench_server_compute.dir/bench_server_compute.cc.o" "gcc" "bench/CMakeFiles/bench_server_compute.dir/bench_server_compute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pir/CMakeFiles/lw_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpf/CMakeFiles/lw_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lw_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_compute.dir/bench_server_compute.cc.o"
+  "CMakeFiles/bench_server_compute.dir/bench_server_compute.cc.o.d"
+  "bench_server_compute"
+  "bench_server_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_mode.dir/enclave_mode.cpp.o"
+  "CMakeFiles/enclave_mode.dir/enclave_mode.cpp.o.d"
+  "enclave_mode"
+  "enclave_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

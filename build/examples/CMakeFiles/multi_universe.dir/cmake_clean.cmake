@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_universe.dir/multi_universe.cpp.o"
+  "CMakeFiles/multi_universe.dir/multi_universe.cpp.o.d"
+  "multi_universe"
+  "multi_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_browse.dir/news_browse.cpp.o"
+  "CMakeFiles/news_browse.dir/news_browse.cpp.o.d"
+  "news_browse"
+  "news_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paywall.dir/paywall.cpp.o"
+  "CMakeFiles/paywall.dir/paywall.cpp.o.d"
+  "paywall"
+  "paywall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paywall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

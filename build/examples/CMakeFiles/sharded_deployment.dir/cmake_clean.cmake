@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_deployment.dir/sharded_deployment.cpp.o"
+  "CMakeFiles/sharded_deployment.dir/sharded_deployment.cpp.o.d"
+  "sharded_deployment"
+  "sharded_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

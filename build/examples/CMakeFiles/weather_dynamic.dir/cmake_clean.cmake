@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_dynamic.dir/weather_dynamic.cpp.o"
+  "CMakeFiles/weather_dynamic.dir/weather_dynamic.cpp.o.d"
+  "weather_dynamic"
+  "weather_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_cost.dir/costmodel.cc.o"
+  "CMakeFiles/lw_cost.dir/costmodel.cc.o.d"
+  "liblw_cost.a"
+  "liblw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

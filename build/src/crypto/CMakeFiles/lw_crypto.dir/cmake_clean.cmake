@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_crypto.dir/aead.cc.o"
+  "CMakeFiles/lw_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/aes128.cc.o"
+  "CMakeFiles/lw_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/lw_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/hkdf.cc.o"
+  "CMakeFiles/lw_crypto.dir/hkdf.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/lw_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/prg.cc.o"
+  "CMakeFiles/lw_crypto.dir/prg.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/sha256.cc.o"
+  "CMakeFiles/lw_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/siphash.cc.o"
+  "CMakeFiles/lw_crypto.dir/siphash.cc.o.d"
+  "CMakeFiles/lw_crypto.dir/x25519.cc.o"
+  "CMakeFiles/lw_crypto.dir/x25519.cc.o.d"
+  "liblw_crypto.a"
+  "liblw_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_dpf.dir/dpf.cc.o"
+  "CMakeFiles/lw_dpf.dir/dpf.cc.o.d"
+  "liblw_dpf.a"
+  "liblw_dpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_dpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

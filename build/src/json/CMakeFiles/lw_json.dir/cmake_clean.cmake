@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_json.dir/json.cc.o"
+  "CMakeFiles/lw_json.dir/json.cc.o.d"
+  "liblw_json.a"
+  "liblw_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lightweb/access.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/access.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/access.cc.o.d"
+  "/root/repo/src/lightweb/browser.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/browser.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/browser.cc.o.d"
+  "/root/repo/src/lightweb/cdn.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/cdn.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/cdn.cc.o.d"
+  "/root/repo/src/lightweb/channel.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/channel.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/channel.cc.o.d"
+  "/root/repo/src/lightweb/lightscript.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/lightscript.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/lightscript.cc.o.d"
+  "/root/repo/src/lightweb/paced.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/paced.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/paced.cc.o.d"
+  "/root/repo/src/lightweb/path.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/path.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/path.cc.o.d"
+  "/root/repo/src/lightweb/publisher.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/publisher.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/publisher.cc.o.d"
+  "/root/repo/src/lightweb/snapshot.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/snapshot.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/snapshot.cc.o.d"
+  "/root/repo/src/lightweb/universe.cc" "src/lightweb/CMakeFiles/lw_lightweb.dir/universe.cc.o" "gcc" "src/lightweb/CMakeFiles/lw_lightweb.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zltp/CMakeFiles/lw_zltp.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lw_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/lw_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lw_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpf/CMakeFiles/lw_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/lw_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

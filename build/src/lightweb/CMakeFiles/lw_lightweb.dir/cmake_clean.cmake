@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_lightweb.dir/access.cc.o"
+  "CMakeFiles/lw_lightweb.dir/access.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/browser.cc.o"
+  "CMakeFiles/lw_lightweb.dir/browser.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/cdn.cc.o"
+  "CMakeFiles/lw_lightweb.dir/cdn.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/channel.cc.o"
+  "CMakeFiles/lw_lightweb.dir/channel.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/lightscript.cc.o"
+  "CMakeFiles/lw_lightweb.dir/lightscript.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/paced.cc.o"
+  "CMakeFiles/lw_lightweb.dir/paced.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/path.cc.o"
+  "CMakeFiles/lw_lightweb.dir/path.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/publisher.cc.o"
+  "CMakeFiles/lw_lightweb.dir/publisher.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/snapshot.cc.o"
+  "CMakeFiles/lw_lightweb.dir/snapshot.cc.o.d"
+  "CMakeFiles/lw_lightweb.dir/universe.cc.o"
+  "CMakeFiles/lw_lightweb.dir/universe.cc.o.d"
+  "liblw_lightweb.a"
+  "liblw_lightweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_lightweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_net.dir/inmem.cc.o"
+  "CMakeFiles/lw_net.dir/inmem.cc.o.d"
+  "CMakeFiles/lw_net.dir/tcp.cc.o"
+  "CMakeFiles/lw_net.dir/tcp.cc.o.d"
+  "liblw_net.a"
+  "liblw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_oram.dir/enclave.cc.o"
+  "CMakeFiles/lw_oram.dir/enclave.cc.o.d"
+  "CMakeFiles/lw_oram.dir/path_oram.cc.o"
+  "CMakeFiles/lw_oram.dir/path_oram.cc.o.d"
+  "CMakeFiles/lw_oram.dir/storage.cc.o"
+  "CMakeFiles/lw_oram.dir/storage.cc.o.d"
+  "liblw_oram.a"
+  "liblw_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

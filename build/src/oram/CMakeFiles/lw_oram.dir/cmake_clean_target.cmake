@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblw_oram.a"
+)

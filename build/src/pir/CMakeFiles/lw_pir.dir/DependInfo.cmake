@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pir/blob_db.cc" "src/pir/CMakeFiles/lw_pir.dir/blob_db.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/blob_db.cc.o.d"
+  "/root/repo/src/pir/cuckoo.cc" "src/pir/CMakeFiles/lw_pir.dir/cuckoo.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/cuckoo.cc.o.d"
+  "/root/repo/src/pir/cuckoo_store.cc" "src/pir/CMakeFiles/lw_pir.dir/cuckoo_store.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/cuckoo_store.cc.o.d"
+  "/root/repo/src/pir/keyword.cc" "src/pir/CMakeFiles/lw_pir.dir/keyword.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/keyword.cc.o.d"
+  "/root/repo/src/pir/packing.cc" "src/pir/CMakeFiles/lw_pir.dir/packing.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/packing.cc.o.d"
+  "/root/repo/src/pir/two_server.cc" "src/pir/CMakeFiles/lw_pir.dir/two_server.cc.o" "gcc" "src/pir/CMakeFiles/lw_pir.dir/two_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dpf/CMakeFiles/lw_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lw_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

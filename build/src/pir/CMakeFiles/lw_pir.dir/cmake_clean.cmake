@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_pir.dir/blob_db.cc.o"
+  "CMakeFiles/lw_pir.dir/blob_db.cc.o.d"
+  "CMakeFiles/lw_pir.dir/cuckoo.cc.o"
+  "CMakeFiles/lw_pir.dir/cuckoo.cc.o.d"
+  "CMakeFiles/lw_pir.dir/cuckoo_store.cc.o"
+  "CMakeFiles/lw_pir.dir/cuckoo_store.cc.o.d"
+  "CMakeFiles/lw_pir.dir/keyword.cc.o"
+  "CMakeFiles/lw_pir.dir/keyword.cc.o.d"
+  "CMakeFiles/lw_pir.dir/packing.cc.o"
+  "CMakeFiles/lw_pir.dir/packing.cc.o.d"
+  "CMakeFiles/lw_pir.dir/two_server.cc.o"
+  "CMakeFiles/lw_pir.dir/two_server.cc.o.d"
+  "liblw_pir.a"
+  "liblw_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

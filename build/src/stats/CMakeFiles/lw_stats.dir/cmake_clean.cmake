@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_stats.dir/private_stats.cc.o"
+  "CMakeFiles/lw_stats.dir/private_stats.cc.o.d"
+  "liblw_stats.a"
+  "liblw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

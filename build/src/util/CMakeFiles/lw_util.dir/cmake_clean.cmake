@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_util.dir/file.cc.o"
+  "CMakeFiles/lw_util.dir/file.cc.o.d"
+  "CMakeFiles/lw_util.dir/hex.cc.o"
+  "CMakeFiles/lw_util.dir/hex.cc.o.d"
+  "CMakeFiles/lw_util.dir/log.cc.o"
+  "CMakeFiles/lw_util.dir/log.cc.o.d"
+  "CMakeFiles/lw_util.dir/rand.cc.o"
+  "CMakeFiles/lw_util.dir/rand.cc.o.d"
+  "liblw_util.a"
+  "liblw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

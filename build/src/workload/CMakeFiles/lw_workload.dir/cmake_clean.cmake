@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_workload.dir/workload.cc.o"
+  "CMakeFiles/lw_workload.dir/workload.cc.o.d"
+  "liblw_workload.a"
+  "liblw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

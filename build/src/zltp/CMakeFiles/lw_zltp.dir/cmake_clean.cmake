@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lw_zltp.dir/batch.cc.o"
+  "CMakeFiles/lw_zltp.dir/batch.cc.o.d"
+  "CMakeFiles/lw_zltp.dir/client.cc.o"
+  "CMakeFiles/lw_zltp.dir/client.cc.o.d"
+  "CMakeFiles/lw_zltp.dir/frontend.cc.o"
+  "CMakeFiles/lw_zltp.dir/frontend.cc.o.d"
+  "CMakeFiles/lw_zltp.dir/messages.cc.o"
+  "CMakeFiles/lw_zltp.dir/messages.cc.o.d"
+  "CMakeFiles/lw_zltp.dir/server.cc.o"
+  "CMakeFiles/lw_zltp.dir/server.cc.o.d"
+  "CMakeFiles/lw_zltp.dir/store.cc.o"
+  "CMakeFiles/lw_zltp.dir/store.cc.o.d"
+  "liblw_zltp.a"
+  "liblw_zltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lw_zltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

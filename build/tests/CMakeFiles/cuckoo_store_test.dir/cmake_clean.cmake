@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuckoo_store_test.dir/cuckoo_store_test.cc.o"
+  "CMakeFiles/cuckoo_store_test.dir/cuckoo_store_test.cc.o.d"
+  "cuckoo_store_test"
+  "cuckoo_store_test.pdb"
+  "cuckoo_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuckoo_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightscript_test.dir/lightscript_test.cc.o"
+  "CMakeFiles/lightscript_test.dir/lightscript_test.cc.o.d"
+  "lightscript_test"
+  "lightscript_test.pdb"
+  "lightscript_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightscript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

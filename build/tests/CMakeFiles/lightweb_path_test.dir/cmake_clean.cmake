@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightweb_path_test.dir/lightweb_path_test.cc.o"
+  "CMakeFiles/lightweb_path_test.dir/lightweb_path_test.cc.o.d"
+  "lightweb_path_test"
+  "lightweb_path_test.pdb"
+  "lightweb_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightweb_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightweb_test.dir/lightweb_test.cc.o"
+  "CMakeFiles/lightweb_test.dir/lightweb_test.cc.o.d"
+  "lightweb_test"
+  "lightweb_test.pdb"
+  "lightweb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightweb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

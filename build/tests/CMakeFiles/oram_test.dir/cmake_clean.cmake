@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_test.dir/oram_test.cc.o"
+  "CMakeFiles/oram_test.dir/oram_test.cc.o.d"
+  "oram_test"
+  "oram_test.pdb"
+  "oram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

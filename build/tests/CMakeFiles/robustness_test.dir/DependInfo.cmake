@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zltp/CMakeFiles/lw_zltp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lightweb/CMakeFiles/lw_lightweb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/lw_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/lw_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/lw_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpf/CMakeFiles/lw_dpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lw_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zltp_test.dir/zltp_test.cc.o"
+  "CMakeFiles/zltp_test.dir/zltp_test.cc.o.d"
+  "zltp_test"
+  "zltp_test.pdb"
+  "zltp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zltp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightweb_browse.dir/lightweb_browse.cc.o"
+  "CMakeFiles/lightweb_browse.dir/lightweb_browse.cc.o.d"
+  "lightweb_browse"
+  "lightweb_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightweb_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightweb_serve.dir/lightweb_serve.cc.o"
+  "CMakeFiles/lightweb_serve.dir/lightweb_serve.cc.o.d"
+  "lightweb_serve"
+  "lightweb_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightweb_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
