@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/chacha20.h"
+#include "crypto/ct.h"
 #include "crypto/poly1305.h"
 #include "util/check.h"
 
@@ -64,7 +65,7 @@ Result<Bytes> AeadOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
   const Bytes poly_key = DerivePolyKey(key, nonce);
   std::uint8_t expected[16];
   ComputeTag(poly_key, aad, ct, expected);
-  if (!ConstantTimeEqual(ByteSpan(expected, 16), tag)) {
+  if (!ct::Eq(ByteSpan(expected, 16), tag)) {
     return PermissionDeniedError("AEAD tag mismatch");
   }
   Bytes out(ct.begin(), ct.end());

@@ -1,0 +1,102 @@
+// Constant-time primitives for handling secret data.
+//
+// Policy (see docs/STATIC_ANALYSIS.md): any comparison, selection, or copy
+// whose operands are key material, MAC tags, fingerprints of private
+// queries, or ORAM block identities must go through these helpers instead
+// of `==`, `memcmp`, or data-dependent branches. `lwlint` enforces the
+// comparison half of this mechanically.
+//
+// All helpers are branch-free in the secret operands. Sizes of the spans are
+// treated as public (they are fixed by the protocol everywhere we use them).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace lw::crypto::ct {
+
+// Optimization barrier: stops the compiler from tracing the value's origin
+// and re-introducing a branch on it (e.g. turning a mask select back into a
+// conditional move on a flag it thinks it knows).
+inline std::uint64_t ValueBarrier(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__("" : "+r"(v) : :);
+#endif
+  return v;
+}
+
+inline std::uint32_t ValueBarrier32(std::uint32_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__("" : "+r"(v) : :);
+#endif
+  return v;
+}
+
+// All-ones if x != 0, else all-zeros.
+inline std::uint64_t NonzeroMask(std::uint64_t x) {
+  x = ValueBarrier(x);
+  // x | -x has its top bit set iff x != 0.
+  return std::uint64_t{0} - ((x | (std::uint64_t{0} - x)) >> 63);
+}
+
+// All-ones if x == 0, else all-zeros.
+inline std::uint64_t ZeroMask(std::uint64_t x) { return ~NonzeroMask(x); }
+
+// All-ones if a == b, else all-zeros.
+inline std::uint64_t EqMask(std::uint64_t a, std::uint64_t b) {
+  return ZeroMask(a ^ b);
+}
+
+// All-ones if bit == 1; `bit` must be 0 or 1.
+inline std::uint32_t MaskFromBit32(std::uint32_t bit) {
+  return std::uint32_t{0} - ValueBarrier32(bit);
+}
+
+// mask-driven word selects: result is a where mask is all-ones, b where zero.
+inline std::uint64_t Select(std::uint64_t mask, std::uint64_t a,
+                            std::uint64_t b) {
+  return (a & mask) | (b & ~mask);
+}
+inline std::uint32_t Select32(std::uint32_t mask, std::uint32_t a,
+                              std::uint32_t b) {
+  return (a & mask) | (b & ~mask);
+}
+
+// dst <- src where mask is all-ones, else unchanged. Spans must be the same
+// (public) length. Reads and writes every byte of dst either way.
+inline void CondAssign(std::uint64_t mask, MutableByteSpan dst, ByteSpan src) {
+  const std::uint8_t m = static_cast<std::uint8_t>(mask);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>((src[i] & m) |
+                                       (dst[i] & static_cast<std::uint8_t>(~m)));
+  }
+}
+
+// Constant-time swap of equal-length buffers when mask is all-ones.
+inline void CondSwap(std::uint64_t mask, MutableByteSpan a, MutableByteSpan b) {
+  const std::uint8_t m = static_cast<std::uint8_t>(mask);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint8_t t = static_cast<std::uint8_t>((a[i] ^ b[i]) & m);
+    a[i] = static_cast<std::uint8_t>(a[i] ^ t);
+    b[i] = static_cast<std::uint8_t>(b[i] ^ t);
+  }
+}
+
+// All-ones if the buffers are byte-wise equal. Runs in time dependent only on
+// the (public) lengths; a length mismatch returns all-zeros immediately,
+// since lengths are not secret.
+inline std::uint64_t EqBytesMask(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return 0;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return ZeroMask(acc);
+}
+
+// Constant-time equality for secrets; the boolean result itself is assumed
+// safe to branch on (e.g. rejecting a forged AEAD tag is observable anyway).
+inline bool Eq(ByteSpan a, ByteSpan b) { return EqBytesMask(a, b) != 0; }
+
+}  // namespace lw::crypto::ct

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/ct.h"
 #include "util/check.h"
 
 namespace lw::crypto {
@@ -113,15 +114,13 @@ void Poly1305State::Finish(std::uint8_t tag[kPoly1305TagSize]) {
   c = g3 >> 26; g3 &= 0x3ffffff;
   std::uint32_t g4 = h4 + c - (1u << 26);
 
-  // Constant-time select: if g4 underflowed, keep h; else take g.
-  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
-  g0 &= mask; g1 &= mask; g2 &= mask; g3 &= mask; g4 &= mask;
-  const std::uint32_t nmask = ~mask;
-  h0 = (h0 & nmask) | g0;
-  h1 = (h1 & nmask) | g1;
-  h2 = (h2 & nmask) | g2;
-  h3 = (h3 & nmask) | g3;
-  h4 = (h4 & nmask) | g4;
+  // Constant-time select: if g4 underflowed (h < p), keep h; else take g.
+  const std::uint32_t take_g = ~ct::MaskFromBit32(g4 >> 31);
+  h0 = ct::Select32(take_g, g0, h0);
+  h1 = ct::Select32(take_g, g1, h1);
+  h2 = ct::Select32(take_g, g2, h2);
+  h3 = ct::Select32(take_g, g3, h3);
+  h4 = ct::Select32(take_g, g4, h4);
 
   // Repack into 128 bits.
   const std::uint32_t f0 = h0 | (h1 << 26);

@@ -39,7 +39,9 @@ void DpfPrg::Expand(const std::uint8_t seed[kPrgSeedSize],
 }
 
 const DpfPrg& SharedDpfPrg() {
-  static const DpfPrg* prg = new DpfPrg();
+  // Deliberately leaked singleton (same rationale as lw::SecureRandomBytes's
+  // pool); suppressed in tools/lint/lsan.supp.
+  static const DpfPrg* prg = new DpfPrg();  // lwlint: allow(naked-new)
   return *prg;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "crypto/ct.h"
 #include "crypto/prg.h"
 #include "util/check.h"
 #include "util/io.h"
@@ -86,7 +87,7 @@ BitVector ExpandToLeafBits(const std::uint8_t* root_seeds,
     std::size_t size = 0;
     std::uint8_t* Get(std::size_t want) {
       if (size < want) {
-        data.reset(new std::uint8_t[want]);
+        data = std::make_unique_for_overwrite<std::uint8_t[]>(want);
         size = want;
       }
       return data.get();
@@ -198,13 +199,17 @@ Result<DpfKey> DpfKey::Deserialize(ByteSpan data) {
 
 bool DpfKey::operator==(const DpfKey& other) const {
   if (party != other.party || domain_bits != other.domain_bits) return false;
-  if (std::memcmp(root_seed, other.root_seed, kSeedSize) != 0) return false;
+  if (!crypto::ct::Eq(ByteSpan(root_seed, kSeedSize),
+                      ByteSpan(other.root_seed, kSeedSize))) {
+    return false;
+  }
   if (correction_words.size() != other.correction_words.size()) return false;
   for (std::size_t i = 0; i < correction_words.size(); ++i) {
     const CorrectionWord& a = correction_words[i];
     const CorrectionWord& b = other.correction_words[i];
-    if (std::memcmp(a.seed, b.seed, kSeedSize) != 0 || a.t_left != b.t_left ||
-        a.t_right != b.t_right) {
+    if (!crypto::ct::Eq(ByteSpan(a.seed, kSeedSize),
+                        ByteSpan(b.seed, kSeedSize)) ||
+        a.t_left != b.t_left || a.t_right != b.t_right) {
       return false;
     }
   }

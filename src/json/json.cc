@@ -305,7 +305,8 @@ class Parser {
       SkipWhitespace();
       if (!Consume(':')) return Error("expected ':' after object key");
       LW_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
-      obj[std::move(key)] = std::move(v);
+      // JSON object keys are public document structure, not key material.
+      obj[std::move(key)] = std::move(v);  // lwlint: allow(secret-index)
       SkipWhitespace();
       if (Consume(',')) continue;
       if (Consume('}')) return Value(std::move(obj));

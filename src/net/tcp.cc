@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -56,10 +57,18 @@ Status RecvAll(int fd, std::uint8_t* data, std::size_t n, bool eof_ok,
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(int fd) : fd_(fd) {}
-  ~TcpTransport() override { Close(); }
+
+  ~TcpTransport() override {
+    Close();
+    const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
+  }
 
   Status Send(const Frame& frame) override {
-    if (fd_ < 0) return UnavailableError("transport closed");
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+      return UnavailableError("transport closed");
+    }
     const std::size_t body = 1 + frame.payload.size();
     if (body > kMaxFrameSize) {
       return InvalidArgumentError("frame exceeds kMaxFrameSize");
@@ -68,36 +77,42 @@ class TcpTransport final : public Transport {
     StoreLE32(wire.data(), static_cast<std::uint32_t>(body));
     wire[4] = frame.type;
     std::copy(frame.payload.begin(), frame.payload.end(), wire.begin() + 5);
-    return SendAll(fd_, wire.data(), wire.size());
+    return SendAll(fd, wire.data(), wire.size());
   }
 
   Result<Frame> Receive() override {
-    if (fd_ < 0) return UnavailableError("transport closed");
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+      return UnavailableError("transport closed");
+    }
     std::uint8_t header[4];
     bool clean_eof = false;
-    LW_RETURN_IF_ERROR(RecvAll(fd_, header, 4, /*eof_ok=*/true, &clean_eof));
+    LW_RETURN_IF_ERROR(RecvAll(fd, header, 4, /*eof_ok=*/true, &clean_eof));
     const std::uint32_t body = LoadLE32(header);
     if (body == 0 || body > kMaxFrameSize) {
       return ProtocolError("bad frame length " + std::to_string(body));
     }
     Bytes buf(body);
-    LW_RETURN_IF_ERROR(RecvAll(fd_, buf.data(), body, false, nullptr));
+    LW_RETURN_IF_ERROR(RecvAll(fd, buf.data(), body, false, nullptr));
     Frame f;
     f.type = buf[0];
     f.payload.assign(buf.begin() + 1, buf.end());
     return f;
   }
 
+  // Wakes any thread blocked in Send/Receive (shutdown makes recv return 0)
+  // and marks the transport closed. The descriptor itself is released only
+  // in the destructor, after every user is gone: closing here would race a
+  // concurrent recv, and the kernel could reuse the fd number mid-call.
   void Close() override {
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
-    }
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
 
  private:
-  int fd_;
+  std::atomic<int> fd_;
+  std::atomic<bool> closed_{false};
 };
 
 void SetNoDelay(int fd) {
@@ -129,7 +144,7 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
     return s;
   }
   SetNoDelay(fd);
-  return std::unique_ptr<Transport>(new TcpTransport(fd));
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
 }
 
 Result<TcpListener> TcpListener::Listen(std::uint16_t port) {
@@ -186,7 +201,7 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept() {
   } while (client < 0 && errno == EINTR);
   if (client < 0) return ErrnoStatus("accept");
   SetNoDelay(client);
-  return std::unique_ptr<Transport>(new TcpTransport(client));
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(client));
 }
 
 void TcpListener::Close() {

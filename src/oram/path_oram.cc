@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/aead.h"
+#include "crypto/ct.h"
 #include "util/check.h"
 
 namespace lw::oram {
@@ -122,9 +123,19 @@ Result<Bytes> PathOram::Access(Op op, std::uint64_t block_id,
 
   Result<Bytes> result = NotFoundError("block never written");
   if (op != Op::kDummy) {
-    const auto it = stash_.find(block_id);
-    if (op == Op::kRead && it != stash_.end() && allocated_[block_id]) {
-      result = it->second;
+    if (op == Op::kRead && allocated_[block_id]) {
+      // Constant-time bucket/stash selection: touch every block pulled from
+      // the path and pick the target with masks, so which slot held the
+      // requested block is not observable through the access pattern or
+      // timing of this scan (the path itself is already randomized).
+      Bytes found(config_.block_size, 0);
+      std::uint64_t found_mask = 0;
+      for (const auto& [id, data] : stash_) {
+        const std::uint64_t m = crypto::ct::EqMask(id, block_id);
+        crypto::ct::CondAssign(m, found, data);
+        found_mask |= m;
+      }
+      if (found_mask != 0) result = std::move(found);
     }
     if (op == Op::kWrite) {
       stash_[block_id] = Bytes(new_data.begin(), new_data.end());

@@ -1,5 +1,6 @@
 #include "pir/cuckoo_store.h"
 
+#include "crypto/ct.h"
 #include "pir/packing.h"
 #include "util/check.h"
 #include "util/rand.h"
@@ -76,13 +77,29 @@ Result<Bytes> CuckooPirStore::AnswerQuery(const dpf::DpfKey& key) const {
 
 Result<Bytes> InterpretCuckooRecords(ByteSpan record_a, ByteSpan record_b,
                                      std::uint64_t expected_fingerprint) {
-  for (const ByteSpan record : {record_a, record_b}) {
-    auto un = UnpackRecord(record);
-    if (un.ok() && un->fingerprint == expected_fingerprint) {
-      return std::move(un->payload);
-    }
+  // Which of the two candidate slots (if either) holds the queried key is a
+  // function of the private keyword, so the match must not leak through
+  // timing: compare both fingerprints and select the winning record with
+  // constant-time masks before unpacking. Record sizes are public.
+  if (record_a.size() != record_b.size() ||
+      record_a.size() < kRecordHeaderSize) {
+    return ProtocolError("malformed cuckoo candidate records");
   }
-  return NotFoundError("key not present in either cuckoo slot");
+  const std::uint64_t match_a =
+      crypto::ct::EqMask(LoadLE64(record_a.data()), expected_fingerprint);
+  const std::uint64_t match_b =
+      crypto::ct::EqMask(LoadLE64(record_b.data()), expected_fingerprint) &
+      ~match_a;
+
+  Bytes chosen(record_a.size(), 0);
+  crypto::ct::CondAssign(match_a, chosen, record_a);
+  crypto::ct::CondAssign(match_b, chosen, record_b);
+  if ((match_a | match_b) == 0) {
+    return NotFoundError("key not present in either cuckoo slot");
+  }
+  auto un = UnpackRecord(chosen);
+  if (!un.ok()) return un.status();
+  return std::move(un->payload);
 }
 
 }  // namespace lw::pir

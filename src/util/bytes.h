@@ -28,13 +28,8 @@ inline std::string ToString(ByteSpan b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
-// Constant-time equality for secrets (avoids early-exit timing leaks).
-inline bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
-  return acc == 0;
-}
+// Constant-time comparisons for secret material live in crypto/ct.h
+// (lw::crypto::ct::Eq and friends); nothing in util/ may compare secrets.
 
 // XORs `src` into `dst`; the spans must be the same length.
 inline void XorInto(MutableByteSpan dst, ByteSpan src) {

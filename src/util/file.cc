@@ -22,10 +22,15 @@ Result<std::string> ReadFileToString(const std::string& path) {
 Status WriteFile(const std::string& path, ByteSpan contents) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return UnavailableError("cannot open " + path);
-  const std::size_t written = std::fwrite(contents.data(), 1,
-                                          contents.size(), f);
-  const bool ok = written == contents.size() && std::fclose(f) == 0;
-  if (!ok) return UnavailableError("error writing " + path);
+  // An empty span may carry data() == nullptr, which fwrite's nonnull
+  // contract forbids even for zero-length writes.
+  std::size_t written = 0;
+  if (!contents.empty()) {
+    written = std::fwrite(contents.data(), 1, contents.size(), f);
+  }
+  const bool write_ok = written == contents.size();
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) return UnavailableError("error writing " + path);
   return Status::Ok();
 }
 

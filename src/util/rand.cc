@@ -46,7 +46,9 @@ class UrandomPool {
 };
 
 UrandomPool& Pool() {
-  static UrandomPool* pool = new UrandomPool();  // leaked singleton, CP-safe
+  // Deliberately leaked singleton: destruction order at exit is undefined and
+  // other threads may still draw randomness. Suppressed in tools/lint/lsan.supp.
+  static UrandomPool* pool = new UrandomPool();  // lwlint: allow(naked-new)
   return *pool;
 }
 

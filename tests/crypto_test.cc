@@ -8,6 +8,7 @@
 #include "crypto/aead.h"
 #include "crypto/aes128.h"
 #include "crypto/chacha20.h"
+#include "crypto/ct.h"
 #include "crypto/hkdf.h"
 #include "crypto/poly1305.h"
 #include "crypto/prg.h"
@@ -24,6 +25,58 @@ Bytes FromHex(std::string_view h) {
   auto r = HexDecode(h);
   EXPECT_TRUE(r.ok()) << h;
   return *r;
+}
+
+// ----------------------------------------------------- constant-time ops
+
+TEST(Ct, Masks) {
+  EXPECT_EQ(ct::NonzeroMask(0), 0u);
+  EXPECT_EQ(ct::NonzeroMask(1), ~std::uint64_t{0});
+  EXPECT_EQ(ct::NonzeroMask(~std::uint64_t{0}), ~std::uint64_t{0});
+  EXPECT_EQ(ct::ZeroMask(0), ~std::uint64_t{0});
+  EXPECT_EQ(ct::ZeroMask(42), 0u);
+  EXPECT_EQ(ct::EqMask(7, 7), ~std::uint64_t{0});
+  EXPECT_EQ(ct::EqMask(7, 8), 0u);
+  EXPECT_EQ(ct::MaskFromBit32(0), 0u);
+  EXPECT_EQ(ct::MaskFromBit32(1), ~std::uint32_t{0});
+}
+
+TEST(Ct, Select) {
+  EXPECT_EQ(ct::Select(~std::uint64_t{0}, 11, 22), 11u);
+  EXPECT_EQ(ct::Select(0, 11, 22), 22u);
+  EXPECT_EQ(ct::Select32(~std::uint32_t{0}, 11, 22), 11u);
+  EXPECT_EQ(ct::Select32(0, 11, 22), 22u);
+}
+
+TEST(Ct, Eq) {
+  EXPECT_TRUE(ct::Eq(ToBytes("abc"), ToBytes("abc")));
+  EXPECT_FALSE(ct::Eq(ToBytes("abc"), ToBytes("abd")));
+  EXPECT_FALSE(ct::Eq(ToBytes("abc"), ToBytes("abcd")));
+  EXPECT_TRUE(ct::Eq({}, {}));
+  // Differences in any position are caught (no early-exit shortcuts).
+  for (std::size_t i = 0; i < 32; ++i) {
+    Bytes a(32, 0x5a), b(32, 0x5a);
+    b[i] ^= 0x01;
+    EXPECT_FALSE(ct::Eq(a, b)) << i;
+    EXPECT_EQ(ct::EqBytesMask(a, b), 0u) << i;
+  }
+}
+
+TEST(Ct, CondAssign) {
+  Bytes dst = ToBytes("xxxx");
+  ct::CondAssign(0, dst, ToBytes("yyyy"));
+  EXPECT_EQ(ToString(dst), "xxxx");
+  ct::CondAssign(~std::uint64_t{0}, dst, ToBytes("yyyy"));
+  EXPECT_EQ(ToString(dst), "yyyy");
+}
+
+TEST(Ct, CondSwap) {
+  Bytes a = ToBytes("left"), b = ToBytes("rite");
+  ct::CondSwap(0, a, b);
+  EXPECT_EQ(ToString(a), "left");
+  ct::CondSwap(~std::uint64_t{0}, a, b);
+  EXPECT_EQ(ToString(a), "rite");
+  EXPECT_EQ(ToString(b), "left");
 }
 
 // ---------------------------------------------------------------- AES-128

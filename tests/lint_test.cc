@@ -1,0 +1,205 @@
+// Tests for lwlint (tools/lint): one true positive per rule from fixture
+// files under tools/lint/testdata/, plus the allow/allowfile escape hatches,
+// path gating of the crypto-only rules, and the comment/string stripper.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace lw::lint {
+namespace {
+
+#ifndef LWLINT_TESTDATA_DIR
+#error "LWLINT_TESTDATA_DIR must point at tools/lint/testdata"
+#endif
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LWLINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Lints a fixture under an assumed repo path (the path decides which rule
+// subsets apply; fixtures live outside src/ so the real tree stays clean).
+std::vector<Finding> LintFixture(const std::string& name,
+                                 const std::string& as_path) {
+  return LintSource(as_path, ReadFixture(name));
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+std::vector<Finding> FindingsFor(const std::vector<Finding>& findings,
+                                 const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(Lwlint, CtCompareMemcmpAndEqualityOnSecrets) {
+  const auto findings = LintFixture("ct_compare.cc", "src/crypto/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "ct-compare", 5)) << "memcmp on key";
+  EXPECT_TRUE(HasFinding(findings, "ct-compare", 9)) << "== on tag";
+  EXPECT_EQ(FindingsFor(findings, "ct-compare").size(), 2u)
+      << "public-length comparison must not fire";
+}
+
+TEST(Lwlint, CtCompareMemcmpFiresOutsideCrypto) {
+  // memcmp-on-secret is banned everywhere; only ==/!= is crypto-scoped.
+  const auto findings = LintFixture("ct_compare.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "ct-compare", 5));
+  EXPECT_FALSE(HasFinding(findings, "ct-compare", 9))
+      << "==/!= rule is scoped to src/crypto";
+}
+
+TEST(Lwlint, SecretIndexDirectAndNestedLookups) {
+  const auto findings =
+      LintFixture("secret_index.cc", "src/crypto/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-index", 5)) << "kTable[key[0]]";
+  EXPECT_TRUE(HasFinding(findings, "secret-index", 9)) << "nested kTable[s[3]]";
+  EXPECT_EQ(FindingsFor(findings, "secret-index").size(), 2u)
+      << "public loop index must not fire";
+}
+
+TEST(Lwlint, SecretIndexNestedRuleIsCryptoOnly) {
+  const auto findings = LintFixture("secret_index.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-index", 5))
+      << "secret-named index is banned everywhere";
+  EXPECT_FALSE(HasFinding(findings, "secret-index", 9))
+      << "nested-lookup heuristic only applies under src/crypto";
+}
+
+TEST(Lwlint, SecretIndexWhitelistedFileIsExempt) {
+  const auto findings =
+      LintFixture("secret_index.cc", "src/crypto/aes128.cc");
+  EXPECT_TRUE(FindingsFor(findings, "secret-index").empty())
+      << "aes128.cc software S-box is whitelisted";
+}
+
+TEST(Lwlint, InsecureRandFiresOnRandAndSrand) {
+  const auto findings =
+      LintFixture("insecure_rand.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "insecure-rand", 5)) << "std::srand";
+  EXPECT_TRUE(HasFinding(findings, "insecure-rand", 6)) << "std::rand";
+  EXPECT_EQ(FindingsFor(findings, "insecure-rand").size(), 2u)
+      << "rand() inside a string literal must not fire";
+}
+
+TEST(Lwlint, NakedNewAndDelete) {
+  const auto findings = LintFixture("naked_new.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 9)) << "new Widget()";
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 13)) << "delete w";
+  EXPECT_EQ(FindingsFor(findings, "naked-new").size(), 2u)
+      << "make_unique and `= delete` must not fire";
+}
+
+TEST(Lwlint, UncheckedResultValueWithoutGuard) {
+  const auto findings =
+      LintFixture("unchecked_result.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "unchecked-result", 7));
+  EXPECT_EQ(FindingsFor(findings, "unchecked-result").size(), 1u)
+      << "value() guarded by a nearby ok() must not fire";
+}
+
+TEST(Lwlint, VarTimeLoopEarlyExitAndSecretBound) {
+  const auto findings =
+      LintFixture("var_time_loop.cc", "src/crypto/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "var-time-loop", 5))
+      << "early return inside a loop";
+  EXPECT_TRUE(HasFinding(findings, "var-time-loop", 13))
+      << "secret-dependent while bound";
+  EXPECT_EQ(FindingsFor(findings, "var-time-loop").size(), 2u)
+      << "fixed-bound accumulate loop must not fire";
+}
+
+TEST(Lwlint, VarTimeLoopIsCryptoOnly) {
+  const auto findings =
+      LintFixture("var_time_loop.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(FindingsFor(findings, "var-time-loop").empty());
+}
+
+TEST(Lwlint, AllowSuppressesSameLineAndLineAbove) {
+  const auto findings =
+      LintFixture("allow_escape.cc", "src/util/fixture.cc");
+  EXPECT_FALSE(HasFinding(findings, "insecure-rand", 5)) << "same-line allow";
+  EXPECT_FALSE(HasFinding(findings, "insecure-rand", 10)) << "line-above allow";
+  EXPECT_TRUE(HasFinding(findings, "insecure-rand", 14))
+      << "allow(naked-new) must not suppress a different rule";
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(Lwlint, AllowfileSuppressesWholeFile) {
+  const auto findings =
+      LintFixture("allowfile_escape.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lwlint, CommentsAndStringsAreIgnored) {
+  const std::string source =
+      "// new Widget() and rand() live in this comment\n"
+      "/* delete p; memcmp(key, other_key, 16) */\n"
+      "const char* s = \"new T; rand(); tag == expected\";\n";
+  EXPECT_TRUE(LintSource("src/crypto/fixture.cc", source).empty());
+}
+
+TEST(Lwlint, AllowListAcceptsCommaSeparatedRules) {
+  const std::string source =
+      "// lwlint: allow(insecure-rand, naked-new)\n"
+      "int* p = new int(rand());\n";
+  EXPECT_TRUE(LintSource("src/util/fixture.cc", source).empty());
+}
+
+TEST(Lwlint, AllRulesHaveFixtureCoverage) {
+  // Every registered rule fires at least once across the fixture set,
+  // so adding a rule without a true-positive fixture fails here.
+  std::vector<Finding> all;
+  for (const char* name :
+       {"ct_compare.cc", "secret_index.cc", "insecure_rand.cc",
+        "naked_new.cc", "unchecked_result.cc", "var_time_loop.cc",
+        "allow_escape.cc"}) {
+    auto f = LintFixture(name, std::string("src/crypto/") + name);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  for (const std::string& rule : AllRules()) {
+    EXPECT_FALSE(FindingsFor(all, rule).empty())
+        << "no fixture exercises rule " << rule;
+  }
+}
+
+TEST(Lwlint, FormatFindingMatchesCompilerStyle) {
+  const Finding f{"src/crypto/aead.cc", 42, "ct-compare", "boom"};
+  EXPECT_EQ(FormatFinding(f), "src/crypto/aead.cc:42: [ct-compare] boom");
+}
+
+TEST(Lwlint, LintPathsReportsMissingPath) {
+  const auto findings = LintPaths({"definitely/not/a/path"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+TEST(Lwlint, SourceTreeIsClean) {
+  // The production guarantee, from inside the test suite: zero findings on
+  // the real src/ tree (the lwlint.src ctest checks the same via the CLI).
+  const auto findings = LintPaths({std::string(LWLINT_SOURCE_DIR) + "/src"});
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << FormatFinding(f);
+  }
+}
+
+}  // namespace
+}  // namespace lw::lint

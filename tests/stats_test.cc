@@ -111,9 +111,15 @@ TEST(DomainStats, ReportAndBill) {
   ASSERT_TRUE(labeled.ok());
   ASSERT_EQ(labeled->size(), 3u);
   for (const auto& dc : *labeled) {
-    if (dc.domain == "nytimes.com") EXPECT_EQ(dc.count, 2u);
-    if (dc.domain == "poodles.org") EXPECT_EQ(dc.count, 1u);
-    if (dc.domain == "cnn.com") EXPECT_EQ(dc.count, 0u);
+    if (dc.domain == "nytimes.com") {
+      EXPECT_EQ(dc.count, 2u);
+    }
+    if (dc.domain == "poodles.org") {
+      EXPECT_EQ(dc.count, 1u);
+    }
+    if (dc.domain == "cnn.com") {
+      EXPECT_EQ(dc.count, 0u);
+    }
   }
 }
 

@@ -21,13 +21,6 @@ TEST(Bytes, RoundTripString) {
   EXPECT_EQ(b.size(), 5u);
 }
 
-TEST(Bytes, ConstantTimeEqual) {
-  EXPECT_TRUE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abc")));
-  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abd")));
-  EXPECT_FALSE(ConstantTimeEqual(ToBytes("abc"), ToBytes("abcd")));
-  EXPECT_TRUE(ConstantTimeEqual({}, {}));
-}
-
 TEST(Bytes, XorInto) {
   Bytes a = {0x0f, 0xf0, 0xaa};
   const Bytes b = {0xff, 0xff, 0xaa};

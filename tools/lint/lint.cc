@@ -1,0 +1,481 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace lw::lint {
+namespace {
+
+// ---------------------------------------------------------------- rules
+
+const char kCtCompare[] = "ct-compare";
+const char kSecretIndex[] = "secret-index";
+const char kInsecureRand[] = "insecure-rand";
+const char kNakedNew[] = "naked-new";
+const char kUncheckedResult[] = "unchecked-result";
+const char kVarTimeLoop[] = "var-time-loop";
+
+// Files exempt from secret-index: the software AES fallback is a table
+// cipher (kSbox[state[i]] is its definition); the AES-NI path used in
+// production is constant-time, and the fallback is documented in
+// docs/STATIC_ANALYSIS.md.
+const char* kSecretIndexWhitelist[] = {
+    "src/crypto/aes128.cc",
+};
+
+// Identifier fragments that mark a value as secret material.
+const char* kSecretTokens[] = {"key", "secret", "tag", "mac", "digest", "seed"};
+
+// Fragments that neutralize a secret token inside the same identifier
+// ("keyword" is a public dictionary word, not key material).
+const char* kTokenExceptions[] = {"keyword", "tagline"};
+
+// Operand fragments that make a comparison public even when a secret-named
+// identifier appears (lengths, counts, status checks, metadata).
+const char* kPublicOperandMarks[] = {
+    ".size", ".length", ".empty", ".ok",    "sizeof",  "bits",
+    "count", "version", "type",   "nullptr", ".end()", "null",
+};
+
+// --------------------------------------------------- scanning machinery
+
+struct ScannedFile {
+  // Source lines with comments and string/char literal bodies blanked out,
+  // so the rules never fire on prose or log messages.
+  std::vector<std::string> code;
+  // allows[i] = rules suppressed on line i (0-based), via `lwlint: allow`.
+  std::vector<std::set<std::string>> allows;
+  std::set<std::string> file_allows;  // via `lwlint: allowfile`
+};
+
+void ParseAnnotations(const std::string& comment, std::size_t line_index,
+                      ScannedFile& out) {
+  static const std::regex kAnnot(R"(lwlint:\s*(allowfile|allow)\s*\(([^)]*)\))");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAnnot);
+       it != std::sregex_iterator(); ++it) {
+    const bool whole_file = (*it)[1] == "allowfile";
+    std::stringstream rules((*it)[2].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                 rule.end());
+      if (rule.empty()) continue;
+      if (whole_file) {
+        out.file_allows.insert(rule);
+      } else {
+        out.allows[line_index].insert(rule);
+      }
+    }
+  }
+}
+
+// Splits into lines, strips comments and literal bodies, collects allows.
+ScannedFile Scan(const std::string& content) {
+  ScannedFile out;
+  std::vector<std::string> lines;
+  {
+    std::stringstream ss(content);
+    std::string line;
+    while (std::getline(ss, line)) lines.push_back(line);
+  }
+  out.code.resize(lines.size());
+  out.allows.resize(lines.size());
+
+  bool in_block_comment = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& src = lines[ln];
+    std::string code;
+    code.reserve(src.size());
+    std::string comment_text;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (in_block_comment) {
+        comment_text += src[i];
+        if (src[i] == '/' && i > 0 && src[i - 1] == '*') in_block_comment = false;
+        continue;
+      }
+      const char c = src[i];
+      const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+      if (c == '/' && next == '/') {
+        comment_text.append(src, i, std::string::npos);
+        break;
+      }
+      if (c == '/' && next == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Blank the literal body; keep the quotes so expressions still parse.
+        code += c;
+        ++i;
+        while (i < src.size()) {
+          if (src[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (src[i] == c) break;
+          ++i;
+        }
+        code += c;
+        continue;
+      }
+      code += c;
+    }
+    out.code[ln] = std::move(code);
+    if (!comment_text.empty()) ParseAnnotations(comment_text, ln, out);
+  }
+  return out;
+}
+
+bool EndsWithPath(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsCryptoFile(const std::string& path) {
+  return path.find("src/crypto/") != std::string::npos;
+}
+
+// True if `text` contains an identifier carrying a secret token (and not a
+// known-benign word like "keyword").
+bool HasSecretIdentifier(const std::string& text) {
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    std::string ident = it->str();
+    // Project constants (kFooSize, kAeadKeySize, ...) are compile-time
+    // public values, not secret data.
+    if (ident.size() >= 2 && ident[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(ident[1]))) {
+      continue;
+    }
+    std::transform(ident.begin(), ident.end(), ident.begin(), ::tolower);
+    bool benign = false;
+    for (const char* ex : kTokenExceptions) {
+      if (ident.find(ex) != std::string::npos) benign = true;
+    }
+    // Sizes and lengths of secret buffers are public.
+    if (ident.find("size") != std::string::npos ||
+        ident.find("len") != std::string::npos) {
+      benign = true;
+    }
+    if (benign) continue;
+    for (const char* tok : kSecretTokens) {
+      if (ident.find(tok) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+bool LooksPublicOperand(const std::string& operand) {
+  for (const char* mark : kPublicOperandMarks) {
+    if (operand.find(mark) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  Linter(std::string path, const ScannedFile& scan)
+      : path_(std::move(path)), scan_(scan) {}
+
+  std::vector<Finding> Run() {
+    const bool crypto = IsCryptoFile(path_);
+    bool secret_index_whitelisted = false;
+    for (const char* wl : kSecretIndexWhitelist) {
+      if (EndsWithPath(path_, wl)) secret_index_whitelisted = true;
+    }
+    for (std::size_t ln = 0; ln < scan_.code.size(); ++ln) {
+      const std::string& code = scan_.code[ln];
+      if (code.empty()) {
+        TrackLoops(code);
+        continue;
+      }
+      CheckInsecureRand(ln, code);
+      CheckNakedNew(ln, code);
+      CheckMemcmp(ln, code);
+      CheckUncheckedResult(ln, code);
+      if (!secret_index_whitelisted) CheckSecretIndex(ln, code, crypto);
+      if (crypto) {
+        CheckCtEquality(ln, code);
+        CheckVarTimeLoop(ln, code);
+      }
+      TrackLoops(code);
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  bool Allowed(std::size_t ln, const std::string& rule) const {
+    if (scan_.file_allows.count(rule) != 0) return true;
+    if (scan_.allows[ln].count(rule) != 0) return true;
+    // An annotation on the line directly above also applies.
+    if (ln > 0 && scan_.allows[ln - 1].count(rule) != 0) return true;
+    return false;
+  }
+
+  void Report(std::size_t ln, const std::string& rule, std::string message) {
+    if (Allowed(ln, rule)) return;
+    findings_.push_back(
+        Finding{path_, static_cast<int>(ln + 1), rule, std::move(message)});
+  }
+
+  void CheckInsecureRand(std::size_t ln, const std::string& code) {
+    static const std::regex kRand(
+        R"((^|[^:A-Za-z0-9_])(std::)?(rand|srand|drand48|lrand48|random_shuffle)\s*\()");
+    if (std::regex_search(code, kRand)) {
+      Report(ln, kInsecureRand,
+             "libc randomness is not seedable/secure enough for this "
+             "codebase; use lw::Rng (simulation) or lw::SecureRandom "
+             "(secrets)");
+    }
+  }
+
+  void CheckNakedNew(std::size_t ln, const std::string& code) {
+    static const std::regex kNew(R"((^|[^A-Za-z0-9_.:])new\s+[A-Za-z_:])");
+    static const std::regex kDelete(R"((^|[^A-Za-z0-9_])delete(\s|\[|;))");
+    if (std::regex_search(code, kNew)) {
+      Report(ln, kNakedNew,
+             "naked new; use std::make_unique/containers so ownership is "
+             "explicit and exception-safe");
+    }
+    if (std::regex_search(code, kDelete) &&
+        code.find("= delete") == std::string::npos) {
+      Report(ln, kNakedNew,
+             "naked delete; owning raw pointers are banned outside the "
+             "allocator layer");
+    }
+  }
+
+  void CheckMemcmp(std::size_t ln, const std::string& code) {
+    static const std::regex kMemcmp(R"((^|[^A-Za-z0-9_])(std::)?memcmp\s*\()");
+    std::smatch m;
+    if (!std::regex_search(code, m, kMemcmp)) return;
+    const std::string args = code.substr(m.position(0));
+    if (HasSecretIdentifier(args)) {
+      Report(ln, kCtCompare,
+             "memcmp on secret material leaks a timing side channel; use "
+             "lw::crypto::ct::Eq");
+    }
+  }
+
+  void CheckCtEquality(std::size_t ln, const std::string& code) {
+    // Operands of ==/!= in crypto sources must not be secret-named values.
+    static const std::regex kCmp(
+        R"(([A-Za-z0-9_.:\]\[()>-]+)\s*(==|!=)\s*([A-Za-z0-9_.:\]\[()>-]+))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kCmp);
+         it != std::sregex_iterator(); ++it) {
+      const std::string lhs = (*it)[1].str();
+      const std::string rhs = (*it)[3].str();
+      if (LooksPublicOperand(lhs) || LooksPublicOperand(rhs)) continue;
+      if (HasSecretIdentifier(lhs) || HasSecretIdentifier(rhs)) {
+        Report(ln, kCtCompare,
+               "variable-time comparison of secret material; use "
+               "lw::crypto::ct::Eq / EqMask");
+        return;
+      }
+    }
+  }
+
+  void CheckSecretIndex(std::size_t ln, const std::string& code, bool crypto) {
+    // (a) Everywhere: an index expression naming secret material.
+    // (b) In src/crypto: nested data-dependent lookups tbl[x[i]] — the
+    //     classic cache-timing shape even when nothing is named "key".
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] != '[') continue;
+      // Structured bindings (`auto& [key, val]`) are not array accesses.
+      std::size_t before = i;
+      while (before > 0 && code[before - 1] == ' ') --before;
+      if (before > 0 && code[before - 1] == '&') continue;
+      if (before >= 4 && code.compare(before - 4, 4, "auto") == 0) continue;
+      int depth = 1;
+      std::size_t j = i + 1;
+      bool nested = false;
+      while (j < code.size() && depth > 0) {
+        if (code[j] == '[') {
+          ++depth;
+          nested = true;
+        }
+        if (code[j] == ']') --depth;
+        ++j;
+      }
+      const std::string index = code.substr(i + 1, j - i - 2);
+      // Attribute syntax [[...]] is not an index expression.
+      if (index.empty() || code.compare(i, 2, "[[") == 0) continue;
+      if (HasSecretIdentifier(index)) {
+        Report(ln, kSecretIndex,
+               "array access indexed by secret material; memory addresses "
+               "leak through the cache — use a constant-time scan "
+               "(crypto::ct::CondAssign over all slots)");
+        return;
+      }
+      if (crypto && nested && !LooksPublicOperand(index)) {
+        Report(ln, kSecretIndex,
+               "nested data-dependent table lookup in crypto code; table "
+               "indices derived from processed data leak through the cache");
+        return;
+      }
+    }
+  }
+
+  void CheckUncheckedResult(std::size_t ln, const std::string& code) {
+    static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
+    if (!std::regex_search(code, kValue)) return;
+    // A visible guard on the same or the three preceding lines counts:
+    // .ok() tests, LW_CHECK/LW_ASSIGN_OR_RETURN, or test assertions.
+    static const std::regex kGuard(
+        R"(\.ok\s*\(|LW_CHECK|LW_ASSIGN_OR_RETURN|ASSERT_|EXPECT_)");
+    const std::size_t first = ln >= 3 ? ln - 3 : 0;
+    for (std::size_t g = first; g <= ln; ++g) {
+      if (std::regex_search(scan_.code[g], kGuard)) return;
+    }
+    Report(ln, kUncheckedResult,
+           "Result<T>::value() without a visible ok() check; use "
+           "LW_ASSIGN_OR_RETURN or LW_CHECK the status first");
+  }
+
+  // Loop tracking for var-time-loop: maintains brace depth and the depths at
+  // which loop bodies opened, fed one code line at a time.
+  void TrackLoops(const std::string& code) {
+    static const std::regex kLoopHead(R"((^|[^A-Za-z0-9_])(for|while)\s*\()");
+    if (std::regex_search(code, kLoopHead)) pending_loop_ = true;
+    for (const char c : code) {
+      if (c == '(') {
+        ++paren_depth_;
+      } else if (c == ')') {
+        if (paren_depth_ > 0) --paren_depth_;
+      } else if (c == '{') {
+        ++depth_;
+        if (pending_loop_) {
+          loop_depths_.push_back(depth_);
+          pending_loop_ = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths_.empty() && loop_depths_.back() == depth_) {
+          loop_depths_.pop_back();
+        }
+        --depth_;
+      } else if (c == ';' && pending_loop_ && paren_depth_ == 0) {
+        // Braceless loop body or a do-while tail; nothing to track. The
+        // semicolons inside a for(;;) head sit at paren depth > 0 and must
+        // not clear the pending flag.
+        pending_loop_ = false;
+      }
+    }
+  }
+
+  void CheckVarTimeLoop(std::size_t ln, const std::string& code) {
+    // Secret-dependent bound in the loop head.
+    static const std::regex kLoopHead(R"((^|[^A-Za-z0-9_])(for|while)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, kLoopHead)) {
+      // Only the parenthesized condition is the loop bound; the body on the
+      // same line may legitimately touch secrets.
+      std::size_t open = code.find('(', static_cast<std::size_t>(m.position(0)));
+      std::size_t close = open;
+      int pdepth = 0;
+      while (close < code.size()) {
+        if (code[close] == '(') ++pdepth;
+        if (code[close] == ')' && --pdepth == 0) break;
+        ++close;
+      }
+      const std::string head = code.substr(open, close - open + 1);
+      if (!LooksPublicOperand(head) && HasSecretIdentifier(head)) {
+        Report(ln, kVarTimeLoop,
+               "loop bound depends on secret material; iteration counts "
+               "leak through timing — bound by the (public) buffer size");
+      }
+    }
+    // Early exits inside any loop body in crypto code.
+    if (!loop_depths_.empty()) {
+      static const std::regex kEarlyExit(
+          R"((^|[^A-Za-z0-9_])(break\s*;|return\b))");
+      if (std::regex_search(code, kEarlyExit)) {
+        Report(ln, kVarTimeLoop,
+               "early exit from a loop in crypto code is variable-time; "
+               "accumulate into a mask and exit at the bound instead");
+      }
+    }
+  }
+
+  const std::string path_;
+  const ScannedFile& scan_;
+  std::vector<Finding> findings_;
+
+  int depth_ = 0;
+  int paren_depth_ = 0;
+  bool pending_loop_ = false;
+  std::vector<int> loop_depths_;
+};
+
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".hpp" || ext == ".cpp";
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      kCtCompare,       kSecretIndex, kInsecureRand,
+      kNakedNew,        kUncheckedResult, kVarTimeLoop,
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content) {
+  const ScannedFile scan = Scan(content);
+  return Linter(path, scan).Run();
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      findings.push_back(Finding{p, 0, "io-error", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      findings.push_back(
+          Finding{file.string(), 0, "io-error", "cannot open file"});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    // Normalize the path so whitelists match regardless of invocation dir.
+    const std::string display = file.generic_string();
+    std::vector<Finding> file_findings = LintSource(display, ss.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+}  // namespace lw::lint

@@ -1,0 +1,54 @@
+// lwlint — project-specific static checks for the Lightweb tree.
+//
+// The linter enforces the security idioms the compiler cannot see (see
+// docs/STATIC_ANALYSIS.md for the policy rationale):
+//
+//   ct-compare       memcmp/==/!= on key or tag material; secrets must be
+//                    compared with lw::crypto::ct::Eq / EqMask.
+//   secret-index     array access indexed by secret-named data anywhere, or
+//                    nested data-dependent table lookups (tbl[x[i]]) inside
+//                    src/crypto, outside the whitelisted files.
+//   insecure-rand    rand()/srand()/std::rand and friends; use lw::Rng for
+//                    simulation and lw::SecureRandom for secrets.
+//   naked-new        naked new/delete; use std::make_unique or containers.
+//   unchecked-result lw::Result<T> unwrapped with .value() with no visible
+//                    ok() check / LW_CHECK / assertion nearby.
+//   var-time-loop    early exits (break/return) or secret-dependent bounds
+//                    in loops inside src/crypto.
+//
+// Escape hatch: a comment `lwlint: allow(rule)` (comma-separate several
+// rules) on the offending line or the line directly above suppresses the
+// finding; `lwlint: allowfile(rule)` anywhere in a file suppresses the rule
+// for the whole file. Every allow should come with a justification comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lw::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Names of all rules, for --list-rules and the self-tests.
+const std::vector<std::string>& AllRules();
+
+// Lints one translation unit. `path` (repo-relative or absolute) decides
+// which rule subsets apply: crypto-only rules fire for paths containing
+// "src/crypto", and whitelisted files are matched by path suffix.
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content);
+
+// Recursively lints every .cc/.h file under each of `paths` (files are
+// accepted too). I/O problems are reported as findings with rule "io-error".
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
+
+// "file:line: [rule] message" — matches compiler diagnostics so editors can
+// jump to findings.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace lw::lint

@@ -1,0 +1,49 @@
+// lwlint command line driver.
+//
+//   lwlint [--list-rules] [path...]
+//
+// Paths default to "src". Exit code 0 = clean, 1 = violations found,
+// 2 = usage or I/O error. Registered as the `lwlint.src` ctest so tier-1
+// catches regressions; see docs/STATIC_ANALYSIS.md for the rules and the
+// `lwlint: allow(<rule>)` escape hatch.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : lw::lint::AllRules()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: lwlint [--list-rules] [path...]\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lwlint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  const std::vector<lw::lint::Finding> findings = lw::lint::LintPaths(paths);
+  bool io_error = false;
+  for (const lw::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", lw::lint::FormatFinding(f).c_str());
+    io_error |= (f.rule == "io-error");
+  }
+  if (io_error) return 2;
+  if (!findings.empty()) {
+    std::fprintf(stderr, "lwlint: %zu violation(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the Lightweb
+# sources using a CMake compile database.
+#
+#   tools/lint/run_clang_tidy.sh [build-dir] [path...]
+#
+#   build-dir  directory containing compile_commands.json
+#              (default: build/default, then build)
+#   path...    files or directories to check (default: src)
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call unconditionally from CI and pre-commit hooks on machines
+# without the clang toolchain (the baked toolchain here is gcc-only; lwlint
+# and the sanitizer presets provide the enforced coverage).
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found in PATH; skipping." >&2
+  echo "Install LLVM/clang-tidy to run this check locally." >&2
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [ -n "$build_dir" ]; then
+  shift
+else
+  for candidate in build/default build; do
+    if [ -f "$candidate/compile_commands.json" ]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: no compile_commands.json found." >&2
+  echo "Configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first, e.g.:" >&2
+  echo "  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+paths=("$@")
+if [ "${#paths[@]}" -eq 0 ]; then
+  paths=(src)
+fi
+
+files=()
+for p in "${paths[@]}"; do
+  if [ -d "$p" ]; then
+    while IFS= read -r f; do
+      files+=("$f")
+    done < <(find "$p" -name '*.cc' | sort)
+  else
+    files+=("$p")
+  fi
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_clang_tidy.sh: no sources under: ${paths[*]}" >&2
+  exit 2
+fi
+
+echo "clang-tidy ($(clang-tidy --version | head -n1)) on ${#files[@]} files..."
+status=0
+clang-tidy -p "$build_dir" --quiet "${files[@]}" || status=$?
+exit "$status"

@@ -1,0 +1,15 @@
+// lwlint fixture: the allow() escape hatch.
+#include <cstdlib>
+
+int SameLineAllow() {
+  return std::rand();  // lwlint: allow(insecure-rand) — fixture, not prod
+}
+
+int LineAboveAllow() {
+  // lwlint: allow(insecure-rand) — fixture, not prod
+  return std::rand();
+}
+
+int WrongRuleAllowDoesNotSuppress() {
+  return std::rand();  // lwlint: allow(naked-new)  line 14: still fires
+}

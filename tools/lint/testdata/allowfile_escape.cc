@@ -1,0 +1,11 @@
+// lwlint fixture: allowfile suppresses a rule for the whole file.
+// lwlint: allowfile(insecure-rand) — fixture exercising the file-wide hatch
+#include <cstdlib>
+
+int First() {
+  return std::rand();  // suppressed by the allowfile above
+}
+
+int Second() {
+  return std::rand();  // suppressed too, any distance from the annotation
+}

@@ -1,0 +1,15 @@
+// lwlint fixture: ct-compare true positives. Linted as if under src/crypto/.
+#include <cstring>
+
+bool BadMemcmp(const unsigned char* key_a, const unsigned char* key_b) {
+  return std::memcmp(key_a, key_b, 32) == 0;  // line 5: memcmp on key material
+}
+
+bool BadTagEquality(unsigned long tag, unsigned long expected_tag) {
+  return tag == expected_tag;  // line 9: ==/!= on tag material
+}
+
+bool OkPublicComparison(const unsigned char* key, unsigned long n) {
+  (void)key;
+  return n == 16;  // public scalar: no finding
+}

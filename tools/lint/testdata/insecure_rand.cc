@@ -1,0 +1,12 @@
+// lwlint fixture: insecure-rand true positives.
+#include <cstdlib>
+
+int BadRand() {
+  std::srand(42);        // line 5: srand
+  return std::rand();    // line 6: std::rand
+}
+
+int OkMentionInString() {
+  const char* msg = "rand() is banned";  // literal body is ignored
+  return msg[0];
+}

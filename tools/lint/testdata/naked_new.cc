@@ -1,0 +1,22 @@
+// lwlint fixture: naked-new true positives.
+#include <memory>
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* BadNew() {
+  return new Widget();  // line 9: naked new
+}
+
+void BadDelete(Widget* w) {
+  delete w;  // line 13: naked delete
+}
+
+std::unique_ptr<Widget> OkMakeUnique() {
+  return std::make_unique<Widget>();  // no finding
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // deleted member fn: no finding
+};

@@ -1,0 +1,14 @@
+// lwlint fixture: secret-index true positives.
+extern const unsigned char kTable[256];
+
+unsigned char BadSecretIndexed(const unsigned char* key) {
+  return kTable[key[0]];  // line 5: index expression names secret material
+}
+
+unsigned char BadNestedLookup(const unsigned char* s) {
+  return kTable[s[3]];  // line 9: nested data-dependent lookup (crypto only)
+}
+
+unsigned char OkPublicIndex(const unsigned char* buf, unsigned i) {
+  return buf[i];  // public loop index: no finding
+}

@@ -1,0 +1,14 @@
+// lwlint fixture: unchecked-result true positive.
+#include "util/status.h"
+
+lw::Result<int> Fetch();
+
+int BadImmediateUnwrap() {
+  return Fetch().value();  // line 7: no visible ok() check
+}
+
+int OkGuardedUnwrap() {
+  auto r = Fetch();
+  if (!r.ok()) return -1;
+  return r.value();  // guarded on the previous line: no finding
+}

@@ -1,0 +1,25 @@
+// lwlint fixture: var-time-loop true positives. Linted as if under src/crypto/.
+bool BadEarlyExit(const unsigned char* a, const unsigned char* b) {
+  for (int i = 0; i < 16; ++i) {
+    if (a[i] != b[i]) {
+      return false;  // line 5: early exit inside a crypto loop
+    }
+  }
+  return true;
+}
+
+int BadSecretBound(int secret_rounds) {
+  int acc = 0;
+  while (acc < secret_rounds) {  // line 13: secret-dependent loop bound
+    ++acc;
+  }
+  return acc;
+}
+
+int OkFixedLoop(const unsigned char* a) {
+  int acc = 0;
+  for (int i = 0; i < 16; ++i) {
+    acc |= a[i];
+  }
+  return acc;
+}
