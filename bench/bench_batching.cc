@@ -7,7 +7,8 @@
 //
 // We sweep batch sizes on a scaled shard and check the shape: monotone
 // throughput gain and monotone latency growth, with a large (>2×)
-// throughput win by batch 16.
+// throughput win by batch 16. The scan itself is the fused single-pass
+// AnswerBatch; --threads=N additionally shards rows across a pool.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -19,13 +20,26 @@ namespace {
 
 constexpr std::size_t kRecordSize = 4096;
 constexpr int kDomainBits = 22;
-// 256 MiB shard keeps the sweep quick; the effect is per-byte-of-shard.
-constexpr std::size_t kRecords = (256ull << 20) / kRecordSize;
+
+BenchFlags g_flags;
+JsonRecorder g_json;
+
+std::size_t ShardRecords() {
+  // 256 MiB keeps the sweep quick (the effect is per-byte-of-shard); the
+  // smoke leg drops to 32 MiB.
+  const std::size_t bytes = g_flags.smoke ? (32ull << 20) : (256ull << 20);
+  return bytes / kRecordSize;
+}
 
 const pir::BlobDatabase& Shard() {
-  static const pir::BlobDatabase* db =
-      new pir::BlobDatabase(BuildShard(kDomainBits, kRecordSize, kRecords));
+  static const pir::BlobDatabase* db = new pir::BlobDatabase(
+      BuildShard(kDomainBits, kRecordSize, ShardRecords()));
   return *db;
+}
+
+ThreadPool* BenchPool() {
+  static std::unique_ptr<ThreadPool> pool = MakeBenchPool(g_flags);
+  return pool.get();
 }
 
 std::vector<dpf::BitVector> MakeBatch(std::size_t batch, Rng& rng) {
@@ -46,23 +60,23 @@ void BM_BatchedScan(benchmark::State& state) {
   const std::vector<dpf::BitVector> bits = MakeBatch(batch, rng);
   std::vector<Bytes> answers;
   for (auto _ : state) {
-    db.AnswerBatch(bits, answers);
+    db.AnswerBatch(bits, answers, BenchPool());
     benchmark::DoNotOptimize(answers.data());
   }
-  const double seconds_per_batch =
-      state.iterations() == 0 ? 0 : 1;  // silence unused warnings
-  (void)seconds_per_batch;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
   state.counters["batch"] = static_cast<double>(batch);
 }
 BENCHMARK(BM_BatchedScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void PrintReproductionTable() {
   std::printf("\n=== E2: §5.1 batching — reproduction ===\n");
-  std::printf("shard: %zu records x 4 KiB = %.0f MiB, domain 2^22\n",
-              kRecords, kRecords * kRecordSize / (1024.0 * 1024.0));
+  std::printf("shard: %zu records x 4 KiB = %.0f MiB, domain 2^22, "
+              "threads=%d\n",
+              ShardRecords(),
+              ShardRecords() * kRecordSize / (1024.0 * 1024.0),
+              g_flags.threads);
   std::printf(
       "(latency here is the scan component per batch; the paper's 0.51 s /\n"
       " 2.6 s figures include DPF evaluation and queueing on a full 1 GiB\n"
@@ -75,19 +89,23 @@ void PrintReproductionTable() {
   const pir::BlobDatabase& db = Shard();
   Rng rng(99);
   double t1 = 0, t16 = 0;
+  const int rounds = g_flags.smoke ? 1 : 3;
   for (const std::size_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
     const auto bits = MakeBatch(batch, rng);
     std::vector<Bytes> answers;
     // Warm once, then time a few rounds.
-    db.AnswerBatch(bits, answers);
+    db.AnswerBatch(bits, answers, BenchPool());
     Stopwatch timer;
-    constexpr int kRounds = 3;
-    for (int r = 0; r < kRounds; ++r) db.AnswerBatch(bits, answers);
-    const double latency_ms = timer.ElapsedMillis() / kRounds;
+    for (int r = 0; r < rounds; ++r) db.AnswerBatch(bits, answers, BenchPool());
+    const double latency_ms = timer.ElapsedMillis() / rounds;
     const double per_request = latency_ms / static_cast<double>(batch);
     const double throughput = 1000.0 / per_request;
     if (batch == 1) t1 = throughput;
     if (batch == 16) t16 = throughput;
+    g_json.Add("batching/batch=" + std::to_string(batch) +
+                   "/threads=" + std::to_string(g_flags.threads),
+               rounds, latency_ms * 1e6,
+               static_cast<double>(db.stored_bytes()) / (latency_ms / 1e3));
     std::printf("%8zu %14.1f %16.2f %18.1f\n", batch, latency_ms,
                 per_request, throughput);
   }
@@ -103,9 +121,14 @@ void PrintReproductionTable() {
 }  // namespace lw::bench
 
 int main(int argc, char** argv) {
+  lw::bench::g_flags = lw::bench::ParseBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   lw::bench::PrintReproductionTable();
+  if (!lw::bench::g_flags.json_path.empty()) {
+    if (!lw::bench::g_json.WriteTo(lw::bench::g_flags.json_path)) return 1;
+    std::printf("wrote %s\n", lw::bench::g_flags.json_path.c_str());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/io.h"
 #include "util/rand.h"
+#include "util/thread_pool.h"
 
 namespace lw::dpf {
 namespace {
@@ -163,6 +164,59 @@ void ExpandKeepingSeeds(Bytes& seeds, Bytes& ts, const CorrectionWord* cws,
     seeds = std::move(next_seeds);
     ts = std::move(next_ts);
   }
+}
+
+// Thread-pooled expansion of one root (paper §5.1's "servers can use
+// multiple cores"). Split depth k is chosen so that (a) sub-trees come in
+// blocks of 64 — because the tree consumes point bits LSB-first, sub-tree s
+// covers {x : x mod 2^k == s}, and with 64 | 2^k the leaves of 64
+// consecutive sub-trees tile whole 64-bit words of the packed output
+// (block b owns exactly the words w ≡ b (mod 2^(k-6))), making the workers'
+// writes disjoint word-granular strided copies — and (b) there are at least
+// two blocks per pool thread for handoff balance. The serial top-of-tree
+// expansion is 2^(k+1) PRG calls against 2^(levels+1) total, well under 1%
+// at the paper's domain sizes.
+BitVector ExpandToLeafBitsParallel(const std::uint8_t* root_seed,
+                                   std::uint8_t root_t,
+                                   const CorrectionWord* cws, int levels,
+                                   ThreadPool* pool) {
+  const int threads = pool == nullptr ? 1 : pool->thread_count();
+  int k = 7;  // minimum split with >= 2 blocks of 64 sub-trees
+  while (k < 14 && (std::size_t{1} << (k - 6)) < 2 * static_cast<std::size_t>(
+                                                      threads)) {
+    ++k;
+  }
+  if (threads <= 1 || levels < 8) {
+    return ExpandToLeafBits(root_seed, &root_t, 1, cws, levels);
+  }
+  if (k >= levels) k = levels - 1;  // levels >= 8, so k stays >= 7
+
+  Bytes seeds(kSeedSize);
+  std::memcpy(seeds.data(), root_seed, kSeedSize);
+  Bytes ts(1, root_t);
+  ExpandKeepingSeeds(seeds, ts, cws, k);
+
+  const std::size_t blocks = std::size_t{1} << (k - 6);
+  const int remaining = levels - k;
+  const std::size_t words_per_block = std::size_t{1} << remaining;
+  const CorrectionWord* tail = cws + k;
+  BitVector out(std::size_t{1} << (levels - 6));
+
+  pool->ParallelFor(0, blocks, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      // Block b = sub-trees [64b, 64b + 64). Batch expansion keeps leaf
+      // r + (j << 6) of the 64-root batch at local position r + j*64, i.e.
+      // local word j, bit r — exactly global word b + j*blocks, bit r.
+      const BitVector local =
+          ExpandToLeafBits(seeds.data() + (b << 6) * kSeedSize,
+                           ts.data() + (b << 6), 64, tail, remaining);
+      std::uint64_t* dst = out.data() + b;
+      for (std::size_t j = 0; j < words_per_block; ++j) {
+        dst[j * blocks] = local[j];
+      }
+    }
+  });
+  return out;
 }
 
 }  // namespace
@@ -358,6 +412,12 @@ BitVector EvalFull(const DpfKey& key) {
                           key.correction_words.data(), key.domain_bits);
 }
 
+BitVector EvalFullParallel(const DpfKey& key, ThreadPool* pool) {
+  return ExpandToLeafBitsParallel(key.root_seed, key.party,
+                                  key.correction_words.data(),
+                                  key.domain_bits, pool);
+}
+
 std::vector<SubtreeKey> SplitForShards(const DpfKey& key, int top_bits) {
   LW_CHECK_MSG(top_bits >= 0 && top_bits <= key.domain_bits,
                "top_bits out of range");
@@ -385,6 +445,11 @@ std::vector<SubtreeKey> SplitForShards(const DpfKey& key, int top_bits) {
 BitVector EvalSubtree(const SubtreeKey& key) {
   return ExpandToLeafBits(key.seed, &key.t, 1, key.correction_words.data(),
                           key.domain_bits);
+}
+
+BitVector EvalSubtreeParallel(const SubtreeKey& key, ThreadPool* pool) {
+  return ExpandToLeafBitsParallel(key.seed, key.t, key.correction_words.data(),
+                                  key.domain_bits, pool);
 }
 
 }  // namespace lw::dpf

@@ -23,6 +23,10 @@
 #include "util/bytes.h"
 #include "util/status.h"
 
+namespace lw {
+class ThreadPool;
+}
+
 namespace lw::dpf {
 
 inline constexpr std::size_t kSeedSize = 16;
@@ -77,6 +81,18 @@ inline std::uint8_t GetBit(const BitVector& bits, std::uint64_t i) {
 // calls per level over contiguous buffers).
 BitVector EvalFull(const DpfKey& key);
 
+// Multi-core full-domain evaluation; bit-identical to EvalFull. The top
+// k >= 7 tree levels are expanded once on the caller (cheap), then the
+// 2^k sub-trees are evaluated on the pool in blocks of 64. Because level i
+// consumes evaluation-point bit i (LSB first), sub-tree s covers the
+// residue class {x : x mod 2^k == s} — its leaves interleave through the
+// output with stride 2^k — but a block of 64 consecutive sub-trees owns
+// whole 64-bit output words (words w ≡ block (mod 2^(k-6))), so workers
+// write disjoint words of the shared result with no synchronization.
+// Serial fallback (== EvalFull) when pool is null, single-threaded, or the
+// domain is too small to split (d < 8).
+BitVector EvalFullParallel(const DpfKey& key, ThreadPool* pool);
+
 // ------------------------------------------------------------------------
 // Distributed evaluation (paper §5.2, "Distributing DPF evaluation").
 //
@@ -106,5 +122,10 @@ std::vector<SubtreeKey> SplitForShards(const DpfKey& key, int top_bits);
 
 // Evaluates all 2^domain_bits leaves under a sub-tree root.
 BitVector EvalSubtree(const SubtreeKey& key);
+
+// Multi-core EvalSubtree (same scheme and fallbacks as EvalFullParallel):
+// a data server answering §5.2 sub-tree queries parallelizes exactly like a
+// monolithic server.
+BitVector EvalSubtreeParallel(const SubtreeKey& key, ThreadPool* pool);
 
 }  // namespace lw::dpf

@@ -1,23 +1,58 @@
 #include "pir/blob_db.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 #if defined(__AVX2__)
 #include <immintrin.h>
 #endif
 
 namespace lw::pir {
+namespace {
+
+// Rows ahead of the current one to pull into cache during a scan. The XOR
+// of one selected row is far slower than a prefetched sequential read, so a
+// short distance suffices to hide the miss on the selection-bit lookup.
+constexpr std::size_t kPrefetchRows = 4;
+
+inline void PrefetchRow(const std::uint8_t* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
 
 void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
   std::size_t i = 0;
 #if defined(__AVX2__)
-  for (; i + 32 <= n; i += 32) {
-    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(a, b));
+  if (((reinterpret_cast<std::uintptr_t>(dst) |
+        reinterpret_cast<std::uintptr_t>(src)) &
+       31) == 0) {
+    // Aligned path: BlobDatabase rows and scan accumulators are 64-byte
+    // aligned, so the hot scan always lands here.
+    for (; i + 32 <= n; i += 32) {
+      const __m256i a =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+      const __m256i b =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                         _mm256_xor_si256(a, b));
+    }
+  } else {
+    for (; i + 32 <= n; i += 32) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_xor_si256(a, b));
+    }
   }
 #endif
   for (; i + 8 <= n; i += 8) {
@@ -27,7 +62,9 @@ void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
 }
 
 BlobDatabase::BlobDatabase(int domain_bits, std::size_t record_size)
-    : domain_bits_(domain_bits), record_size_(record_size) {
+    : domain_bits_(domain_bits),
+      record_size_(record_size),
+      row_stride_(AlignUp(record_size, kCacheLineSize)) {
   LW_CHECK_MSG(domain_bits >= 1 && domain_bits <= dpf::kMaxDomainBits,
                "domain_bits out of range");
   LW_CHECK_MSG(record_size > 0, "record_size must be positive");
@@ -45,7 +82,9 @@ Status BlobDatabase::Insert(std::uint64_t index, ByteSpan record) {
   }
   index_of_.emplace(index, slot_index_.size());
   slot_index_.push_back(index);
-  records_.insert(records_.end(), record.begin(), record.end());
+  records_.resize(records_.size() + row_stride_, 0);  // zero row + padding
+  std::memcpy(records_.data() + records_.size() - row_stride_, record.data(),
+              record_size_);
   return Status::Ok();
 }
 
@@ -55,7 +94,7 @@ Status BlobDatabase::Update(std::uint64_t index, ByteSpan record) {
   }
   const auto it = index_of_.find(index);
   if (it == index_of_.end()) return NotFoundError("no record at index");
-  std::memcpy(records_.data() + it->second * record_size_, record.data(),
+  std::memcpy(records_.data() + it->second * row_stride_, record.data(),
               record_size_);
   return Status::Ok();
 }
@@ -72,12 +111,12 @@ Status BlobDatabase::Remove(std::uint64_t index) {
   const std::size_t last = slot_index_.size() - 1;
   if (row != last) {
     // Swap-remove keeps storage dense for the linear scan.
-    std::memcpy(records_.data() + row * record_size_,
-                records_.data() + last * record_size_, record_size_);
+    std::memcpy(records_.data() + row * row_stride_,
+                records_.data() + last * row_stride_, row_stride_);
     slot_index_[row] = slot_index_[last];
     index_of_[slot_index_[row]] = row;
   }
-  records_.resize(last * record_size_);
+  records_.resize(last * row_stride_);
   slot_index_.pop_back();
   index_of_.erase(it);
   return Status::Ok();
@@ -90,43 +129,117 @@ bool BlobDatabase::Contains(std::uint64_t index) const {
 Result<Bytes> BlobDatabase::Get(std::uint64_t index) const {
   const auto it = index_of_.find(index);
   if (it == index_of_.end()) return NotFoundError("no record at index");
-  const std::uint8_t* p = records_.data() + it->second * record_size_;
+  const std::uint8_t* p = records_.data() + it->second * row_stride_;
   return Bytes(p, p + record_size_);
 }
 
-void BlobDatabase::XorRecordInto(std::size_t row, MutableByteSpan acc) const {
-  XorBytes(acc.data(), records_.data() + row * record_size_, record_size_);
+std::size_t BlobDatabase::ScanShards(ThreadPool* pool) const {
+  if (pool == nullptr || pool->thread_count() <= 1) return 1;
+  // At least ~256 rows per shard: below that, accumulator setup and the
+  // reduction dwarf the scan itself.
+  const std::size_t by_rows = slot_index_.size() / 256;
+  return std::max<std::size_t>(
+      1, std::min(static_cast<std::size_t>(pool->thread_count()), by_rows));
 }
 
-void BlobDatabase::Answer(const dpf::BitVector& bits,
-                          MutableByteSpan out) const {
-  LW_CHECK_MSG(out.size() == record_size_, "answer buffer size mismatch");
-  LW_CHECK_MSG(bits.size() * 64 >= domain_size(), "bit vector too small");
-  std::memset(out.data(), 0, out.size());
-  const std::size_t n = slot_index_.size();
-  for (std::size_t row = 0; row < n; ++row) {
+void BlobDatabase::ScanRows(const dpf::BitVector& bits, std::size_t row_begin,
+                            std::size_t row_end, std::uint8_t* acc) const {
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    if (row + kPrefetchRows < row_end) {
+      PrefetchRow(records_.data() + (row + kPrefetchRows) * row_stride_);
+    }
     if (dpf::GetBit(bits, slot_index_[row])) {
-      XorRecordInto(row, out);
+      XorBytes(acc, records_.data() + row * row_stride_, record_size_);
     }
   }
 }
 
+void BlobDatabase::ScanRowsFused(const std::vector<dpf::BitVector>& queries,
+                                 std::size_t row_begin, std::size_t row_end,
+                                 std::uint8_t* accs) const {
+  const std::size_t nq = queries.size();
+  for (std::size_t row = row_begin; row < row_end; ++row) {
+    if (row + kPrefetchRows < row_end) {
+      PrefetchRow(records_.data() + (row + kPrefetchRows) * row_stride_);
+    }
+    // One read of the row serves every selecting query (it stays cached
+    // across the inner loop — the batching amortization of §5.1).
+    const std::uint64_t idx = slot_index_[row];
+    const std::uint8_t* rec = records_.data() + row * row_stride_;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (dpf::GetBit(queries[q], idx)) {
+        XorBytes(accs + q * row_stride_, rec, record_size_);
+      }
+    }
+  }
+}
+
+void BlobDatabase::Answer(const dpf::BitVector& bits, MutableByteSpan out,
+                          ThreadPool* pool) const {
+  LW_CHECK_MSG(out.size() == record_size_, "answer buffer size mismatch");
+  LW_CHECK_MSG(bits.size() * 64 >= domain_size(), "bit vector too small");
+  const std::size_t n = slot_index_.size();
+  const std::size_t shards = ScanShards(pool);
+  // Accumulate into aligned scratch (one row-stride slot per shard) so
+  // XorBytes stays on its aligned path even when `out` is not aligned.
+  AlignedBytes accs(shards * row_stride_, 0);
+  if (shards <= 1) {
+    ScanRows(bits, 0, n, accs.data());
+  } else {
+    const std::size_t chunk = (n + shards - 1) / shards;
+    pool->ParallelFor(0, shards, 1, [&](std::size_t w0, std::size_t w1) {
+      for (std::size_t w = w0; w < w1; ++w) {
+        ScanRows(bits, w * chunk, std::min(n, (w + 1) * chunk),
+                 accs.data() + w * row_stride_);
+      }
+    });
+    // Tree reduction of the per-shard accumulators into slot 0.
+    for (std::size_t step = 1; step < shards; step <<= 1) {
+      for (std::size_t i = 0; i + step < shards; i += 2 * step) {
+        XorBytes(accs.data() + i * row_stride_,
+                 accs.data() + (i + step) * row_stride_, record_size_);
+      }
+    }
+  }
+  std::memcpy(out.data(), accs.data(), record_size_);
+}
+
 void BlobDatabase::AnswerBatch(const std::vector<dpf::BitVector>& queries,
-                               std::vector<Bytes>& answers) const {
+                               std::vector<Bytes>& answers,
+                               ThreadPool* pool) const {
   answers.assign(queries.size(), Bytes(record_size_, 0));
+  if (queries.empty()) return;
   for (const dpf::BitVector& q : queries) {
     LW_CHECK_MSG(q.size() * 64 >= domain_size(), "bit vector too small");
   }
   const std::size_t n = slot_index_.size();
-  // One pass over the data: each row is read from memory once and XORed into
-  // every selecting query's accumulator (the batching win of §5.1).
-  for (std::size_t row = 0; row < n; ++row) {
-    const std::uint64_t idx = slot_index_[row];
-    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-      if (dpf::GetBit(queries[qi], idx)) {
-        XorRecordInto(row, answers[qi]);
+  const std::size_t nq = queries.size();
+  const std::size_t shards = ScanShards(pool);
+  // Per shard, one aligned accumulator per query, row_stride_ apart.
+  const std::size_t acc_block = nq * row_stride_;
+  AlignedBytes accs(shards * acc_block, 0);
+  if (shards <= 1) {
+    ScanRowsFused(queries, 0, n, accs.data());
+  } else {
+    const std::size_t chunk = (n + shards - 1) / shards;
+    pool->ParallelFor(0, shards, 1, [&](std::size_t w0, std::size_t w1) {
+      for (std::size_t w = w0; w < w1; ++w) {
+        ScanRowsFused(queries, w * chunk, std::min(n, (w + 1) * chunk),
+                      accs.data() + w * acc_block);
+      }
+    });
+    // Tree reduction across shards; a whole block (all B accumulators) is
+    // combined per XOR, padding XORs zero into zero.
+    for (std::size_t step = 1; step < shards; step <<= 1) {
+      for (std::size_t i = 0; i + step < shards; i += 2 * step) {
+        XorBytes(accs.data() + i * acc_block,
+                 accs.data() + (i + step) * acc_block, acc_block);
       }
     }
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::memcpy(answers[q].data(), accs.data() + q * row_stride_,
+                record_size_);
   }
 }
 

@@ -6,6 +6,13 @@
 // record-sized accumulator. Batched answering amortizes the scan: one pass
 // over the data serves B queries, which is exactly the latency/throughput
 // trade the paper's batching microbenchmark measures.
+//
+// Storage is cache-line friendly: rows are padded to a 64-byte stride in a
+// 64-byte-aligned arena, so every row starts on a cache line and the AVX2
+// XOR kernel runs on aligned addresses. Both Answer and AnswerBatch accept
+// an optional ThreadPool: the scan is sharded into per-worker row ranges,
+// each worker XOR-accumulates into private aligned accumulators, and a
+// tree reduction combines them (the multi-core server of §5.1).
 #pragma once
 
 #include <cstdint>
@@ -13,8 +20,13 @@
 #include <vector>
 
 #include "dpf/dpf.h"
+#include "util/alloc.h"
 #include "util/bytes.h"
 #include "util/status.h"
+
+namespace lw {
+class ThreadPool;
+}
 
 namespace lw::pir {
 
@@ -33,6 +45,15 @@ class BlobDatabase {
   std::size_t record_count() const { return index_of_.size(); }
   // Total payload bytes stored (the "1 GiB shard" knob of §5.1).
   std::size_t stored_bytes() const { return record_count() * record_size_; }
+
+  // Bytes between consecutive row starts: record_size rounded up to a
+  // 64-byte cache line (padding is zero and never scanned into answers).
+  std::size_t row_stride() const { return row_stride_; }
+  // Start of a stored row; always 64-byte aligned (tests/benches assert
+  // this to keep the XOR kernel on its aligned path).
+  const std::uint8_t* row_data(std::size_t row) const {
+    return records_.data() + row * row_stride_;
+  }
 
   // Inserts a record at a domain index. Fails with COLLISION if the index is
   // occupied (the paper: "the publisher can simply select another key name").
@@ -53,27 +74,46 @@ class BlobDatabase {
 
   // PIR answer: XOR of all records whose bit is set in `bits` (a packed
   // 2^domain_bits bit vector from dpf::EvalFull). `out` must be
-  // record_size bytes and is overwritten.
-  void Answer(const dpf::BitVector& bits, MutableByteSpan out) const;
+  // record_size bytes and is overwritten. With a pool, the row range is
+  // sharded across workers (identical output — XOR is associative).
+  void Answer(const dpf::BitVector& bits, MutableByteSpan out,
+              ThreadPool* pool = nullptr) const;
 
-  // Batched PIR answer: one pass over the stored records serving all
-  // queries. answers[q] must each be record_size bytes, zeroed by callee.
+  // Batched PIR answer: a single fused pass walks the records once and
+  // applies every query's selection bit per record (B answers for one
+  // sweep of memory traffic — §5.1's batching win). answers[q] are each
+  // record_size bytes, (re)initialized by the callee. With a pool, row
+  // shards each keep B private accumulators, tree-reduced at the end.
   void AnswerBatch(const std::vector<dpf::BitVector>& queries,
-                   std::vector<Bytes>& answers) const;
+                   std::vector<Bytes>& answers,
+                   ThreadPool* pool = nullptr) const;
 
  private:
-  void XorRecordInto(std::size_t slot, MutableByteSpan acc) const;
+  // XORs rows [row_begin, row_end) selected by `bits` into acc
+  // (record_size bytes).
+  void ScanRows(const dpf::BitVector& bits, std::size_t row_begin,
+                std::size_t row_end, std::uint8_t* acc) const;
+  // Fused variant: applies all queries, accumulating into
+  // accs + q * row_stride() per query q.
+  void ScanRowsFused(const std::vector<dpf::BitVector>& queries,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::uint8_t* accs) const;
+  // How many row shards a parallel scan should use (1 = serial).
+  std::size_t ScanShards(ThreadPool* pool) const;
 
   int domain_bits_;
   std::size_t record_size_;
+  std::size_t row_stride_;
   // Dense row storage: records_ holds record_count rows back to back in
-  // insertion order; slot_index_[row] is the domain index of that row.
-  Bytes records_;
+  // insertion order (64-byte aligned, row_stride_ apart); slot_index_[row]
+  // is the domain index of that row.
+  AlignedBytes records_;
   std::vector<std::uint64_t> slot_index_;
   std::unordered_map<std::uint64_t, std::size_t> index_of_;  // index -> row
 };
 
-// XORs `src` into `dst` using 32-byte AVX2 lanes when available.
+// XORs `src` into `dst` using 32-byte AVX2 lanes when available, with an
+// aligned-load fast path when both pointers sit on 32-byte boundaries.
 // Exposed for the benches (it is the paper's "AVX ... accelerate the scan").
 void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
 

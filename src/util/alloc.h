@@ -1,0 +1,60 @@
+// Aligned allocation helpers.
+//
+// The PIR record scan streams whole cache lines and wants 32-byte AVX2
+// loads on aligned addresses; AlignedBytes is a std::vector whose backing
+// store is always 64-byte (cache-line) aligned so row starts stay aligned
+// when the row stride is a multiple of 64 (see pir::BlobDatabase).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace lw {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Rounds n up to the next multiple of `alignment` (a power of two).
+constexpr std::size_t AlignUp(std::size_t n, std::size_t alignment) {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+// Minimal C++17 allocator over std::aligned_alloc. Alignment must be a
+// power of two; allocation sizes are rounded up to a multiple of it (an
+// aligned_alloc requirement).
+template <typename T, std::size_t Alignment = kCacheLineSize>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = AlignUp(n * sizeof(T), Alignment);
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+// Byte buffer whose data() is always kCacheLineSize-aligned.
+using AlignedBytes =
+    std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>>;
+
+}  // namespace lw

@@ -4,8 +4,9 @@
 
 namespace lw::zltp {
 
-BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config)
-    : store_(store), config_(config) {
+BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config,
+                               ThreadPool* pool)
+    : store_(store), config_(config), pool_(pool) {
   LW_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -81,7 +82,7 @@ void BatchScheduler::WorkerLoop() {
     std::vector<dpf::DpfKey> keys;
     keys.reserve(batch.size());
     for (Pending& p : batch) keys.push_back(std::move(p.key));
-    auto answers = store_.AnswerBatch(keys);
+    auto answers = store_.AnswerBatch(keys, pool_);
     if (!answers.ok()) {
       for (Pending& p : batch) p.promise.set_value(answers.status());
       continue;

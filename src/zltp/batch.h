@@ -23,6 +23,10 @@
 #include "util/status.h"
 #include "zltp/store.h"
 
+namespace lw {
+class ThreadPool;
+}
+
 namespace lw::zltp {
 
 struct BatchConfig {
@@ -32,7 +36,10 @@ struct BatchConfig {
 
 class BatchScheduler {
  public:
-  BatchScheduler(const PirStore& store, BatchConfig config);
+  // `pool` (optional, not owned, must outlive the scheduler) parallelizes
+  // each batch's DPF expansions and data scans across its workers.
+  BatchScheduler(const PirStore& store, BatchConfig config,
+                 ThreadPool* pool = nullptr);
   ~BatchScheduler();
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -66,6 +73,7 @@ class BatchScheduler {
 
   const PirStore& store_;
   BatchConfig config_;
+  ThreadPool* pool_;  // may be null (serial scans)
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

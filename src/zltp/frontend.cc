@@ -18,17 +18,29 @@ void SendErrorFrame(net::Transport& t, StatusCode code,
 // ---------------------------------------------------------- data shard
 
 ShardDataServer::ShardDataServer(const ShardTopology& topology,
-                                 std::size_t shard_index)
+                                 std::size_t shard_index, int num_threads)
     : topology_(topology),
       shard_index_(shard_index),
+      pool_(num_threads == 1 ? nullptr
+                             : std::make_unique<ThreadPool>(num_threads)),
       db_(topology.shard_domain_bits(), topology.record_size) {
   LW_CHECK_MSG(shard_index < topology.shard_count(), "shard index range");
 }
 
 ShardDataServer::~ShardDataServer() {
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : owned_transports_) t->Close();
-  for (auto& th : threads_) {
+  // Snapshot-then-join (see ZltpPirServer::~ZltpPirServer): handlers may
+  // still be enqueueing via ServeConnectionDetached, so the lock covers
+  // only the state swap.
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    stopping_ = true;
+    threads.swap(threads_);
+    transports.swap(owned_transports_);
+  }
+  for (auto& t : transports) t->Close();
+  for (auto& th : threads) {
     if (th.joinable()) th.join();
   }
 }
@@ -51,10 +63,10 @@ Result<Bytes> ShardDataServer::Answer(const dpf::SubtreeKey& key) const {
   if (key.domain_bits != topology_.shard_domain_bits()) {
     return ProtocolError("sub-tree key has wrong depth for this shard");
   }
-  const dpf::BitVector bits = dpf::EvalSubtree(key);
+  const dpf::BitVector bits = dpf::EvalSubtreeParallel(key, pool_.get());
   Bytes out(topology_.record_size);
   std::lock_guard<std::mutex> lock(db_mu_);
-  db_.Answer(bits, out);
+  db_.Answer(bits, out, pool_.get());
   return out;
 }
 
@@ -91,6 +103,10 @@ void ShardDataServer::ServeConnection(net::Transport& transport) {
 void ShardDataServer::ServeConnectionDetached(
     std::unique_ptr<net::Transport> transport) {
   std::lock_guard<std::mutex> lock(threads_mu_);
+  if (stopping_) {
+    transport->Close();
+    return;
+  }
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });
@@ -154,9 +170,17 @@ FrontEndServer::FrontEndServer(std::uint8_t role, Bytes keyword_seed,
 }
 
 FrontEndServer::~FrontEndServer() {
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : owned_transports_) t->Close();
-  for (auto& th : threads_) {
+  // Snapshot-then-join (see ZltpPirServer::~ZltpPirServer).
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    stopping_ = true;
+    threads.swap(threads_);
+    transports.swap(owned_transports_);
+  }
+  for (auto& t : transports) t->Close();
+  for (auto& th : threads) {
     if (th.joinable()) th.join();
   }
 }
@@ -222,6 +246,10 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
 void FrontEndServer::ServeConnectionDetached(
     std::unique_ptr<net::Transport> transport) {
   std::lock_guard<std::mutex> lock(threads_mu_);
+  if (stopping_) {
+    transport->Close();
+    return;
+  }
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });

@@ -29,6 +29,7 @@
 #include "pir/blob_db.h"
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "zltp/messages.h"
 
 namespace lw::zltp {
@@ -44,7 +45,12 @@ struct ShardTopology {
 
 class ShardDataServer {
  public:
-  ShardDataServer(const ShardTopology& topology, std::size_t shard_index);
+  // `num_threads` drives the shard's sub-tree DPF expansion and XOR scan
+  // through a private pool (0 = hardware_concurrency(), 1 = serial; the
+  // default stays serial because deployments typically pack one shard per
+  // small instance — paper §5.2).
+  ShardDataServer(const ShardTopology& topology, std::size_t shard_index,
+                  int num_threads = 1);
   ~ShardDataServer();
 
   ShardDataServer(const ShardDataServer&) = delete;
@@ -67,10 +73,12 @@ class ShardDataServer {
  private:
   ShardTopology topology_;
   std::size_t shard_index_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   mutable std::mutex db_mu_;
   pir::BlobDatabase db_;
 
-  std::mutex threads_mu_;
+  std::mutex threads_mu_;  // snapshot-then-join discipline (see server.h)
+  bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
 };
@@ -118,7 +126,8 @@ class FrontEndServer {
   Bytes keyword_seed_;
   ShardFanout fanout_;
 
-  std::mutex threads_mu_;
+  std::mutex threads_mu_;  // snapshot-then-join discipline (see server.h)
+  bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
 };

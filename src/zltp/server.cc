@@ -43,16 +43,35 @@ Status ExpectHelloWithMode(net::Transport& t, Mode required) {
 // --------------------------------------------------------------- PIR
 
 ZltpPirServer::ZltpPirServer(const PirStore& store, std::uint8_t role,
-                             BatchConfig batch_config)
-    : store_(store), role_(role), batcher_(store, batch_config) {
+                             ServerOptions options)
+    : store_(store),
+      role_(role),
+      pool_(options.num_threads == 1
+                ? nullptr
+                : std::make_unique<ThreadPool>(options.num_threads)),
+      batcher_(store, options.batch_config, pool_.get()) {
   LW_CHECK_MSG(role <= 1, "PIR server role must be 0 or 1");
 }
 
+ZltpPirServer::ZltpPirServer(const PirStore& store, std::uint8_t role,
+                             BatchConfig batch_config)
+    : ZltpPirServer(store, role, ServerOptions{batch_config, 0}) {}
+
 ZltpPirServer::~ZltpPirServer() {
   batcher_.Stop();
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : owned_transports_) t->Close();
-  for (auto& th : threads_) {
+  // Snapshot-then-join: handlers may still be enqueueing via
+  // ServeConnectionDetached, and a joined thread must never be waiting on
+  // threads_mu_ itself, so the lock covers only the state swap.
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    stopping_ = true;
+    threads.swap(threads_);
+    transports.swap(owned_transports_);
+  }
+  for (auto& t : transports) t->Close();
+  for (auto& th : threads) {
     if (th.joinable()) th.join();
   }
 }
@@ -132,6 +151,10 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
 void ZltpPirServer::ServeConnectionDetached(
     std::unique_ptr<net::Transport> transport) {
   std::lock_guard<std::mutex> lock(threads_mu_);
+  if (stopping_) {
+    transport->Close();
+    return;
+  }
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });
@@ -143,9 +166,17 @@ ZltpEnclaveServer::ZltpEnclaveServer(oram::KvEnclave& enclave)
     : enclave_(enclave) {}
 
 ZltpEnclaveServer::~ZltpEnclaveServer() {
-  std::lock_guard<std::mutex> lock(threads_mu_);
-  for (auto& t : owned_transports_) t->Close();
-  for (auto& th : threads_) {
+  // Snapshot-then-join (see ZltpPirServer::~ZltpPirServer).
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    stopping_ = true;
+    threads.swap(threads_);
+    transports.swap(owned_transports_);
+  }
+  for (auto& t : transports) t->Close();
+  for (auto& th : threads) {
     if (th.joinable()) th.join();
   }
 }
@@ -189,6 +220,10 @@ void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
 void ZltpEnclaveServer::ServeConnectionDetached(
     std::unique_ptr<net::Transport> transport) {
   std::lock_guard<std::mutex> lock(threads_mu_);
+  if (stopping_) {
+    transport->Close();
+    return;
+  }
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });

@@ -17,17 +17,29 @@
 
 #include "net/transport.h"
 #include "oram/enclave.h"
+#include "util/thread_pool.h"
 #include "zltp/batch.h"
 #include "zltp/messages.h"
 #include "zltp/store.h"
 
 namespace lw::zltp {
 
+struct ServerOptions {
+  BatchConfig batch_config;
+  // Threads for per-request compute (DPF expansion + data scan, paper
+  // §5.1's multi-core server): 0 selects hardware_concurrency(); 1 runs
+  // strictly serial with no pool threads at all.
+  int num_threads = 0;
+};
+
 class ZltpPirServer {
  public:
   // `role` is 0 or 1 — which of the two non-colluding servers this is.
   ZltpPirServer(const PirStore& store, std::uint8_t role,
-                BatchConfig batch_config = {});
+                ServerOptions options = {});
+  // Back-compat convenience: batching knobs only, default threading.
+  ZltpPirServer(const PirStore& store, std::uint8_t role,
+                BatchConfig batch_config);
   ~ZltpPirServer();
 
   ZltpPirServer(const ZltpPirServer&) = delete;
@@ -46,9 +58,14 @@ class ZltpPirServer {
  private:
   const PirStore& store_;
   std::uint8_t role_;
-  BatchScheduler batcher_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  BatchScheduler batcher_;            // after pool_: it scans on the pool
 
+  // Guards the detached-serving state below. The destructor snapshots and
+  // joins OUTSIDE this lock: a joined handler may itself be blocked on
+  // ServeConnectionDetached, so joining under the lock can deadlock.
   std::mutex threads_mu_;
+  bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
 };
@@ -68,7 +85,8 @@ class ZltpEnclaveServer {
   oram::KvEnclave& enclave_;
   std::mutex enclave_mu_;  // the enclave processes one request at a time
 
-  std::mutex threads_mu_;
+  std::mutex threads_mu_;  // same snapshot-then-join discipline as above
+  bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
 };

@@ -90,14 +90,15 @@ std::size_t PirStore::stored_bytes() const {
   return n;
 }
 
-Result<Bytes> PirStore::AnswerQuery(const dpf::DpfKey& key) const {
+Result<Bytes> PirStore::AnswerQuery(const dpf::DpfKey& key,
+                                    ThreadPool* pool) const {
   if (key.domain_bits != config_.domain_bits) {
     return ProtocolError("DPF domain does not match universe domain");
   }
   std::shared_lock lock(mu_);
   Bytes out(config_.record_size, 0);
   if (shards_.size() == 1) {
-    shards_[0]->Answer(dpf::EvalFull(key), out);
+    shards_[0]->Answer(dpf::EvalFullParallel(key, pool), out, pool);
     return out;
   }
   // §5.2 path: expand the top of the tree once, then answer per shard and
@@ -105,14 +106,15 @@ Result<Bytes> PirStore::AnswerQuery(const dpf::DpfKey& key) const {
   const auto subkeys = dpf::SplitForShards(key, config_.shard_top_bits);
   Bytes shard_answer(config_.record_size);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    shards_[s]->Answer(dpf::EvalSubtree(subkeys[s]), shard_answer);
+    shards_[s]->Answer(dpf::EvalSubtreeParallel(subkeys[s], pool),
+                       shard_answer, pool);
     XorInto(out, shard_answer);
   }
   return out;
 }
 
 Result<std::vector<Bytes>> PirStore::AnswerBatch(
-    const std::vector<dpf::DpfKey>& keys) const {
+    const std::vector<dpf::DpfKey>& keys, ThreadPool* pool) const {
   for (const dpf::DpfKey& k : keys) {
     if (k.domain_bits != config_.domain_bits) {
       return ProtocolError("DPF domain does not match universe domain");
@@ -134,11 +136,12 @@ Result<std::vector<Bytes>> PirStore::AnswerBatch(
   std::vector<dpf::BitVector> bits(keys.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     for (std::size_t q = 0; q < keys.size(); ++q) {
-      bits[q] = shards_.size() == 1 ? dpf::EvalFull(keys[q])
-                                    : dpf::EvalSubtree(subkeys[q][s]);
+      bits[q] = shards_.size() == 1
+                    ? dpf::EvalFullParallel(keys[q], pool)
+                    : dpf::EvalSubtreeParallel(subkeys[q][s], pool);
     }
     std::vector<Bytes> shard_answers;
-    shards_[s]->AnswerBatch(bits, shard_answers);
+    shards_[s]->AnswerBatch(bits, shard_answers, pool);
     for (std::size_t q = 0; q < keys.size(); ++q) {
       XorInto(out[q], shard_answers[q]);
     }

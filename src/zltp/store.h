@@ -22,6 +22,10 @@
 #include "util/bytes.h"
 #include "util/status.h"
 
+namespace lw {
+class ThreadPool;
+}
+
 namespace lw::zltp {
 
 struct PirStoreConfig {
@@ -53,11 +57,14 @@ class PirStore {
   std::size_t stored_bytes() const;
 
   // Answers one PIR query (full scan). The DPF key's domain must match.
-  Result<Bytes> AnswerQuery(const dpf::DpfKey& key) const;
+  // A non-null pool parallelizes the DPF expansion and the data scan
+  // across its workers (identical answers either way).
+  Result<Bytes> AnswerQuery(const dpf::DpfKey& key,
+                            ThreadPool* pool = nullptr) const;
 
-  // Answers a batch with one pass over each shard's data.
-  Result<std::vector<Bytes>> AnswerBatch(
-      const std::vector<dpf::DpfKey>& keys) const;
+  // Answers a batch with one fused pass over each shard's data.
+  Result<std::vector<Bytes>> AnswerBatch(const std::vector<dpf::DpfKey>& keys,
+                                         ThreadPool* pool = nullptr) const;
 
   // Non-private direct read (publisher tooling / tests).
   Result<Bytes> DirectLookup(std::string_view key) const;

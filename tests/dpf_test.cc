@@ -8,6 +8,7 @@
 
 #include "dpf/dpf.h"
 #include "util/rand.h"
+#include "util/thread_pool.h"
 
 namespace lw::dpf {
 namespace {
@@ -245,6 +246,53 @@ TEST(DpfShard, SubtreeKeySmallerThanFullKey) {
   const auto shards = SplitForShards(pair.key0, 8);
   EXPECT_LT(shards[0].SerializedSize(), pair.key0.SerializedSize());
 }
+
+// ------------------------------------------------------- parallel eval
+//
+// EvalFullParallel must be bit-identical to EvalFull for every pool size:
+// the sub-tree tiling (blocks of 64 sub-trees own whole output words) is a
+// pure layout transformation. Swept over thread counts x domain sizes,
+// including domains far below the parallel threshold (serial fallback) and
+// large enough ones that several blocks land on each worker.
+
+class DpfParallelTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DpfParallelTest, EvalFullParallelMatchesSerial) {
+  const auto [threads, d] = GetParam();
+  ThreadPool pool(threads);
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  Rng rng(static_cast<std::uint64_t>(threads * 1000 + d));
+  const std::uint64_t alpha = rng.UniformInt(domain);
+  const KeyPair pair = Generate(alpha, d);
+  for (const DpfKey* key : {&pair.key0, &pair.key1}) {
+    EXPECT_EQ(EvalFullParallel(*key, &pool), EvalFull(*key))
+        << "threads=" << threads << " d=" << d;
+    // Null pool must behave exactly like the serial path too.
+    EXPECT_EQ(EvalFullParallel(*key, nullptr), EvalFull(*key));
+  }
+}
+
+TEST_P(DpfParallelTest, EvalSubtreeParallelMatchesSerial) {
+  const auto [threads, d] = GetParam();
+  ThreadPool pool(threads);
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  Rng rng(static_cast<std::uint64_t>(threads * 31 + d));
+  const std::uint64_t alpha = rng.UniformInt(domain);
+  const KeyPair pair = Generate(alpha, d);
+  const int top_bits = d >= 4 ? 2 : 0;
+  for (const DpfKey* key : {&pair.key0, &pair.key1}) {
+    const std::vector<SubtreeKey> shards = SplitForShards(*key, top_bits);
+    for (const SubtreeKey& sk : shards) {
+      EXPECT_EQ(EvalSubtreeParallel(sk, &pool), EvalSubtree(sk))
+          << "threads=" << threads << " d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolsAndDomains, DpfParallelTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1, 5, 12, 18)));
 
 }  // namespace
 }  // namespace lw::dpf

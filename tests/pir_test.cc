@@ -10,7 +10,9 @@
 #include "pir/keyword.h"
 #include "pir/packing.h"
 #include "pir/two_server.h"
+#include "util/alloc.h"
 #include "util/rand.h"
+#include "util/thread_pool.h"
 
 namespace lw::pir {
 namespace {
@@ -107,6 +109,130 @@ TEST(BlobDb, XorBytesAllLengths) {
     EXPECT_EQ(a, expected) << "n=" << n;
   }
 }
+
+TEST(BlobDb, XorBytesMisalignedOffsets) {
+  // The kernel picks an aligned fast path when both pointers are 32-byte
+  // aligned; every misaligned combination must produce the same bytes.
+  Rng rng(11);
+  AlignedBytes dst_buf(4096 + 64), src_buf(4096 + 64);
+  for (const std::size_t dst_off : {0u, 1u, 8u, 31u, 32u, 33u}) {
+    for (const std::size_t src_off : {0u, 1u, 8u, 31u, 32u, 33u}) {
+      const std::size_t n = 1000;
+      rng.Fill(MutableByteSpan(dst_buf.data(), dst_buf.size()));
+      rng.Fill(MutableByteSpan(src_buf.data(), src_buf.size()));
+      Bytes expected(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expected[i] = dst_buf[dst_off + i] ^ src_buf[src_off + i];
+      }
+      XorBytes(dst_buf.data() + dst_off, src_buf.data() + src_off, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(dst_buf[dst_off + i], expected[i])
+            << "dst_off=" << dst_off << " src_off=" << src_off << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlobDb, RowsAreCacheLineAligned) {
+  // Record storage is padded per row to 64 bytes so each scanned record
+  // starts on its own cache line (and takes XorBytes' aligned path).
+  BlobDatabase db(8, 100);  // 100 -> stride 128
+  EXPECT_EQ(db.row_stride(), 128u);
+  EXPECT_EQ(db.row_stride() % kCacheLineSize, 0u);
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    Bytes rec(100);
+    rng.Fill(rec);
+    ASSERT_TRUE(db.Insert(i * 3, rec).ok());
+  }
+  for (std::size_t row = 0; row < db.record_count(); ++row) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(db.row_data(row)) %
+                  kCacheLineSize,
+              0u)
+        << "row " << row;
+  }
+  // An exact multiple of the line size gets no padding.
+  BlobDatabase exact(8, 128);
+  EXPECT_EQ(exact.row_stride(), 128u);
+}
+
+// --------------------------------------------- parallel / fused scans
+//
+// The sharded scan (private per-worker accumulators + tree reduction) and
+// the fused batch scan must match the serial single-query reference
+// bit-for-bit, across pool sizes and domain sizes.
+
+class BlobDbParallelTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlobDbParallelTest, ParallelAnswerMatchesSerial) {
+  const auto [threads, d] = GetParam();
+  ThreadPool pool(threads);
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  const std::size_t record_size = 96;  // not a multiple of 64: real padding
+  BlobDatabase db(d, record_size);
+  Rng rng(static_cast<std::uint64_t>(threads * 7 + d));
+  const std::uint64_t records = std::min<std::uint64_t>(domain, 300);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    Bytes rec(record_size);
+    rng.Fill(rec);
+    ASSERT_TRUE(db.Upsert(rng.UniformInt(domain), rec).ok());
+  }
+
+  // Random selection vectors stress every row-subset shape, not just
+  // one-hot DPF outputs.
+  const std::size_t words = (domain + 63) / 64;
+  for (int round = 0; round < 4; ++round) {
+    dpf::BitVector bits(words);
+    for (std::uint64_t& w : bits) w = rng.Next();
+    Bytes serial(record_size), parallel(record_size, 0xee);
+    db.Answer(bits, serial);
+    db.Answer(bits, parallel, &pool);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads << " d=" << d;
+  }
+}
+
+TEST_P(BlobDbParallelTest, FusedBatchMatchesSerialAnswers) {
+  const auto [threads, d] = GetParam();
+  ThreadPool pool(threads);
+  const std::uint64_t domain = std::uint64_t{1} << d;
+  const std::size_t record_size = 48;
+  BlobDatabase db(d, record_size);
+  Rng rng(static_cast<std::uint64_t>(threads * 131 + d));
+  const std::uint64_t records = std::min<std::uint64_t>(domain, 200);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    Bytes rec(record_size);
+    rng.Fill(rec);
+    ASSERT_TRUE(db.Upsert(rng.UniformInt(domain), rec).ok());
+  }
+
+  const std::size_t words = (domain + 63) / 64;
+  std::vector<dpf::BitVector> queries;
+  std::vector<Bytes> expected;
+  for (int qi = 0; qi < 5; ++qi) {
+    dpf::BitVector bits(words);
+    for (std::uint64_t& w : bits) w = rng.Next();
+    queries.push_back(bits);
+    Bytes a(record_size);
+    db.Answer(bits, a);
+    expected.push_back(a);
+  }
+
+  std::vector<Bytes> serial_batch, parallel_batch;
+  db.AnswerBatch(queries, serial_batch);
+  db.AnswerBatch(queries, parallel_batch, &pool);
+  ASSERT_EQ(serial_batch.size(), expected.size());
+  ASSERT_EQ(parallel_batch.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(serial_batch[i], expected[i]) << "query " << i;
+    EXPECT_EQ(parallel_batch[i], expected[i])
+        << "query " << i << " threads=" << threads << " d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolsAndDomains, BlobDbParallelTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1, 5, 12, 18)));
 
 // -------------------------------------------- end-to-end two-server PIR
 

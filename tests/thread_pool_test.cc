@@ -1,0 +1,144 @@
+// ThreadPool tests: exact range coverage (every index once), degenerate
+// ranges, nested ParallelFor, exception propagation, reuse across rounds,
+// and concurrent callers. Run under tsan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace lw {
+namespace {
+
+// Marks every index in [begin,end) and checks each was visited exactly once.
+void ExpectExactCoverage(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain) {
+  std::vector<std::atomic<int>> hits(end);
+  pool.ParallelFor(begin, end, grain, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < end; ++i) {
+    EXPECT_EQ(hits[i].load(), i >= begin ? 1 : 0) << "index " << i;
+  }
+}
+
+class ThreadPoolTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolTest, CoversRangesExactlyOnce) {
+  ThreadPool pool(GetParam());
+  ExpectExactCoverage(pool, 0, 1, 1);          // single element
+  ExpectExactCoverage(pool, 0, 64, 1);         // divisible
+  ExpectExactCoverage(pool, 0, 1000, 7);       // non-divisible grain
+  ExpectExactCoverage(pool, 3, 17, 100);       // grain > range
+  ExpectExactCoverage(pool, 0, 4096, 64);      // many chunks
+  ExpectExactCoverage(pool, 100, 100, 1);      // empty range is a no-op
+}
+
+TEST_P(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(0, 100, 3, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2);
+  }
+}
+
+TEST_P(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A worker that itself calls ParallelFor must not deadlock waiting for
+  // pool slots it occupies; nested calls degrade to inline execution.
+  ThreadPool pool(GetParam());
+  std::atomic<std::size_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      pool.ParallelFor(0, 10, 1, [&](std::size_t ib, std::size_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80u);
+}
+
+TEST_P(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(GetParam());
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) {
+                           if (i == 40) throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  ExpectExactCoverage(pool, 0, 128, 8);
+}
+
+TEST_P(ThreadPoolTest, ConcurrentCallersSerialize) {
+  // Several external threads hammer one pool; each call must still see
+  // exact coverage of its own range.
+  ThreadPool pool(GetParam());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&pool, &failures] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> count{0};
+        pool.ParallelFor(0, 500, 9, [&](std::size_t b, std::size_t e) {
+          count.fetch_add(e - b);
+        });
+        if (count.load() != 500) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ThreadPoolTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ThreadPool, SingleThreadSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::set<std::thread::id> seen;
+  std::mutex mu;
+  pool.ParallelFor(0, 100, 1, [&](std::size_t, std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPool, CallerParticipatesInWork) {
+  // The calling thread claims chunks itself, so work completes even if
+  // workers are slow to wake. Chunks are slowed down so workers cannot
+  // drain the whole range before the caller claims its first chunk.
+  ThreadPool pool(4);
+  std::atomic<bool> caller_ran{false};
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 64, 1, [&](std::size_t, std::size_t) {
+    if (std::this_thread::get_id() == caller) caller_ran.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  EXPECT_TRUE(caller_ran.load());
+}
+
+}  // namespace
+}  // namespace lw

@@ -542,6 +542,42 @@ TEST(PirBatchCoBatching, PipelinedRequestsShareServerScans) {
   session->Close();
 }
 
+TEST(PirThreaded, RoundTripThroughWorkerPool) {
+  // The server's DPF expansion + scan run on its thread pool; results must
+  // be identical to the serial server for any pool size.
+  PirStore store(SmallStoreConfig());
+  std::vector<std::string> published;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "pooled/p" + std::to_string(i);
+    if (store.Publish(key, ToBytes("value" + std::to_string(i))).ok()) {
+      published.push_back(key);
+    }
+  }
+  ASSERT_GT(published.size(), 8u);
+
+  for (const int threads : {2, 3}) {
+    ServerOptions options;
+    options.num_threads = threads;
+    ZltpPirServer server0(store, 0, options);
+    ZltpPirServer server1(store, 1, options);
+    net::TransportPair p0 = net::CreateInMemoryPair();
+    net::TransportPair p1 = net::CreateInMemoryPair();
+    server0.ServeConnectionDetached(std::move(p0.b));
+    server1.ServeConnectionDetached(std::move(p1.b));
+    auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    for (const auto& key : published) {
+      auto value = session->PrivateGet(key);
+      ASSERT_TRUE(value.ok())
+          << key << " threads=" << threads << ": "
+          << value.status().ToString();
+      EXPECT_EQ(ToString(*value),
+                "value" + key.substr(std::string("pooled/p").size()));
+    }
+    session->Close();
+  }
+}
+
 // ----------------------------------------------------- sessions over TCP
 
 TEST(TcpSessionTest, PirOverRealSockets) {
