@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "dpf/dpf.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "pir/blob_db.h"
 #include "pir/two_server.h"
 #include "util/rand.h"
@@ -56,10 +58,16 @@ inline std::unique_ptr<ThreadPool> MakeBenchPool(const BenchFlags& flags) {
 }
 
 // Accumulates measurement rows and writes them as a JSON document:
-//   {"benchmarks":[{"name":...,"iters":...,"ns_per_op":...,"bytes_per_s":...}]}
-// Hand-rolled on purpose: the CI archive format must not pull in a JSON
-// dependency. Names are ASCII identifiers chosen by the benches themselves,
-// so escaping is limited to quote/backslash.
+//   {"benchmarks":[{"name":...,"iters":...,"ns_per_op":...,"bytes_per_s":...}],
+//    "metrics":{...}}
+// The "metrics" object is the process's observability snapshot
+// (obs::Registry::Default()) taken at write time, so archived bench
+// artifacts carry the same counters an operator would scrape from a server
+// (rows scanned, chunks stolen, expand/scan histograms — see
+// docs/OBSERVABILITY.md). Rows are hand-rolled on purpose: the CI archive
+// format must not pull in a JSON dependency. Names are ASCII identifiers
+// chosen by the benches themselves, so escaping is limited to
+// quote/backslash.
 class JsonRecorder {
  public:
   void Add(const std::string& name, std::int64_t iters, double ns_per_op,
@@ -84,7 +92,9 @@ class JsonRecorder {
                    static_cast<long long>(e.iters), e.ns_per_op,
                    e.bytes_per_s, i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    const std::string metrics =
+        obs::ToJson(obs::Registry::Default().Snapshot());
+    std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
     std::fclose(f);
     return true;
   }

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace lw::net {
@@ -25,9 +26,14 @@ Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
   while (done < n) {
     const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (w < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      obs::M().net_write_errors.Inc();
       return ErrnoStatus("send");
     }
+    obs::M().net_bytes_sent.Inc(static_cast<std::uint64_t>(w));
     done += static_cast<std::size_t>(w);
   }
   return Status::Ok();
@@ -42,13 +48,21 @@ Status RecvAll(int fd, std::uint8_t* data, std::size_t n, bool eof_ok,
   while (done < n) {
     const ssize_t r = ::recv(fd, data + done, n - done, 0);
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      obs::M().net_read_errors.Inc();
       return ErrnoStatus("recv");
     }
     if (r == 0) {
       if (done == 0 && eof_ok && clean_eof != nullptr) *clean_eof = true;
+      // Orderly close at a frame boundary is the normal end of a
+      // connection, not a read error.
+      if (done != 0 || !eof_ok) obs::M().net_read_errors.Inc();
       return UnavailableError("connection closed by peer");
     }
+    obs::M().net_bytes_received.Inc(static_cast<std::uint64_t>(r));
     done += static_cast<std::size_t>(r);
   }
   return Status::Ok();
@@ -198,8 +212,13 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept() {
   int client;
   do {
     client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0 && errno == EINTR) obs::M().net_eintr_retries.Inc();
   } while (client < 0 && errno == EINTR);
-  if (client < 0) return ErrnoStatus("accept");
+  if (client < 0) {
+    obs::M().net_accept_errors.Inc();
+    return ErrnoStatus("accept");
+  }
+  obs::M().net_accepts.Inc();
   SetNoDelay(client);
   return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(client));
 }

@@ -1,0 +1,269 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace lw::obs {
+namespace {
+
+// Metric names and units are ASCII literals by construction (the privacy
+// invariant), so escaping only has to survive a stray quote or backslash
+// in help text.
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+void AppendHistogramProm(std::ostringstream& os,
+                         const HistogramSnapshot& h) {
+  os << "# HELP " << h.name << " " << h.help << "\n";
+  os << "# TYPE " << h.name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += h.counts[i];
+    os << h.name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+       << "\n";
+  }
+  cumulative += h.counts.back();
+  os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+  os << h.name << "_sum " << h.sum << "\n";
+  os << h.name << "_count " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    os << "# HELP " << c.name << " " << c.help << "\n";
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    os << "# HELP " << g.name << " " << g.help << "\n";
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << " " << g.value << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    AppendHistogramProm(os, h);
+  }
+  return os.str();
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& c = snapshot.counters[i];
+    os << (i ? "," : "") << "{\"name\":\"" << JsonEscaped(c.name)
+       << "\",\"unit\":\"" << JsonEscaped(c.unit) << "\",\"value\":"
+       << c.value << "}";
+  }
+  os << "],\"gauges\":[";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snapshot.gauges[i];
+    os << (i ? "," : "") << "{\"name\":\"" << JsonEscaped(g.name)
+       << "\",\"unit\":\"" << JsonEscaped(g.unit) << "\",\"value\":"
+       << g.value << "}";
+  }
+  os << "],\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    os << (i ? "," : "") << "{\"name\":\"" << JsonEscaped(h.name)
+       << "\",\"unit\":\"" << JsonEscaped(h.unit) << "\",\"count\":"
+       << h.count << ",\"sum\":" << h.sum << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b ? "," : "") << "{\"le\":";
+      if (b < h.bounds.size()) {
+        os << h.bounds[b];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << h.counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ToJson(const std::vector<RequestTrace>& traces) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const RequestTrace& t = traces[i];
+    os << (i ? "," : "") << "{\"trace_id\":" << t.trace_id
+       << ",\"start_unix_ms\":" << t.start_unix_ms
+       << ",\"total_ns\":" << t.total_ns
+       << ",\"decode_ns\":" << t.stages.decode_ns
+       << ",\"expand_ns\":" << t.stages.expand_ns
+       << ",\"scan_ns\":" << t.stages.scan_ns
+       << ",\"reply_ns\":" << t.stages.reply_ns << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string SnapshotJsonPage() {
+  std::ostringstream os;
+  os << "{\"unix_ms\":" << UnixMillis()
+     << ",\"metrics\":" << ToJson(Registry::Default().Snapshot())
+     << ",\"traces\":" << ToJson(TraceRing::Default().Snapshot()) << "}\n";
+  return os.str();
+}
+
+Status WriteSnapshotJson(const std::string& path) {
+  const std::string page = SnapshotJsonPage();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  const std::size_t written = std::fwrite(page.data(), 1, page.size(), f);
+  const bool flush_ok = std::fclose(f) == 0;
+  if (written != page.size() || !flush_ok) {
+    (void)std::remove(tmp.c_str());
+    return UnavailableError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return UnavailableError("rename to " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- HTTP
+
+namespace {
+
+Status SocketErrnoStatus(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+// Best-effort full write; the peer hanging up mid-response is its problem.
+void WriteAll(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(int fd, std::uint16_t port)
+    : listen_fd_(fd), port_(port) {
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status s = SocketErrnoStatus("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) < 0) {
+    const Status s = SocketErrnoStatus("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status s = SocketErrnoStatus("getsockname");
+    ::close(fd);
+    return s;
+  }
+  const std::uint16_t bound = ntohs(addr.sin_port);
+  // The ctor is private (it spawns the listener thread), so make_unique
+  // cannot reach it; ownership transfers on this very line.
+  // lwlint: allow(naked-new)
+  return std::unique_ptr<MetricsHttpServer>(new MetricsHttpServer(fd, bound));
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void MetricsHttpServer::ServeLoop() {
+  for (;;) {
+    int client;
+    do {
+      client = ::accept(listen_fd_, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
+    if (client < 0) return;  // listener shut down
+
+    // Scrape requests fit one read; everything we need is the first line.
+    char buf[2048];
+    ssize_t n;
+    do {
+      n = ::recv(client, buf, sizeof buf - 1, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string head(buf);
+      std::string response;
+      if (head.rfind("GET /metrics.json", 0) == 0) {
+        response = HttpResponse(200, "OK", "application/json",
+                                SnapshotJsonPage());
+      } else if (head.rfind("GET /metrics", 0) == 0) {
+        response =
+            HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                         ToPrometheusText(Registry::Default().Snapshot()));
+      } else {
+        response = HttpResponse(404, "Not Found", "text/plain",
+                                "try /metrics or /metrics.json\n");
+      }
+      WriteAll(client, response);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace lw::obs

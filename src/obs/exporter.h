@@ -1,0 +1,69 @@
+// Operator surface for the obs layer: text/JSON rendering of metric
+// snapshots and traces, a periodic JSON file dump, and a minimal HTTP
+// endpoint for Prometheus-style scrapes.
+//
+// The HTTP server is intentionally tiny: one listener thread on loopback,
+// one request per connection, GET only. It serves operators and scrapers,
+// not clients — ZLTP traffic never touches this port, and everything it
+// exposes is the aggregate-only data described in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace lw::obs {
+
+// Prometheus text exposition (version 0.0.4): HELP/TYPE comments, counter
+// and gauge samples, cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count` for histograms.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// JSON object: {"counters": [...], "gauges": [...], "histograms": [...]}.
+// Histogram buckets are non-cumulative with explicit upper bounds; the
+// overflow bucket has "le": "inf".
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// JSON array of trace objects, oldest first.
+std::string ToJson(const std::vector<RequestTrace>& traces);
+
+// The combined operator snapshot of the default registry and trace ring:
+// {"unix_ms": ..., "metrics": {...}, "traces": [...]}.
+std::string SnapshotJsonPage();
+
+// SnapshotJsonPage() written atomically (temp file + rename), so a reader
+// never observes a torn snapshot. For deployments that poll a file instead
+// of scraping a port.
+Status WriteSnapshotJson(const std::string& path);
+
+// Loopback HTTP/1.0 endpoint:
+//   GET /metrics        → Prometheus text
+//   GET /metrics.json   → SnapshotJsonPage()
+// Pass port 0 for an ephemeral port (see port()).
+class MetricsHttpServer {
+ public:
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  void Stop();  // idempotent; joins the listener thread
+
+ private:
+  MetricsHttpServer(int fd, std::uint16_t port);
+  void ServeLoop();
+
+  int listen_fd_;
+  std::uint16_t port_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lw::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include "util/check.h"
+
+namespace lw::obs {
+namespace {
+
+thread_local StageTimings* tls_stage_sink = nullptr;
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  LW_CHECK_MSG(capacity >= 1, "trace ring capacity must be >= 1");
+  ring_.reserve(capacity);
+}
+
+TraceRing& TraceRing::Default() {
+  // Deliberately leaked (see Registry::Default). lwlint: allow(naked-new)
+  static TraceRing* instance = new TraceRing();
+  return *instance;
+}
+
+std::uint64_t TraceRing::Record(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace.trace_id = next_id_++;
+  const std::uint64_t id = trace.trace_id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[head_] = std::move(trace);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return id;
+}
+
+std::vector<RequestTrace> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest entry once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+StageTimings* CurrentStageSink() { return tls_stage_sink; }
+
+ScopedStageSink::ScopedStageSink(StageTimings* sink) : prev_(tls_stage_sink) {
+  tls_stage_sink = sink;
+}
+
+ScopedStageSink::~ScopedStageSink() { tls_stage_sink = prev_; }
+
+void AddExpandNs(std::uint64_t ns) {
+  if (tls_stage_sink != nullptr) tls_stage_sink->expand_ns += ns;
+}
+
+void AddScanNs(std::uint64_t ns) {
+  if (tls_stage_sink != nullptr) tls_stage_sink->scan_ns += ns;
+}
+
+std::uint64_t UnixMillis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace lw::obs

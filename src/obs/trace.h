@@ -1,0 +1,106 @@
+// Per-request trace spans and the bounded in-memory trace ring.
+//
+// A RequestTrace records how one private-GET's latency decomposed across
+// the server pipeline: decode → DPF expand → scan → reply. Traces carry a
+// server-assigned monotonic id and nanosecond stage durations only — no
+// request payload, blob name, or client identity ever enters a trace (the
+// same aggregate-only privacy rule as metrics; see obs/metrics.h and
+// docs/OBSERVABILITY.md).
+//
+// Stage attribution uses a thread-local sink: the connection handler opens
+// a span, and the deep layers that actually do the work (DPF expansion in
+// PirStore / ShardDataServer, the XOR scan in BlobDatabase) credit their
+// nanoseconds to whatever span is open on the current thread — no context
+// parameter threads through every API. The batch scheduler serves B
+// requests with one expansion+scan pass, so all B co-riders are credited
+// the batch's stage timings (documented batch-level attribution).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lw::obs {
+
+struct StageTimings {
+  std::uint64_t decode_ns = 0;  // frame decode + DPF key deserialization
+  std::uint64_t expand_ns = 0;  // DPF full-domain / sub-tree expansion
+  std::uint64_t scan_ns = 0;    // record XOR scan (batch-shared if batched)
+  std::uint64_t reply_ns = 0;   // response encode + transport send
+};
+
+struct RequestTrace {
+  std::uint64_t trace_id = 0;       // assigned by TraceRing::Record
+  std::uint64_t start_unix_ms = 0;  // coarse wall-clock start, for operators
+  std::uint64_t total_ns = 0;       // decode through reply, wall time
+  StageTimings stages;
+};
+
+// Fixed-capacity ring of the most recent traces. Record() takes one short
+// mutex hold per completed request (well off the per-row/per-chunk hot
+// path); once full, the oldest trace is overwritten.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  // The process-wide ring the servers record into. Never destroyed, same
+  // rationale as Registry::Default().
+  static TraceRing& Default();
+
+  // Assigns the trace id and stores the trace; returns the id.
+  std::uint64_t Record(RequestTrace trace);
+
+  // Retained traces, oldest first (at most capacity()).
+  std::vector<RequestTrace> Snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  // Total ever recorded; total_recorded() - size() have been overwritten.
+  std::uint64_t total_recorded() const;
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::vector<RequestTrace> ring_;  // grows to capacity_, then wraps
+  std::size_t head_ = 0;            // next slot to overwrite once full
+};
+
+// ------------------------------------------------------ stage-time sinks
+
+// The StageTimings the current thread is serving, or null (bench and test
+// code paths run without a span; the adders below are then no-ops).
+StageTimings* CurrentStageSink();
+
+// Opens `sink` as the current thread's span for this scope; restores the
+// previous sink (usually null) on destruction.
+class ScopedStageSink {
+ public:
+  explicit ScopedStageSink(StageTimings* sink);
+  ~ScopedStageSink();
+  ScopedStageSink(const ScopedStageSink&) = delete;
+  ScopedStageSink& operator=(const ScopedStageSink&) = delete;
+
+ private:
+  StageTimings* prev_;
+};
+
+// Credit nanoseconds to the open span, if any.
+void AddExpandNs(std::uint64_t ns);
+void AddScanNs(std::uint64_t ns);
+
+// Nanoseconds elapsed on the steady clock since `start`.
+inline std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// Coarse wall-clock milliseconds since the Unix epoch (trace start stamps).
+std::uint64_t UnixMillis();
+
+}  // namespace lw::obs

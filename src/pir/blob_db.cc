@@ -1,8 +1,11 @@
 #include "pir/blob_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -178,6 +181,7 @@ void BlobDatabase::Answer(const dpf::BitVector& bits, MutableByteSpan out,
                           ThreadPool* pool) const {
   LW_CHECK_MSG(out.size() == record_size_, "answer buffer size mismatch");
   LW_CHECK_MSG(bits.size() * 64 >= domain_size(), "bit vector too small");
+  const auto scan_start = std::chrono::steady_clock::now();
   const std::size_t n = slot_index_.size();
   const std::size_t shards = ScanShards(pool);
   // Accumulate into aligned scratch (one row-stride slot per shard) so
@@ -202,6 +206,12 @@ void BlobDatabase::Answer(const dpf::BitVector& bits, MutableByteSpan out,
     }
   }
   std::memcpy(out.data(), accs.data(), record_size_);
+  const std::uint64_t scan_ns = obs::ElapsedNs(scan_start);
+  obs::M().scan_pass_ns.Observe(scan_ns);
+  obs::M().scan_busy_ns.Inc(scan_ns);
+  obs::M().scan_rows_scanned.Inc(n);
+  obs::M().scan_passes.Inc();
+  obs::AddScanNs(scan_ns);
 }
 
 void BlobDatabase::AnswerBatch(const std::vector<dpf::BitVector>& queries,
@@ -212,6 +222,7 @@ void BlobDatabase::AnswerBatch(const std::vector<dpf::BitVector>& queries,
   for (const dpf::BitVector& q : queries) {
     LW_CHECK_MSG(q.size() * 64 >= domain_size(), "bit vector too small");
   }
+  const auto scan_start = std::chrono::steady_clock::now();
   const std::size_t n = slot_index_.size();
   const std::size_t nq = queries.size();
   const std::size_t shards = ScanShards(pool);
@@ -241,6 +252,13 @@ void BlobDatabase::AnswerBatch(const std::vector<dpf::BitVector>& queries,
     std::memcpy(answers[q].data(), accs.data() + q * row_stride_,
                 record_size_);
   }
+  const std::uint64_t scan_ns = obs::ElapsedNs(scan_start);
+  obs::M().scan_pass_ns.Observe(scan_ns);
+  obs::M().scan_busy_ns.Inc(scan_ns);
+  // The fused pass reads each row once no matter how many queries ride it.
+  obs::M().scan_rows_scanned.Inc(n);
+  obs::M().scan_passes.Inc();
+  obs::AddScanNs(scan_ns);
 }
 
 }  // namespace lw::pir

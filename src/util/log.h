@@ -1,6 +1,12 @@
 // Minimal leveled logger. Thread-safe; writes to stderr.
 //
 // Usage: LW_LOG(Info) << "served " << n << " requests";
+//
+// Disabled lines cost one atomic level load and one branch: LW_LOG
+// short-circuits BEFORE constructing the LogMessage, so no ostringstream is
+// built and the streamed operands are never even evaluated (an expensive
+// argument like `Summarize(db)` runs only when the line is live). See
+// docs/PERFORMANCE.md ("Logging cost") for the microbench methodology.
 #pragma once
 
 #include <mutex>
@@ -26,9 +32,11 @@ class LogMessage {
   LogMessage& operator=(const LogMessage&) = delete;
   ~LogMessage() { EmitLogLine(level_, os_.str()); }
 
+  // Only constructed when the level is enabled (see LW_LOG), so streaming
+  // is unconditional.
   template <typename T>
   LogMessage& operator<<(const T& v) {
-    if (level_ >= GetLogLevel()) os_ << v;
+    os_ << v;
     return *this;
   }
 
@@ -37,8 +45,21 @@ class LogMessage {
   std::ostringstream os_;
 };
 
+// Swallows the LogMessage chain so both arms of LW_LOG's conditional are
+// void. operator& binds looser than operator<<, so the stream completes
+// first.
+struct Voidify {
+  void operator&(const LogMessage&) const {}
+};
+
 }  // namespace internal
 }  // namespace lw
 
-#define LW_LOG(severity) \
-  ::lw::internal::LogMessage(::lw::LogLevel::k##severity)
+// A single expression (usable in unbraced if/else). The level check runs
+// before any LogMessage exists; when the line is disabled the entire
+// streaming chain to its right is dead code for this evaluation.
+#define LW_LOG(severity)                                       \
+  (::lw::LogLevel::k##severity < ::lw::GetLogLevel())          \
+      ? (void)0                                                \
+      : ::lw::internal::Voidify() &                            \
+            ::lw::internal::LogMessage(::lw::LogLevel::k##severity)

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace lw {
 namespace {
 
@@ -56,11 +58,13 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::RunChunks(Region& region) {
+void ThreadPool::RunChunks(Region& region, bool stolen) {
   tls_in_region = true;
   for (;;) {
     const std::size_t i = region.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= region.nchunks) break;
+    obs::M().pool_chunks.Inc();
+    if (stolen) obs::M().pool_chunks_stolen.Inc();
     const std::size_t b = region.begin + i * region.chunk;
     const std::size_t e = std::min(region.end, b + region.chunk);
     try {
@@ -93,7 +97,7 @@ void ThreadPool::WorkerLoop() {
       seen_epoch = epoch_;
       region = active_;
     }
-    RunChunks(*region);
+    RunChunks(*region, /*stolen=*/true);
   }
 }
 
@@ -107,6 +111,7 @@ void ThreadPool::ParallelFor(
     fn(begin, end);
     return;
   }
+  obs::M().pool_parallel_ops.Inc();
 
   // Static partition, ~4 chunks per thread so a straggling worker hands
   // leftover chunks to idle peers; `grain` floors the chunk size so tiny
@@ -133,7 +138,7 @@ void ThreadPool::ParallelFor(
   }
   cv_.notify_all();
 
-  RunChunks(*region);  // the caller is always a participant
+  RunChunks(*region, /*stolen=*/false);  // the caller always participates
 
   {
     std::unique_lock<std::mutex> lock(region->done_mu);

@@ -59,8 +59,10 @@ class ThreadPool {
   struct Region;
 
   void WorkerLoop();
-  // Pulls chunks from `region` until its cursor is exhausted.
-  static void RunChunks(Region& region);
+  // Pulls chunks from `region` until its cursor is exhausted. `stolen`
+  // marks chunks executed by a pool worker (vs the submitting caller) in
+  // the lw_pool_chunks_stolen_total metric.
+  static void RunChunks(Region& region, bool stolen);
 
   std::vector<std::thread> workers_;
 

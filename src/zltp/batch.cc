@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace lw::zltp {
 
 BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config,
@@ -13,7 +15,8 @@ BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config,
 
 BatchScheduler::~BatchScheduler() { Stop(); }
 
-Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key) {
+Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key,
+                                     obs::StageTimings* stages) {
   // Validate up front so one malformed query cannot fail co-riders' batch.
   if (key.domain_bits != store_.domain_bits()) {
     return ProtocolError("DPF domain does not match universe domain");
@@ -22,10 +25,13 @@ Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return UnavailableError("batch scheduler stopped");
-    queue_.push_back(Pending{std::move(key), {}});
+    queue_.push_back(
+        Pending{std::move(key), {}, stages, std::chrono::steady_clock::now()});
     future = queue_.back().promise.get_future();
   }
   cv_.notify_one();
+  // The worker writes *stages before fulfilling the promise; the
+  // promise/future handoff orders that write before this return.
   return future.get();
 }
 
@@ -79,10 +85,36 @@ void BatchScheduler::WorkerLoop() {
       stats_.batches += 1;
     }
 
+    const auto dequeued = std::chrono::steady_clock::now();
+    for (const Pending& p : batch) {
+      obs::M().batch_queue_wait_ns.Observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
+                                                               p.enqueued)
+              .count()));
+    }
+    obs::M().batch_requests.Inc(batch.size());
+    obs::M().batch_batches.Inc();
+    obs::M().batch_size.Observe(batch.size());
+
     std::vector<dpf::DpfKey> keys;
     keys.reserve(batch.size());
     for (Pending& p : batch) keys.push_back(std::move(p.key));
-    auto answers = store_.AnswerBatch(keys, pool_);
+
+    // Collect the batch's expand/scan time via the thread-local stage sink
+    // (PirStore and BlobDatabase credit it from deep inside AnswerBatch),
+    // then fan the batch-level timings out to every rider before
+    // fulfilling its promise.
+    obs::StageTimings batch_stages;
+    Result<std::vector<Bytes>> answers = [&] {
+      obs::ScopedStageSink sink(&batch_stages);
+      return store_.AnswerBatch(keys, pool_);
+    }();
+    for (Pending& p : batch) {
+      if (p.stages != nullptr) {
+        p.stages->expand_ns = batch_stages.expand_ns;
+        p.stages->scan_ns = batch_stages.scan_ns;
+      }
+    }
     if (!answers.ok()) {
       for (Pending& p : batch) p.promise.set_value(answers.status());
       continue;

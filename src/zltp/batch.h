@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "dpf/dpf.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "zltp/store.h"
 
@@ -46,8 +47,11 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   // Blocks until this query's batch has been scanned; returns the record
-  // share. UNAVAILABLE after Stop().
-  Result<Bytes> Submit(dpf::DpfKey key);
+  // share. UNAVAILABLE after Stop(). When `stages` is non-null, the
+  // batch's expand/scan nanoseconds are written into it before this call
+  // returns (batch-level attribution: every co-rider of a batch is
+  // credited the full batch expansion+scan cost, since the pass is fused).
+  Result<Bytes> Submit(dpf::DpfKey key, obs::StageTimings* stages = nullptr);
 
   // Drains the queue and joins the worker (idempotent; dtor calls it).
   void Stop();
@@ -67,6 +71,8 @@ class BatchScheduler {
   struct Pending {
     dpf::DpfKey key;
     std::promise<Result<Bytes>> promise;
+    obs::StageTimings* stages = nullptr;  // not owned; may be null
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void WorkerLoop();

@@ -1,5 +1,9 @@
 #include "zltp/frontend.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace lw::zltp {
@@ -63,7 +67,11 @@ Result<Bytes> ShardDataServer::Answer(const dpf::SubtreeKey& key) const {
   if (key.domain_bits != topology_.shard_domain_bits()) {
     return ProtocolError("sub-tree key has wrong depth for this shard");
   }
+  const auto expand_start = std::chrono::steady_clock::now();
   const dpf::BitVector bits = dpf::EvalSubtreeParallel(key, pool_.get());
+  const std::uint64_t expand_ns = obs::ElapsedNs(expand_start);
+  obs::M().dpf_expand_ns.Observe(expand_ns);
+  obs::AddExpandNs(expand_ns);
   Bytes out(topology_.record_size);
   std::lock_guard<std::mutex> lock(db_mu_);
   db_.Answer(bits, out, pool_.get());
@@ -93,6 +101,7 @@ void ShardDataServer::ServeConnection(net::Transport& transport) {
                      answer.status().message());
       continue;
     }
+    obs::M().shard_requests.Inc();
     GetResponse response;
     response.request_id = request->request_id;
     response.body = std::move(*answer);
@@ -218,20 +227,27 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
     auto next = transport.Receive();
     if (!next.ok()) return;
     if (next->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
+    const auto req_start = std::chrono::steady_clock::now();
+    obs::RequestTrace trace;
+    trace.start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*next);
     if (!request.ok()) {
+      obs::M().frontend_request_errors.Inc();
       SendErrorFrame(transport, StatusCode::kProtocolError,
                      request.status().message());
       return;
     }
     auto key = dpf::DpfKey::Deserialize(request->body);
     if (!key.ok()) {
+      obs::M().frontend_request_errors.Inc();
       SendErrorFrame(transport, StatusCode::kProtocolError,
                      "malformed DPF key: " + key.status().message());
       return;
     }
+    trace.stages.decode_ns = obs::ElapsedNs(req_start);
     auto answer = fanout_.Answer(*key);
     if (!answer.ok()) {
+      obs::M().frontend_request_errors.Inc();
       SendErrorFrame(transport, answer.status().code(),
                      answer.status().message());
       continue;
@@ -239,7 +255,15 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
     GetResponse response;
     response.request_id = request->request_id;
     response.body = std::move(*answer);
-    if (!transport.Send(Encode(response)).ok()) return;
+    const auto reply_start = std::chrono::steady_clock::now();
+    const bool sent = transport.Send(Encode(response)).ok();
+    // Expansion and scanning happen on the data shards, so the front-end's
+    // trace carries decode/reply only; the shard wait rides in total_ns.
+    trace.stages.reply_ns = obs::ElapsedNs(reply_start);
+    trace.total_ns = obs::ElapsedNs(req_start);
+    obs::M().frontend_requests.Inc();
+    obs::TraceRing::Default().Record(trace);
+    if (!sent) return;
   }
 }
 

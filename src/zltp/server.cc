@@ -1,11 +1,26 @@
 #include "zltp/server.h"
 
 #include <atomic>
+#include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace lw::zltp {
 namespace {
+
+// Counts the connection and holds the active-connections gauge up for the
+// lifetime of a ServeConnection call.
+struct ActiveConnection {
+  ActiveConnection() {
+    obs::M().server_connections.Inc();
+    obs::M().server_active_connections.Add(1);
+  }
+  ~ActiveConnection() { obs::M().server_active_connections.Add(-1); }
+  ActiveConnection(const ActiveConnection&) = delete;
+  ActiveConnection& operator=(const ActiveConnection&) = delete;
+};
 
 // Sends an error frame, ignoring transport failures (we are already on the
 // way out if the send fails).
@@ -77,6 +92,7 @@ ZltpPirServer::~ZltpPirServer() {
 }
 
 void ZltpPirServer::ServeConnection(net::Transport& transport) {
+  ActiveConnection conn_guard;
   if (!ExpectHelloWithMode(transport, Mode::kTwoServerPir).ok()) return;
 
   ServerHello hello;
@@ -97,11 +113,19 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
   std::atomic<int> inflight{0};
   std::vector<std::thread> workers;
 
-  const auto handle = [this, &transport, &send_mu](std::uint32_t request_id,
-                                                   dpf::DpfKey key) {
-    auto answer = batcher_.Submit(std::move(key));
+  const auto handle = [this, &transport, &send_mu](
+                          std::uint32_t request_id, dpf::DpfKey key,
+                          std::uint64_t start_unix_ms,
+                          std::chrono::steady_clock::time_point req_start,
+                          std::uint64_t decode_ns) {
+    obs::RequestTrace trace;
+    trace.start_unix_ms = start_unix_ms;
+    trace.stages.decode_ns = decode_ns;
+    // Submit fills in the batch-attributed expand/scan stage timings.
+    auto answer = batcher_.Submit(std::move(key), &trace.stages);
     std::lock_guard<std::mutex> lock(send_mu);
     if (!answer.ok()) {
+      obs::M().server_request_errors.Inc();
       SendError(transport, answer.status().code(),
                 answer.status().message());
       return;
@@ -109,7 +133,13 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
     GetResponse response;
     response.request_id = request_id;
     response.body = std::move(*answer);
+    const auto reply_start = std::chrono::steady_clock::now();
     (void)transport.Send(Encode(response));
+    trace.stages.reply_ns = obs::ElapsedNs(reply_start);
+    trace.total_ns = obs::ElapsedNs(req_start);
+    obs::M().server_requests.Inc();
+    obs::M().server_request_ns.Observe(trace.total_ns);
+    obs::TraceRing::Default().Record(trace);
   };
 
   for (;;) {
@@ -117,8 +147,11 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
     if (!frame.ok()) break;  // disconnect
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) break;
 
+    const auto req_start = std::chrono::steady_clock::now();
+    const std::uint64_t start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*frame);
     if (!request.ok()) {
+      obs::M().server_request_errors.Inc();
       std::lock_guard<std::mutex> lock(send_mu);
       SendError(transport, StatusCode::kProtocolError,
                 request.status().message());
@@ -126,21 +159,24 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
     }
     auto key = dpf::DpfKey::Deserialize(request->body);
     if (!key.ok()) {
+      obs::M().server_request_errors.Inc();
       std::lock_guard<std::mutex> lock(send_mu);
       SendError(transport, StatusCode::kProtocolError,
                 "malformed DPF key: " + key.status().message());
       break;
     }
+    const std::uint64_t decode_ns = obs::ElapsedNs(req_start);
     if (inflight.load() < kMaxInflight) {
       ++inflight;
       workers.emplace_back(
-          [&handle, &inflight, id = request->request_id,
-           k = std::move(*key)]() mutable {
-            handle(id, std::move(k));
+          [&handle, &inflight, id = request->request_id, start_unix_ms,
+           req_start, decode_ns, k = std::move(*key)]() mutable {
+            handle(id, std::move(k), start_unix_ms, req_start, decode_ns);
             --inflight;
           });
     } else {
-      handle(request->request_id, std::move(*key));
+      handle(request->request_id, std::move(*key), start_unix_ms, req_start,
+             decode_ns);
     }
   }
   for (std::thread& w : workers) {
@@ -182,6 +218,7 @@ ZltpEnclaveServer::~ZltpEnclaveServer() {
 }
 
 void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
+  ActiveConnection conn_guard;
   if (!ExpectHelloWithMode(transport, Mode::kEnclave).ok()) return;
 
   ServerHello hello;
@@ -195,25 +232,40 @@ void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
     if (!frame.ok()) return;
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
 
+    const auto req_start = std::chrono::steady_clock::now();
+    obs::RequestTrace trace;
+    trace.start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*frame);
     if (!request.ok()) {
+      obs::M().server_request_errors.Inc();
       SendError(transport, StatusCode::kProtocolError,
                 request.status().message());
       return;
     }
+    trace.stages.decode_ns = obs::ElapsedNs(req_start);
     Result<Bytes> sealed = UnavailableError("unset");
     {
       std::lock_guard<std::mutex> lock(enclave_mu_);
       sealed = enclave_.HandleEncryptedRequest(request->body);
     }
     if (!sealed.ok()) {
+      obs::M().server_request_errors.Inc();
       SendError(transport, sealed.status().code(), sealed.status().message());
       continue;
     }
     GetResponse response;
     response.request_id = request->request_id;
     response.body = std::move(*sealed);
-    if (!transport.Send(Encode(response)).ok()) return;
+    const auto reply_start = std::chrono::steady_clock::now();
+    const bool sent = transport.Send(Encode(response)).ok();
+    // Enclave requests have no DPF expansion or scan pass, so those stage
+    // timings stay zero; the enclave compute rides in total_ns.
+    trace.stages.reply_ns = obs::ElapsedNs(reply_start);
+    trace.total_ns = obs::ElapsedNs(req_start);
+    obs::M().server_requests.Inc();
+    obs::M().server_request_ns.Observe(trace.total_ns);
+    obs::TraceRing::Default().Record(trace);
+    if (!sent) return;
   }
 }
 

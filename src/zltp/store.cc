@@ -1,7 +1,10 @@
 #include "zltp/store.h"
 
+#include <chrono>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pir/packing.h"
 #include "util/check.h"
 #include "util/rand.h"
@@ -59,7 +62,10 @@ Status PirStore::Publish(std::string_view key, ByteSpan payload) {
     return packed.status();
   }
   const ShardRef ref = Locate(index);
-  return shards_[ref.shard]->Upsert(ref.local_index, *packed);
+  const bool existed = shards_[ref.shard]->Contains(ref.local_index);
+  const Status s = shards_[ref.shard]->Upsert(ref.local_index, *packed);
+  if (s.ok() && !existed) obs::M().store_records.Add(1);
+  return s;
 }
 
 Status PirStore::Unpublish(std::string_view key) {
@@ -68,7 +74,9 @@ Status PirStore::Unpublish(std::string_view key) {
   const std::uint64_t index = registry_.mapper().IndexOf(key);
   LW_RETURN_IF_ERROR(registry_.Unregister(key));
   const ShardRef ref = Locate(index);
-  return shards_[ref.shard]->Remove(ref.local_index);
+  const Status s = shards_[ref.shard]->Remove(ref.local_index);
+  if (s.ok()) obs::M().store_records.Add(-1);
+  return s;
 }
 
 bool PirStore::Contains(std::string_view key) const {
@@ -97,8 +105,14 @@ Result<Bytes> PirStore::AnswerQuery(const dpf::DpfKey& key,
   }
   std::shared_lock lock(mu_);
   Bytes out(config_.record_size, 0);
+  std::uint64_t expand_ns = 0;  // summed over shards, one sample per query
   if (shards_.size() == 1) {
-    shards_[0]->Answer(dpf::EvalFullParallel(key, pool), out, pool);
+    const auto t0 = std::chrono::steady_clock::now();
+    const dpf::BitVector bits = dpf::EvalFullParallel(key, pool);
+    expand_ns = obs::ElapsedNs(t0);
+    obs::M().dpf_expand_ns.Observe(expand_ns);
+    obs::AddExpandNs(expand_ns);
+    shards_[0]->Answer(bits, out, pool);
     return out;
   }
   // §5.2 path: expand the top of the tree once, then answer per shard and
@@ -106,10 +120,14 @@ Result<Bytes> PirStore::AnswerQuery(const dpf::DpfKey& key,
   const auto subkeys = dpf::SplitForShards(key, config_.shard_top_bits);
   Bytes shard_answer(config_.record_size);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    shards_[s]->Answer(dpf::EvalSubtreeParallel(subkeys[s], pool),
-                       shard_answer, pool);
+    const auto t0 = std::chrono::steady_clock::now();
+    const dpf::BitVector bits = dpf::EvalSubtreeParallel(subkeys[s], pool);
+    expand_ns += obs::ElapsedNs(t0);
+    shards_[s]->Answer(bits, shard_answer, pool);
     XorInto(out, shard_answer);
   }
+  obs::M().dpf_expand_ns.Observe(expand_ns);
+  obs::AddExpandNs(expand_ns);
   return out;
 }
 
@@ -135,11 +153,15 @@ Result<std::vector<Bytes>> PirStore::AnswerBatch(
 
   std::vector<dpf::BitVector> bits(keys.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t q = 0; q < keys.size(); ++q) {
       bits[q] = shards_.size() == 1
                     ? dpf::EvalFullParallel(keys[q], pool)
                     : dpf::EvalSubtreeParallel(subkeys[q][s], pool);
     }
+    const std::uint64_t expand_ns = obs::ElapsedNs(t0);
+    obs::M().dpf_expand_ns.Observe(expand_ns);
+    obs::AddExpandNs(expand_ns);
     std::vector<Bytes> shard_answers;
     shards_[s]->AnswerBatch(bits, shard_answers, pool);
     for (std::size_t q = 0; q < keys.size(); ++q) {

@@ -127,6 +127,18 @@ TEST(Lwlint, VarTimeLoopEarlyExitAndSecretBound) {
       << "fixed-bound accumulate loop must not fire";
 }
 
+TEST(Lwlint, MetricLabelFromRequestData) {
+  const auto findings = LintFixture("metric_label.cc", "src/obs/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "metric-label-from-request", 23))
+      << "name concatenated from a blob name";
+  EXPECT_TRUE(HasFinding(findings, "metric-label-from-request", 28))
+      << "name taken from a request payload";
+  EXPECT_TRUE(HasFinding(findings, "metric-label-from-request", 33))
+      << "keyword-derived label";
+  EXPECT_EQ(FindingsFor(findings, "metric-label-from-request").size(), 3u)
+      << "literal and kConstant names, and the allow hatch, must not fire";
+}
+
 TEST(Lwlint, VarTimeLoopIsCryptoOnly) {
   const auto findings =
       LintFixture("var_time_loop.cc", "src/zltp/fixture.cc");
@@ -171,7 +183,7 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
   for (const char* name :
        {"ct_compare.cc", "secret_index.cc", "insecure_rand.cc",
         "naked_new.cc", "unchecked_result.cc", "var_time_loop.cc",
-        "allow_escape.cc"}) {
+        "allow_escape.cc", "metric_label.cc"}) {
     auto f = LintFixture(name, std::string("src/crypto/") + name);
     all.insert(all.end(), f.begin(), f.end());
   }

@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/hex.h"
 #include "util/io.h"
+#include "util/log.h"
 #include "util/rand.h"
 #include "util/status.h"
 
@@ -211,6 +212,39 @@ TEST(Rand, FillProducesAllLengths) {
     rng.Fill(buf);
     EXPECT_EQ(buf.size(), n);
   }
+}
+
+// Streams an observable side effect so the test can tell whether LW_LOG
+// evaluated its operands.
+int CountedOperand(int* calls) {
+  ++*calls;
+  return *calls;
+}
+
+TEST(Log, DisabledLineNeverEvaluatesOperands) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int calls = 0;
+  LW_LOG(Debug) << "dead line " << CountedOperand(&calls);
+  LW_LOG(Info) << "also dead " << CountedOperand(&calls);
+  EXPECT_EQ(calls, 0) << "LW_LOG must short-circuit before streaming";
+  LW_LOG(Error) << "live line " << CountedOperand(&calls);
+  EXPECT_EQ(calls, 1) << "enabled lines still evaluate operands";
+  SetLogLevel(saved);
+}
+
+TEST(Log, UsableInUnbracedIfElse) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int calls = 0;
+  // LW_LOG is a single expression; this must parse with the else binding
+  // to the outer if.
+  if (calls == 0)
+    LW_LOG(Debug) << "branch " << CountedOperand(&calls);
+  else
+    ++calls;
+  EXPECT_EQ(calls, 0);
+  SetLogLevel(saved);
 }
 
 }  // namespace

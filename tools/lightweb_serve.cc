@@ -13,11 +13,18 @@
 // hosting both is a demo convenience.)
 //
 // Usage:
-//   lightweb_serve <base_port> [--snapshot state.json] <site.json> ...
+//   lightweb_serve <base_port> [--snapshot state.json]
+//                  [--metrics-port=N] [--metrics-dump=PATH] <site.json> ...
 //
 // With --snapshot, an existing snapshot file is loaded before any site
 // files, and the final universe (snapshot + newly loaded sites) is written
 // back — simple persistence across restarts.
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   --metrics-port=N   serve GET /metrics (Prometheus text) and
+//                      GET /metrics.json on 127.0.0.1:N (0 = ephemeral)
+//   --metrics-dump=P   atomically rewrite P with the JSON snapshot every
+//                      10 seconds (for scrape-less setups)
 //
 // Site file format:
 //   {
@@ -26,8 +33,10 @@
 //     "code": { "site": "...", "routes": [ ... LightScript ... ] },
 //     "data": { "planet.example/data/x.json": { ...blob json... }, ... }
 //   }
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +44,7 @@
 #include "lightweb/snapshot.h"
 #include "lightweb/universe.h"
 #include "net/tcp.h"
+#include "obs/exporter.h"
 #include "util/file.h"
 #include "util/log.h"
 #include "zltp/server.h"
@@ -130,12 +140,23 @@ int main(int argc, char** argv) {
   }
 
   std::string snapshot_path;
+  std::string metrics_dump_path;
+  int metrics_port = -1;  // -1 = disabled; 0 = ephemeral port
   std::vector<std::string> site_files;
   for (int i = 2; i < argc; ++i) {
-    if (std::string(argv[i]) == "--snapshot" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::atoi(arg.c_str() + 15);
+      if (metrics_port < 0 || metrics_port > 65535) {
+        std::fprintf(stderr, "bad --metrics-port\n");
+        return 2;
+      }
+    } else if (arg.rfind("--metrics-dump=", 0) == 0) {
+      metrics_dump_path = arg.substr(15);
     } else {
-      site_files.emplace_back(argv[i]);
+      site_files.emplace_back(arg);
     }
   }
 
@@ -166,6 +187,35 @@ int main(int argc, char** argv) {
   }
   std::printf("universe ready: %zu pages, %zu domains\n\n",
               universe.total_pages(), universe.total_domains());
+
+  std::unique_ptr<obs::MetricsHttpServer> metrics_server;
+  if (metrics_port >= 0) {
+    auto started =
+        obs::MetricsHttpServer::Start(static_cast<std::uint16_t>(metrics_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "metrics server: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(*started);
+    std::printf("metrics: http://127.0.0.1:%u/metrics (and /metrics.json)\n",
+                metrics_server->port());
+  }
+  if (!metrics_dump_path.empty()) {
+    // Detached dumper: the process serves until killed, so there is no
+    // clean shutdown to join against.
+    std::thread([path = metrics_dump_path] {
+      for (;;) {
+        const Status s = obs::WriteSnapshotJson(path);
+        if (!s.ok()) {
+          std::fprintf(stderr, "metrics dump: %s\n", s.ToString().c_str());
+        }
+        std::this_thread::sleep_for(std::chrono::seconds(10));
+      }
+    }).detach();
+    std::printf("metrics: dumping JSON snapshot to %s every 10s\n",
+                metrics_dump_path.c_str());
+  }
 
   zltp::ZltpPirServer code0(universe.code_store(), 0);
   zltp::ZltpPirServer code1(universe.code_store(), 1);

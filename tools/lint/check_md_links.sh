@@ -1,0 +1,49 @@
+#!/bin/sh
+# Checks that relative markdown links resolve to real files.
+#
+# Usage: check_md_links.sh <repo_root>
+#
+# Scans the curated doc set (README, DESIGN, EXPERIMENTS, ROADMAP and
+# docs/*.md — not SNIPPETS.md/PAPERS.md, whose bodies quote external code
+# and papers) for inline links `[text](target)`, skips absolute URLs and
+# pure #anchors, strips any #fragment, and verifies the target exists
+# relative to the linking file. Exits non-zero listing every broken link.
+set -u
+
+root=${1:-.}
+status=0
+
+for md in "$root"/README.md "$root"/DESIGN.md "$root"/EXPERIMENTS.md \
+          "$root"/ROADMAP.md "$root"/docs/*.md; do
+  [ -f "$md" ] || continue
+  # One inline link target per line; targets are cut at the first ')'.
+  # Fenced code blocks and inline `code` spans are stripped first: link
+  # syntax inside examples (docs/LIGHTSCRIPT.md templates) is not a link.
+  broken=$(
+    dir=$(dirname "$md")
+    awk '/^```/ { fenced = !fenced; next } !fenced' "$md" |
+    sed 's/`[^`]*`//g' |
+    grep -o '](\([^)]*\))' 2>/dev/null | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+      case $target in
+        http://*|https://*|mailto:*) continue ;;  # external
+        '#'*) continue ;;                         # same-file anchor
+        '') continue ;;
+      esac
+      path=${target%%#*}
+      [ -z "$path" ] && continue
+      [ -e "$dir/$path" ] || echo "$md: broken link -> $target"
+    done
+  )
+  if [ -n "$broken" ]; then
+    printf '%s\n' "$broken"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_md_links: broken relative links found" >&2
+  exit 1
+fi
+echo "check_md_links: all relative links resolve"
+exit 0

@@ -19,6 +19,7 @@ const char kInsecureRand[] = "insecure-rand";
 const char kNakedNew[] = "naked-new";
 const char kUncheckedResult[] = "unchecked-result";
 const char kVarTimeLoop[] = "var-time-loop";
+const char kMetricLabelFromRequest[] = "metric-label-from-request";
 
 // Files exempt from secret-index: the software AES fallback is a table
 // cipher (kSbox[state[i]] is its definition); the AES-NI path used in
@@ -40,6 +41,16 @@ const char* kTokenExceptions[] = {"keyword", "tagline"};
 const char* kPublicOperandMarks[] = {
     ".size", ".length", ".empty", ".ok",    "sizeof",  "bits",
     "count", "version", "type",   "nullptr", ".end()", "null",
+};
+
+// Identifier fragments that mark a value as request-derived. A metric name
+// or label built from one of these would record which blob or keyword a
+// client touched — exactly the access pattern ZLTP's PIR layer exists to
+// hide (paper §2). Metric names must be compile-time string literals; see
+// docs/OBSERVABILITY.md ("Privacy rule").
+const char* kRequestTaintTokens[] = {
+    "request", "payload", "blob",  "url",     "uri",  "page",
+    "path",    "domain",  "query", "keyword", "body",
 };
 
 // --------------------------------------------------- scanning machinery
@@ -179,6 +190,26 @@ bool LooksPublicOperand(const std::string& operand) {
   return false;
 }
 
+// True if `text` contains an identifier carrying a request-taint token.
+// kConstant-style identifiers (kPageSize, ...) are compile-time values,
+// not request data.
+bool HasRequestTaintedIdentifier(const std::string& text) {
+  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    std::string ident = it->str();
+    if (ident.size() >= 2 && ident[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(ident[1]))) {
+      continue;
+    }
+    std::transform(ident.begin(), ident.end(), ident.begin(), ::tolower);
+    for (const char* tok : kRequestTaintTokens) {
+      if (ident.find(tok) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
 class Linter {
  public:
   Linter(std::string path, const ScannedFile& scan)
@@ -200,6 +231,7 @@ class Linter {
       CheckNakedNew(ln, code);
       CheckMemcmp(ln, code);
       CheckUncheckedResult(ln, code);
+      CheckMetricLabel(ln, code);
       if (!secret_index_whitelisted) CheckSecretIndex(ln, code, crypto);
       if (crypto) {
         CheckCtEquality(ln, code);
@@ -323,6 +355,26 @@ class Linter {
     }
   }
 
+  void CheckMetricLabel(std::size_t ln, const std::string& code) {
+    // Metric registration must use compile-time literal names. String
+    // literals are blanked before this runs, so a clean registration shows
+    // only `""` arguments; any surviving request-tainted identifier means
+    // the metric name/label is being built from per-request data, which
+    // would record the access pattern PIR hides (paper §2).
+    static const std::regex kRegister(
+        R"((^|[^A-Za-z0-9_])(AddCounter|AddGauge|AddHistogram|RegisterCounter|RegisterGauge|RegisterHistogram)\s*\()");
+    std::smatch m;
+    if (!std::regex_search(code, m, kRegister)) return;
+    const std::string args =
+        code.substr(static_cast<std::size_t>(m.position(2)));
+    if (HasRequestTaintedIdentifier(args)) {
+      Report(ln, kMetricLabelFromRequest,
+             "metric name/label built from request-derived data; telemetry "
+             "must be aggregate-only (literal names), or it re-leaks the "
+             "access pattern PIR hides — see docs/OBSERVABILITY.md");
+    }
+  }
+
   void CheckUncheckedResult(std::size_t ln, const std::string& code) {
     static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
     if (!std::regex_search(code, kValue)) return;
@@ -422,8 +474,9 @@ bool IsSourceFile(const std::filesystem::path& p) {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      kCtCompare,       kSecretIndex, kInsecureRand,
+      kCtCompare,       kSecretIndex,     kInsecureRand,
       kNakedNew,        kUncheckedResult, kVarTimeLoop,
+      kMetricLabelFromRequest,
   };
   return kRules;
 }

@@ -1,0 +1,40 @@
+// lwlint fixture: metric-label-from-request true/false positives.
+#include <string>
+
+struct FakeRegistry {
+  int& AddCounter(const std::string& name, const std::string& help,
+                  const std::string& unit);
+  int& AddGauge(const std::string& name, const std::string& help,
+                const std::string& unit);
+};
+
+FakeRegistry& Reg();
+
+constexpr const char* kScanCounterName = "lw_scan_rows_total";
+
+void LiteralNamesAreFine() {
+  Reg().AddCounter("lw_server_requests_total", "requests served",
+                   "requests");  // no finding: compile-time literal
+  Reg().AddCounter(kScanCounterName, "rows scanned",
+                   "rows");  // no finding: kConstant identifier
+}
+
+void BadPerBlobCounter(const std::string& blob_name) {
+  Reg().AddCounter("lw_fetches_" + blob_name,  // line 23: per-blob name
+                   "per-blob fetches", "requests");
+}
+
+void BadPerRequestGauge(const std::string& request_payload) {
+  Reg().AddGauge(request_payload,  // line 28: name from request payload
+                 "last payload seen", "bytes");
+}
+
+void BadKeywordLabel(const std::string& query_keyword) {
+  Reg().AddCounter("lw_hits_" + query_keyword,  // line 33: keyword label
+                   "keyword hits", "requests");
+}
+
+void AllowedEscapeHatch(const std::string& blob_class) {
+  // lwlint: allow(metric-label-from-request) — fixture, not prod
+  Reg().AddCounter(blob_class, "suppressed", "requests");
+}
