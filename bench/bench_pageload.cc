@@ -51,7 +51,9 @@ struct Deployment {
     net::TransportPair p1 = net::CreateInMemoryPair();
     server0.ServeConnectionDetached(std::move(p0.b));
     server1.ServeConnectionDetached(std::move(p1.b));
-    return zltp::PirSession::Establish(std::move(p0.a), std::move(p1.a))
+    return zltp::PirSession::Establish(
+               zltp::EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)))
         .value();
   }
 };

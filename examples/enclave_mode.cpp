@@ -38,7 +38,7 @@ int main() {
   zltp::ZltpEnclaveServer server(enclave);
   net::TransportPair link = net::CreateInMemoryPair();
   server.ServeConnectionDetached(std::move(link.b));
-  auto session = zltp::EnclaveSession::Establish(std::move(link.a));
+  auto session = zltp::EnclaveSession::Establish(zltp::EstablishOptions::FromTransports(std::move(link.a)));
   if (!session.ok()) return 1;
 
   for (const char* key : {"wiki/Uganda", "wiki/Nepal", "wiki/Atlantis"}) {

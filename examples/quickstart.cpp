@@ -53,7 +53,9 @@ int main() {
 
   // 4. A client session negotiates parameters with both servers.
   auto session =
-      zltp::PirSession::Establish(std::move(link0.a), std::move(link1.a));
+      zltp::PirSession::Establish(
+          zltp::EstablishOptions::FromTransports(
+      std::move(link0.a), std::move(link1.a)));
   if (!session.ok()) {
     std::printf("session failed: %s\n", session.status().ToString().c_str());
     return 1;

@@ -98,7 +98,9 @@ int main() {
   frontend0.ServeConnectionDetached(std::move(c0.b));
   frontend1.ServeConnectionDetached(std::move(c1.b));
   auto session =
-      zltp::PirSession::Establish(std::move(c0.a), std::move(c1.a));
+      zltp::PirSession::Establish(
+          zltp::EstablishOptions::FromTransports(
+      std::move(c0.a), std::move(c1.a)));
   if (!session.ok()) {
     std::printf("session: %s\n", session.status().ToString().c_str());
     return 1;

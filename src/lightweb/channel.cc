@@ -65,52 +65,28 @@ std::size_t InProcessPirChannel::record_size() const {
   return store_.record_size();
 }
 
-// ------------------------------------------------------- ZltpPirChannel
+// ---------------------------------------------------------- ZltpChannel
 
-ZltpPirChannel::ZltpPirChannel(zltp::PirSession session)
+ZltpChannel::ZltpChannel(std::unique_ptr<zltp::Session> session)
     : session_(std::move(session)) {}
 
-Result<Bytes> ZltpPirChannel::PrivateGet(std::string_view key) {
-  return session_.PrivateGet(key);
+Result<Bytes> ZltpChannel::PrivateGet(std::string_view key) {
+  return session_->PrivateGet(key);
 }
 
-Status ZltpPirChannel::DummyGet() { return session_.DummyGet(); }
+Status ZltpChannel::DummyGet() { return session_->DummyGet(); }
 
-std::size_t ZltpPirChannel::record_size() const {
-  return session_.record_size();
+std::size_t ZltpChannel::record_size() const {
+  return session_->record_size();
 }
 
-std::uint64_t ZltpPirChannel::observed_queries() const {
-  return session_.traffic().requests;
+std::uint64_t ZltpChannel::observed_queries() const {
+  return session_->traffic().requests;
 }
 
-Result<std::vector<Result<Bytes>>> ZltpPirChannel::FetchPage(
+Result<std::vector<Result<Bytes>>> ZltpChannel::FetchPage(
     const std::vector<std::string>& keys, int dummies) {
-  return session_.PrivateGetBatch(keys, dummies);
-}
-
-// --------------------------------------------------- ZltpEnclaveChannel
-
-ZltpEnclaveChannel::ZltpEnclaveChannel(zltp::EnclaveSession session)
-    : session_(std::move(session)), record_size_(session_.record_size()) {}
-
-Result<Bytes> ZltpEnclaveChannel::PrivateGet(std::string_view key) {
-  ++queries_;
-  return session_.PrivateGet(key);
-}
-
-Status ZltpEnclaveChannel::DummyGet() {
-  ++queries_;
-  // A fetch for a random never-published key: the enclave's access pattern
-  // and response are indistinguishable from a hit.
-  const Bytes r = SecureRandom(16);
-  std::string key = "dummy/";
-  for (std::uint8_t b : r) key += static_cast<char>('a' + (b % 26));
-  auto result = session_.PrivateGet(key);
-  if (!result.ok() && result.status().code() != StatusCode::kNotFound) {
-    return result.status();
-  }
-  return Status::Ok();
+  return session_->PrivateGetBatch(keys, dummies);
 }
 
 }  // namespace lw::lightweb

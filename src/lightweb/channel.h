@@ -9,9 +9,8 @@
 //    PirStore in-process. Used by tests, benches, and single-binary examples;
 //    it exercises the identical code path as the networked client minus the
 //    socket hops.
-//  * ZltpPirChannel — adapts a live zltp::PirSession (two transports to two
-//    non-colluding servers).
-//  * ZltpEnclaveChannel — adapts an enclave-mode session.
+//  * ZltpChannel — adapts any live zltp::Session (two-server PIR or
+//    enclave mode); the browser never learns which deployment it talks to.
 #pragma once
 
 #include <cstdint>
@@ -65,39 +64,27 @@ class InProcessPirChannel final : public BlobChannel {
   std::uint64_t queries_ = 0;
 };
 
-class ZltpPirChannel final : public BlobChannel {
+// Mode-agnostic adapter over any established zltp::Session. Resilience
+// (deadlines, retries, redial) is the session's business — configure it via
+// zltp::EstablishOptions; the channel and browser above it just see a page
+// load that survived a server blip.
+class ZltpChannel final : public BlobChannel {
  public:
-  explicit ZltpPirChannel(zltp::PirSession session);
+  explicit ZltpChannel(std::unique_ptr<zltp::Session> session);
 
   Result<Bytes> PrivateGet(std::string_view key) override;
   Status DummyGet() override;
   std::size_t record_size() const override;
   std::uint64_t observed_queries() const override;
 
-  // Pipelined page load via PirSession::PrivateGetBatch.
+  // Pipelined page load via Session::PrivateGetBatch.
   Result<std::vector<Result<Bytes>>> FetchPage(
       const std::vector<std::string>& keys, int dummies) override;
 
-  zltp::PirSession& session() { return session_; }
+  zltp::Session& session() { return *session_; }
 
  private:
-  zltp::PirSession session_;
-};
-
-class ZltpEnclaveChannel final : public BlobChannel {
- public:
-  // The blob size comes from the session's ServerHello.
-  explicit ZltpEnclaveChannel(zltp::EnclaveSession session);
-
-  Result<Bytes> PrivateGet(std::string_view key) override;
-  Status DummyGet() override;
-  std::size_t record_size() const override { return record_size_; }
-  std::uint64_t observed_queries() const override { return queries_; }
-
- private:
-  zltp::EnclaveSession session_;
-  std::size_t record_size_;
-  std::uint64_t queries_ = 0;
+  std::unique_ptr<zltp::Session> session_;
 };
 
 }  // namespace lw::lightweb

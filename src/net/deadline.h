@@ -1,0 +1,61 @@
+// Deadline: an absolute point in (injectable) monotonic time by which a
+// transport operation must complete.
+//
+// A deadline is created once per logical operation (a hello exchange, one
+// private-GET attempt, a whole page-load batch attempt) and threaded through
+// every Send/Receive that operation performs, so the budget is shared: a
+// slow first frame leaves less time for the rest. Deadline::Infinite()
+// expresses an *intentional* unbounded wait (server long-polls); lwlint's
+// `receive-without-deadline` rule forces call sites outside src/net to make
+// that choice explicitly.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "util/clock.h"
+
+namespace lw::net {
+
+class Deadline {
+ public:
+  // Default-constructed deadlines are infinite.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `timeout` after now on `clock` (null = the real clock).
+  // A zero or negative timeout is already expired.
+  static Deadline After(std::chrono::nanoseconds timeout,
+                        Clock* clock = nullptr) {
+    Deadline d;
+    d.clock_ = clock;
+    d.when_ = d.clock().Now() + timeout;
+    return d;
+  }
+
+  bool is_infinite() const { return !when_.has_value(); }
+
+  bool expired() const {
+    return when_.has_value() && clock().Now() >= *when_;
+  }
+
+  // Time left on the budget; zero once expired. Callers must check
+  // is_infinite() first — an infinite deadline has no meaningful remainder
+  // (we return the maximum representable duration).
+  std::chrono::nanoseconds remaining() const {
+    if (!when_.has_value()) return std::chrono::nanoseconds::max();
+    const std::chrono::nanoseconds left = *when_ - clock().Now();
+    return left > std::chrono::nanoseconds::zero()
+               ? left
+               : std::chrono::nanoseconds::zero();
+  }
+
+  Clock& clock() const { return clock_ != nullptr ? *clock_ : Clock::Real(); }
+
+ private:
+  Clock* clock_ = nullptr;  // null = Clock::Real()
+  std::optional<std::chrono::nanoseconds> when_;  // absolute, per clock()
+};
+
+}  // namespace lw::net

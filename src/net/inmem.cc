@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -7,6 +8,13 @@
 namespace lw::net {
 namespace {
 
+// Upper bound on any single cv wait when a finite deadline is set. Finite
+// deadlines may run against a FakeClock that the condition variable knows
+// nothing about, so we slice the wait and re-check the deadline's own clock
+// each iteration; 5ms keeps fake-clock expiry latency negligible for tests
+// while costing nothing on the (already-expired or real-time) common paths.
+constexpr std::chrono::milliseconds kWaitSlice{5};
+
 // Shared state of one direction of the pair.
 struct Channel {
   std::mutex mu;
@@ -14,7 +22,12 @@ struct Channel {
   std::deque<Frame> queue;
   bool closed = false;
 
-  Status Push(Frame frame) {
+  Status Push(Frame frame, const Deadline& deadline) {
+    // The queue is unbounded, so a send never has to wait — but an already
+    // blown budget still fails fast, mirroring a socket that would block.
+    if (deadline.expired()) {
+      return DeadlineExceededError("send deadline expired");
+    }
     {
       std::lock_guard<std::mutex> lock(mu);
       if (closed) return UnavailableError("transport closed");
@@ -24,9 +37,19 @@ struct Channel {
     return Status::Ok();
   }
 
-  Result<Frame> Pop() {
+  Result<Frame> Pop(const Deadline& deadline) {
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return !queue.empty() || closed; });
+    while (queue.empty() && !closed) {
+      if (deadline.is_infinite()) {
+        cv.wait(lock);
+        continue;
+      }
+      const std::chrono::nanoseconds rem = deadline.remaining();
+      if (rem <= std::chrono::nanoseconds::zero()) {
+        return DeadlineExceededError("receive deadline expired");
+      }
+      cv.wait_for(lock, std::min<std::chrono::nanoseconds>(rem, kWaitSlice));
+    }
     if (queue.empty()) return UnavailableError("transport closed");
     Frame f = std::move(queue.front());
     queue.pop_front();
@@ -55,9 +78,16 @@ class InMemoryTransport final : public Transport {
 
   ~InMemoryTransport() override { Close(); }
 
-  Status Send(const Frame& frame) override { return out_->Push(frame); }
+  using Transport::Receive;
+  using Transport::Send;
 
-  Result<Frame> Receive() override { return in_->Pop(); }
+  Status Send(const Frame& frame, const Deadline& deadline) override {
+    return out_->Push(frame, deadline);
+  }
+
+  Result<Frame> Receive(const Deadline& deadline) override {
+    return in_->Pop(deadline);
+  }
 
   void Close() override {
     // Closing either end tears down both directions, like a socket close.

@@ -1,0 +1,31 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace lw::net {
+
+bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+Backoff::Backoff(const RetryPolicy& policy, std::uint64_t jitter_seed)
+    : policy_(policy),
+      base_(std::max(policy.initial_backoff, std::chrono::nanoseconds(1))),
+      rng_(jitter_seed) {}
+
+std::chrono::nanoseconds Backoff::NextDelay() {
+  const std::chrono::nanoseconds capped = std::min(base_, policy_.max_backoff);
+  // Escalate for next time, saturating at max_backoff to avoid overflow on
+  // long retry loops.
+  const double next = static_cast<double>(base_.count()) * policy_.multiplier;
+  base_ = next >= static_cast<double>(policy_.max_backoff.count())
+              ? policy_.max_backoff
+              : std::chrono::nanoseconds(static_cast<std::int64_t>(next));
+  const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  const double scale = 1.0 - jitter + 2.0 * jitter * rng_.UniformDouble();
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(capped.count()) * scale));
+}
+
+}  // namespace lw::net

@@ -1,0 +1,76 @@
+// Retry policy: bounded attempts with jittered exponential backoff.
+//
+// The policy is pure data plus a Backoff helper that owns the escalation
+// state; WHAT gets retried is the caller's business. For ZLTP sessions the
+// rule is strict (docs/ROBUSTNESS.md): a retried private GET must regenerate
+// fresh DPF key shares and is sent over redialed connections — resending
+// captured bytes would let the network link two sightings of the same
+// query, which a fresh share (indistinguishable from a dummy) does not.
+//
+// Backoff sleeps on the policy's injectable clock, so tests drive the full
+// retry schedule with a FakeClock and zero wall-clock waiting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/rand.h"
+#include "util/status.h"
+
+namespace lw::net {
+
+struct RetryPolicy {
+  // Total tries including the first; 1 = no retries.
+  int max_attempts = 3;
+
+  // Backoff before retry k (1-based) is
+  //   min(initial_backoff * multiplier^(k-1), max_backoff)
+  // scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(10);
+  double multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(1);
+  double jitter = 0.2;
+
+  // Clock backoff sleeps against; null = Clock::Real().
+  Clock* clock = nullptr;
+
+  static RetryPolicy NoRetry() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  Clock& clock_or_real() const {
+    return clock != nullptr ? *clock : Clock::Real();
+  }
+};
+
+// Whether a failed attempt is worth repeating: transport faults
+// (UNAVAILABLE) and blown deadlines (DEADLINE_EXCEEDED). Protocol
+// violations, corruption and logic errors are not — repeating them cannot
+// help and may retransmit information.
+bool IsRetryable(const Status& s);
+
+// Per-operation escalation state. Construct one per logical operation;
+// each SleepBeforeRetry() blocks (on the policy clock) for the next
+// jittered delay and escalates the base.
+class Backoff {
+ public:
+  // `jitter_seed` feeds a deterministic generator — callers wanting
+  // unpredictable jitter seed from SecureRandom, tests pass a constant.
+  Backoff(const RetryPolicy& policy, std::uint64_t jitter_seed);
+
+  // Computes the next jittered delay and escalates. Exposed separately
+  // from the sleep so tests can inspect the schedule.
+  std::chrono::nanoseconds NextDelay();
+
+  void SleepBeforeRetry() { policy_.clock_or_real().SleepFor(NextDelay()); }
+
+ private:
+  RetryPolicy policy_;
+  std::chrono::nanoseconds base_;
+  Rng rng_;
+};
+
+}  // namespace lw::net

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,10 +21,42 @@ Status ErrnoStatus(const std::string& what) {
   return UnavailableError(what + ": " + std::strerror(errno));
 }
 
-// Full-buffer send, EINTR-safe, SIGPIPE suppressed.
-Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
+// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
+// expires. Infinite deadlines skip the poll entirely — send/recv block in
+// the kernel as before. Note the wait is real time even if the deadline
+// carries a fake clock: a TCP socket cannot be driven by virtual time, so
+// deterministic deadline tests use the in-memory/fault-injection transports
+// instead (docs/ROBUSTNESS.md).
+Status WaitReady(int fd, short events, const Deadline& deadline,
+                 const char* what) {
+  if (deadline.is_infinite()) return Status::Ok();
+  for (;;) {
+    const std::chrono::nanoseconds rem = deadline.remaining();
+    if (rem <= std::chrono::nanoseconds::zero()) {
+      return DeadlineExceededError(std::string(what) + " deadline expired");
+    }
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(rem).count() + 1;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, ms > 60'000 ? 60'000 : static_cast<int>(ms));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      return ErrnoStatus("poll");
+    }
+    if (rc > 0) return Status::Ok();  // readable/writable, or error/hup —
+                                      // let send/recv report the real error.
+  }
+}
+
+// Full-buffer send, EINTR-safe, SIGPIPE suppressed, bounded by `deadline`.
+Status SendAll(int fd, const std::uint8_t* data, std::size_t n,
+               const Deadline& deadline) {
   std::size_t done = 0;
   while (done < n) {
+    LW_RETURN_IF_ERROR(WaitReady(fd, POLLOUT, deadline, "send"));
     const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) {
@@ -42,10 +75,11 @@ Status SendAll(int fd, const std::uint8_t* data, std::size_t n) {
 // Full-buffer receive; UNAVAILABLE on orderly close mid-message too (the
 // caller distinguishes close-at-frame-boundary via the `eof_ok` flag).
 Status RecvAll(int fd, std::uint8_t* data, std::size_t n, bool eof_ok,
-               bool* clean_eof) {
+               bool* clean_eof, const Deadline& deadline) {
   if (clean_eof != nullptr) *clean_eof = false;
   std::size_t done = 0;
   while (done < n) {
+    LW_RETURN_IF_ERROR(WaitReady(fd, POLLIN, deadline, "receive"));
     const ssize_t r = ::recv(fd, data + done, n - done, 0);
     if (r < 0) {
       if (errno == EINTR) {
@@ -78,7 +112,10 @@ class TcpTransport final : public Transport {
     if (fd >= 0) ::close(fd);
   }
 
-  Status Send(const Frame& frame) override {
+  using Transport::Receive;
+  using Transport::Send;
+
+  Status Send(const Frame& frame, const Deadline& deadline) override {
     const int fd = fd_.load(std::memory_order_acquire);
     if (fd < 0 || closed_.load(std::memory_order_acquire)) {
       return UnavailableError("transport closed");
@@ -91,23 +128,24 @@ class TcpTransport final : public Transport {
     StoreLE32(wire.data(), static_cast<std::uint32_t>(body));
     wire[4] = frame.type;
     std::copy(frame.payload.begin(), frame.payload.end(), wire.begin() + 5);
-    return SendAll(fd, wire.data(), wire.size());
+    return SendAll(fd, wire.data(), wire.size(), deadline);
   }
 
-  Result<Frame> Receive() override {
+  Result<Frame> Receive(const Deadline& deadline) override {
     const int fd = fd_.load(std::memory_order_acquire);
     if (fd < 0 || closed_.load(std::memory_order_acquire)) {
       return UnavailableError("transport closed");
     }
     std::uint8_t header[4];
     bool clean_eof = false;
-    LW_RETURN_IF_ERROR(RecvAll(fd, header, 4, /*eof_ok=*/true, &clean_eof));
+    LW_RETURN_IF_ERROR(
+        RecvAll(fd, header, 4, /*eof_ok=*/true, &clean_eof, deadline));
     const std::uint32_t body = LoadLE32(header);
     if (body == 0 || body > kMaxFrameSize) {
       return ProtocolError("bad frame length " + std::to_string(body));
     }
     Bytes buf(body);
-    LW_RETURN_IF_ERROR(RecvAll(fd, buf.data(), body, false, nullptr));
+    LW_RETURN_IF_ERROR(RecvAll(fd, buf.data(), body, false, nullptr, deadline));
     Frame f;
     f.type = buf[0];
     f.payload.assign(buf.begin() + 1, buf.end());

@@ -5,11 +5,20 @@
 // implementations: an in-process loopback pair (tests, benches, and the
 // in-process CDN used by the lightweb examples) and a framed TCP transport
 // (net/tcp.h). A frame is a 1-byte type tag plus an opaque payload.
+//
+// Every blocking operation takes a Deadline (net/deadline.h): a production
+// client must never hang forever on a dead CDN node. An expired or
+// unsatisfiable deadline surfaces as DEADLINE_EXCEEDED; the retry layer
+// (net/retry.h, zltp sessions) treats it like UNAVAILABLE and re-issues the
+// operation with fresh DPF randomness on a redialed connection. Fault
+// injection decorators for testing this machinery live in net/faulty.h.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
+#include "net/deadline.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -31,17 +40,34 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  // Sends one frame. UNAVAILABLE if the peer has closed.
-  virtual Status Send(const Frame& frame) = 0;
+  // Sends one frame, blocking at most until `deadline`. UNAVAILABLE if the
+  // peer has closed; DEADLINE_EXCEEDED if the channel would not accept the
+  // frame in time (the stream may be left mid-frame — treat the transport
+  // as dead afterwards).
+  virtual Status Send(const Frame& frame, const Deadline& deadline) = 0;
 
-  // Blocks for the next frame. UNAVAILABLE on orderly close,
-  // PROTOCOL_ERROR on malformed framing.
-  virtual Result<Frame> Receive() = 0;
+  // Blocks for the next frame until `deadline`. UNAVAILABLE on orderly
+  // close, PROTOCOL_ERROR on malformed framing, DEADLINE_EXCEEDED on
+  // timeout (mid-frame timeouts leave the stream unsynchronized — treat
+  // the transport as dead afterwards).
+  virtual Result<Frame> Receive(const Deadline& deadline) = 0;
 
   // Closes the channel; concurrent and subsequent Sends/Receives (on both
   // endpoints for the in-memory pair) fail with UNAVAILABLE.
   virtual void Close() = 0;
+
+  // Unbounded convenience forms. Call sites outside src/net must pass a
+  // deadline (or an explicit Deadline::Infinite()) instead — enforced by
+  // lwlint's `receive-without-deadline` rule.
+  Status Send(const Frame& frame) { return Send(frame, Deadline::Infinite()); }
+  Result<Frame> Receive() { return Receive(Deadline::Infinite()); }
 };
+
+// Dials a fresh connection to the same logical endpoint. Sessions use this
+// to re-establish after a dead transport (zltp::EstablishOptions); every
+// invocation must return an independent connection.
+using TransportFactory =
+    std::function<Result<std::unique_ptr<Transport>>()>;
 
 // Creates a connected pair of in-process transports. Thread-safe: the two
 // ends may live on different threads. Frames sent on one end are received

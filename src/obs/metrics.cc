@@ -215,6 +215,31 @@ Metrics& M() {
                                      "send/recv/accept calls retried on EINTR",
                                      "retries"),
 
+      Registry::Default().AddCounter(
+          "lw_client_bytes_sent_total",
+          "ZLTP frame bytes sent by client sessions (both servers)", "bytes"),
+      Registry::Default().AddCounter(
+          "lw_client_bytes_received_total",
+          "ZLTP frame bytes received by client sessions (both servers)",
+          "bytes"),
+      Registry::Default().AddCounter(
+          "lw_client_requests_total",
+          "private GETs issued by client sessions (incl. dummies)",
+          "requests"),
+      Registry::Default().AddCounter(
+          "lw_client_retries_total",
+          "private-GET attempts re-issued with fresh DPF shares after a "
+          "retryable failure",
+          "retries"),
+      Registry::Default().AddCounter(
+          "lw_client_redials_total",
+          "session transports re-dialed and re-helloed after a dead "
+          "connection",
+          "redials"),
+      Registry::Default().AddCounter(
+          "lw_client_op_timeouts_total",
+          "client operations that failed with DEADLINE_EXCEEDED", "timeouts"),
+
       Registry::Default().AddGauge("lw_store_records",
                                    "records resident across all PIR stores",
                                    "records"),

@@ -215,6 +215,16 @@ struct Metrics {
   Counter& net_write_errors;
   Counter& net_eintr_retries;
 
+  // ZLTP client sessions: per-direction traffic accounting (the paper's
+  // communication-cost numbers — bench/bench_communication.cc reads these)
+  // and the resilience layer's recovery events.
+  Counter& client_bytes_sent;
+  Counter& client_bytes_received;
+  Counter& client_requests;
+  Counter& client_retries;      // attempts re-issued with fresh DPF shares
+  Counter& client_redials;      // transports re-dialed + hello re-run
+  Counter& client_op_timeouts;  // operations that hit DEADLINE_EXCEEDED
+
   // Content stores.
   Gauge& store_records;
 };

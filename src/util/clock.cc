@@ -1,0 +1,30 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace lw {
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  std::chrono::nanoseconds Now() const override {
+    return std::chrono::steady_clock::now().time_since_epoch();
+  }
+
+  void SleepFor(std::chrono::nanoseconds d) override {
+    if (d > std::chrono::nanoseconds::zero()) std::this_thread::sleep_for(d);
+  }
+};
+
+}  // namespace
+
+Clock& Clock::Real() {
+  // Intentionally leaked singleton: deadline objects captured in detached
+  // server threads may consult it during process teardown, after static
+  // destructors would have run.
+  // lwlint: allow(naked-new)
+  static Clock* const kReal = new RealClock;
+  return *kReal;
+}
+
+}  // namespace lw

@@ -1,0 +1,64 @@
+// Injectable monotonic time.
+//
+// Everything in the resilience layer — transport deadlines, retry backoff,
+// browser pacing — measures time through this interface so tests can run
+// the full failure/recovery state machine deterministically, with zero
+// wall-clock sleeps (docs/ROBUSTNESS.md). Production code uses
+// Clock::Real(); tests inject a FakeClock whose Sleep() *advances* the
+// fake time instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lw {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic now. Comparable only against the same clock instance.
+  virtual std::chrono::nanoseconds Now() const = 0;
+
+  // Blocks the caller for `d` of this clock's time. The real clock sleeps;
+  // a fake clock advances its time and returns immediately.
+  virtual void SleepFor(std::chrono::nanoseconds d) = 0;
+
+  // The process-wide wall clock (steady_clock + this_thread::sleep_for).
+  // Never destroyed: deadline objects may outlive static teardown order.
+  static Clock& Real();
+};
+
+// Deterministic clock for tests: time moves only when the test says so.
+// Thread-safe — a session thread may read Now() while the test thread
+// advances it, and SleepFor (retry backoff) advances atomically.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::chrono::nanoseconds start = {}) : now_(start.count()) {}
+
+  std::chrono::nanoseconds Now() const override {
+    return std::chrono::nanoseconds(now_.load(std::memory_order_acquire));
+  }
+
+  void SleepFor(std::chrono::nanoseconds d) override {
+    Advance(d);
+    sleeps_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Advance(std::chrono::nanoseconds d) {
+    now_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  // How many times something "slept" against this clock — lets tests assert
+  // that backoff happened without ever waiting for it.
+  std::uint64_t sleep_calls() const {
+    return sleeps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+  std::atomic<std::uint64_t> sleeps_{0};
+};
+
+}  // namespace lw

@@ -25,6 +25,8 @@ enum class StatusCode {
   kProtocolError,     // malformed or unexpected wire message
   kResourceExhausted,
   kInternal,
+  // Appended (wire format: error frames carry the numeric value).
+  kDeadlineExceeded,  // a per-operation deadline expired before completion
 };
 
 inline const char* StatusCodeName(StatusCode c) {
@@ -39,6 +41,7 @@ inline const char* StatusCodeName(StatusCode c) {
     case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -96,6 +99,9 @@ inline Status ResourceExhaustedError(std::string m) {
 }
 inline Status InternalError(std::string m) {
   return Status(StatusCode::kInternal, std::move(m));
+}
+inline Status DeadlineExceededError(std::string m) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(m));
 }
 
 // Result<T> holds either a value or a non-OK Status.

@@ -80,7 +80,7 @@ Result<Bytes> ShardDataServer::Answer(const dpf::SubtreeKey& key) const {
 
 void ShardDataServer::ServeConnection(net::Transport& transport) {
   for (;;) {
-    auto frame = transport.Receive();
+    auto frame = transport.Receive(net::Deadline::Infinite());
     if (!frame.ok()) return;
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
     auto request = DecodeGetRequest(*frame);
@@ -151,7 +151,8 @@ Result<Bytes> ShardFanout::Answer(const dpf::DpfKey& key) {
 
   Bytes combined(topology_.record_size, 0);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    LW_ASSIGN_OR_RETURN(const net::Frame frame, shards_[s]->Receive());
+    LW_ASSIGN_OR_RETURN(const net::Frame frame,
+                        shards_[s]->Receive(net::Deadline::Infinite()));
     if (frame.type == static_cast<std::uint8_t>(MsgType::kError)) {
       LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(frame));
       return StatusFromError(e);
@@ -196,7 +197,7 @@ FrontEndServer::~FrontEndServer() {
 
 void FrontEndServer::ServeConnection(net::Transport& transport) {
   // Standard ZLTP hello.
-  auto frame = transport.Receive();
+  auto frame = transport.Receive(net::Deadline::Infinite());
   if (!frame.ok()) return;
   auto hello = DecodeClientHello(*frame);
   if (!hello.ok()) {
@@ -224,7 +225,7 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
   if (!transport.Send(Encode(server_hello)).ok()) return;
 
   for (;;) {
-    auto next = transport.Receive();
+    auto next = transport.Receive(net::Deadline::Infinite());
     if (!next.ok()) return;
     if (next->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
     const auto req_start = std::chrono::steady_clock::now();

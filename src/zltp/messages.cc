@@ -128,7 +128,7 @@ Result<ErrorMsg> DecodeError(const net::Frame& f) {
   Reader r(f.payload);
   ErrorMsg m;
   LW_ASSIGN_OR_RETURN(const std::uint8_t code, r.U8());
-  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded)) {
     return ProtocolError("unknown status code in error frame");
   }
   m.code = static_cast<StatusCode>(code);

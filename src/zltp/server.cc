@@ -33,7 +33,7 @@ void SendError(net::Transport& t, StatusCode code, const std::string& msg) {
 
 // Shared hello handling: reads the ClientHello and checks the mode.
 Status ExpectHelloWithMode(net::Transport& t, Mode required) {
-  auto frame = t.Receive();
+  auto frame = t.Receive(net::Deadline::Infinite());
   if (!frame.ok()) return frame.status();
   auto hello = DecodeClientHello(*frame);
   if (!hello.ok()) {
@@ -143,6 +143,9 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
   };
 
   for (;;) {
+    // The batcher's long-poll: the server deliberately waits forever for
+    // the next pipelined request; the client owns all timeout decisions.
+    // lwlint: allow(receive-without-deadline)
     auto frame = transport.Receive();
     if (!frame.ok()) break;  // disconnect
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) break;
@@ -228,7 +231,7 @@ void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
   if (!transport.Send(Encode(hello)).ok()) return;
 
   for (;;) {
-    auto frame = transport.Receive();
+    auto frame = transport.Receive(net::Deadline::Infinite());
     if (!frame.ok()) return;
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
 

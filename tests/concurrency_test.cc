@@ -110,7 +110,9 @@ TEST(Concurrency, ManyClientsOneBatchingServer) {
     clients.emplace_back(
         [&, c, t0 = std::move(p0.a), t1 = std::move(p1.a)]() mutable {
           auto session =
-              zltp::PirSession::Establish(std::move(t0), std::move(t1));
+              zltp::PirSession::Establish(
+                  zltp::EstablishOptions::FromTransports(
+      std::move(t0), std::move(t1)));
           if (!session.ok()) {
             ++failures;
             return;
@@ -156,7 +158,9 @@ TEST(Concurrency, PipelinedBatchesFromParallelClients) {
     clients.emplace_back(
         [&, t0 = std::move(p0.a), t1 = std::move(p1.a)]() mutable {
           auto session =
-              zltp::PirSession::Establish(std::move(t0), std::move(t1));
+              zltp::PirSession::Establish(
+                  zltp::EstablishOptions::FromTransports(
+      std::move(t0), std::move(t1)));
           if (!session.ok()) {
             ++failures;
             return;

@@ -10,10 +10,12 @@
 #include "lightweb/channel.h"
 #include "lightweb/publisher.h"
 #include "lightweb/universe.h"
+#include "net/faulty.h"
 #include "net/transport.h"
 #include "pir/keyword.h"
 #include "pir/packing.h"
 #include "pir/two_server.h"
+#include "util/clock.h"
 #include "zltp/client.h"
 #include "zltp/frontend.h"
 #include "zltp/server.h"
@@ -22,56 +24,13 @@
 namespace lw {
 namespace {
 
-// Wraps a transport and kills the connection after a fixed number of
-// operations (sends + receives), simulating a mid-protocol crash.
-class DyingTransport final : public net::Transport {
- public:
-  DyingTransport(std::unique_ptr<net::Transport> inner, int ops_before_death)
-      : inner_(std::move(inner)), remaining_(ops_before_death) {}
-
-  Status Send(const net::Frame& frame) override {
-    if (Expired()) return UnavailableError("injected failure");
-    return inner_->Send(frame);
-  }
-  Result<net::Frame> Receive() override {
-    if (Expired()) return UnavailableError("injected failure");
-    return inner_->Receive();
-  }
-  void Close() override { inner_->Close(); }
-
- private:
-  bool Expired() {
-    if (remaining_.fetch_sub(1) <= 0) {
-      inner_->Close();
-      return true;
-    }
-    return false;
-  }
-
-  std::unique_ptr<net::Transport> inner_;
-  std::atomic<int> remaining_;
-};
-
-// Corrupts every received frame's payload (bit flips), simulating an
-// in-path tamperer.
-class CorruptingTransport final : public net::Transport {
- public:
-  explicit CorruptingTransport(std::unique_ptr<net::Transport> inner)
-      : inner_(std::move(inner)) {}
-
-  Status Send(const net::Frame& frame) override { return inner_->Send(frame); }
-  Result<net::Frame> Receive() override {
-    auto frame = inner_->Receive();
-    if (frame.ok() && !frame->payload.empty()) {
-      frame->payload[frame->payload.size() / 2] ^= 0x40;
-    }
-    return frame;
-  }
-  void Close() override { inner_->Close(); }
-
- private:
-  std::unique_ptr<net::Transport> inner_;
-};
+// All establishes in this file go through EstablishOptions (the redesigned
+// API); resilience knobs default to NoRetry so injected faults surface.
+Result<zltp::PirSession> EstablishPair(std::unique_ptr<net::Transport> t0,
+                                       std::unique_ptr<net::Transport> t1) {
+  return zltp::PirSession::Establish(
+      zltp::EstablishOptions::FromTransports(std::move(t0), std::move(t1)));
+}
 
 zltp::PirStoreConfig StoreConfig() {
   zltp::PirStoreConfig c;
@@ -91,8 +50,8 @@ TEST(FailureInjection, SessionDiesDuringEstablish) {
   server1.ServeConnectionDetached(std::move(p1.b));
 
   // Connection 0 dies before the hello completes.
-  auto session = zltp::PirSession::Establish(
-      std::make_unique<DyingTransport>(std::move(p0.a), 1),
+  auto session = EstablishPair(
+      std::make_unique<net::DyingTransport>(std::move(p0.a), 1),
       std::move(p1.a));
   EXPECT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), StatusCode::kUnavailable);
@@ -109,8 +68,8 @@ TEST(FailureInjection, ServerDiesBetweenRequests) {
   server1.ServeConnectionDetached(std::move(p1.b));
 
   // Hello (2 ops) + first GET (2 ops) survive; the link dies afterwards.
-  auto session = zltp::PirSession::Establish(
-      std::make_unique<DyingTransport>(std::move(p0.a), 4),
+  auto session = EstablishPair(
+      std::make_unique<net::DyingTransport>(std::move(p0.a), 4),
       std::move(p1.a));
   ASSERT_TRUE(session.ok());
   EXPECT_TRUE(session->PrivateGet("k").ok());
@@ -135,9 +94,9 @@ TEST(FailureInjection, BatchFailsCleanlyWhenServerDies) {
   server0.ServeConnectionDetached(std::move(p0.b));
   server1.ServeConnectionDetached(std::move(p1.b));
 
-  auto session = zltp::PirSession::Establish(
+  auto session = EstablishPair(
       std::move(p0.a),
-      std::make_unique<DyingTransport>(std::move(p1.a), 6));
+      std::make_unique<net::DyingTransport>(std::move(p1.a), 6));
   ASSERT_TRUE(session.ok());
   auto batch = session->PrivateGetBatch({"k0", "k1", "k2", "k3", "k4"});
   EXPECT_FALSE(batch.ok());
@@ -157,9 +116,9 @@ TEST(FailureInjection, CorruptedServerAnswerDetected) {
   server0.ServeConnectionDetached(std::move(p0.b));
   server1.ServeConnectionDetached(std::move(p1.b));
 
-  auto session = zltp::PirSession::Establish(
+  auto session = EstablishPair(
       std::move(p0.a),
-      std::make_unique<CorruptingTransport>(std::move(p1.a)));
+      std::make_unique<net::CorruptingTransport>(std::move(p1.a)));
   // The hello itself may already fail to parse; if it succeeds, the GET
   // must not return fabricated content.
   if (!session.ok()) {
@@ -190,7 +149,7 @@ TEST(FailureInjection, ShardOutageFailsFanout) {
   std::vector<std::unique_ptr<net::Transport>> links;
   links.push_back(std::move(l0.a));
   // Shard 1's link is already dead.
-  links.push_back(std::make_unique<DyingTransport>(std::move(l1.a), 0));
+  links.push_back(std::make_unique<net::DyingTransport>(std::move(l1.a), 0));
   zltp::ShardFanout fanout(topology, std::move(links));
 
   const pir::QueryKeys q = pir::MakeIndexQuery(3, 10);
@@ -232,10 +191,10 @@ TEST(FailureInjection, BrowserSurfacesChannelFailure) {
   data1.ServeConnectionDetached(std::move(d1.b));
 
   auto code_session =
-      zltp::PirSession::Establish(std::move(c0.a), std::move(c1.a));
+      EstablishPair(std::move(c0.a), std::move(c1.a));
   // The data channel dies after the hello.
-  auto data_session = zltp::PirSession::Establish(
-      std::make_unique<DyingTransport>(std::move(d0.a), 2),
+  auto data_session = EstablishPair(
+      std::make_unique<net::DyingTransport>(std::move(d0.a), 2),
       std::move(d1.a));
   ASSERT_TRUE(code_session.ok());
   ASSERT_TRUE(data_session.ok());
@@ -243,12 +202,99 @@ TEST(FailureInjection, BrowserSurfacesChannelFailure) {
   BrowserConfig bconfig;
   bconfig.fetches_per_page = universe.fetches_per_page();
   Browser browser(
-      std::make_unique<ZltpPirChannel>(std::move(*code_session)),
-      std::make_unique<ZltpPirChannel>(std::move(*data_session)), bconfig);
+      std::make_unique<ZltpChannel>(
+          std::make_unique<zltp::PirSession>(std::move(*code_session))),
+      std::make_unique<ZltpChannel>(
+          std::make_unique<zltp::PirSession>(std::move(*data_session))),
+      bconfig);
 
   auto page = browser.Visit("a.example/anything");
   EXPECT_FALSE(page.ok());
   EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureInjection, PageLoadSurvivesMidLoadServerCrash) {
+  // The acceptance scenario from docs/ROBUSTNESS.md: one of the data
+  // servers drops the connection in the middle of a page load; the session
+  // redials, re-runs the hello, re-issues the batch with fresh DPF shares,
+  // and the browser sees a page load that simply succeeded.
+  using namespace lightweb;
+  UniverseConfig config;
+  config.name = "blippy";
+  config.code_domain_bits = 10;
+  config.code_blob_size = 4096;
+  config.data_domain_bits = 12;
+  config.data_blob_size = 256;
+  config.fetches_per_page = 2;
+  Universe universe(config);
+  Publisher pub("p");
+  SiteBuilder site("a.example");
+  site.AddRoute("/*rest", {"a.example/data.json"}, "{{data0.x}}");
+  ASSERT_TRUE(pub.PublishSite(universe, site).ok());
+  json::Object blob;
+  blob["x"] = "y";
+  ASSERT_TRUE(pub.PublishData(universe, "a.example/data.json",
+                              json::Value(blob)).ok());
+
+  zltp::ZltpPirServer code0(universe.code_store(), 0);
+  zltp::ZltpPirServer code1(universe.code_store(), 1);
+  zltp::ZltpPirServer data0(universe.data_store(), 0);
+  zltp::ZltpPirServer data1(universe.data_store(), 1);
+  auto dial = [](zltp::ZltpPirServer& s) -> net::TransportFactory {
+    return [&s]() -> Result<std::unique_ptr<net::Transport>> {
+      net::TransportPair p = net::CreateInMemoryPair();
+      s.ServeConnectionDetached(std::move(p.b));
+      return std::move(p.a);
+    };
+  };
+
+  FakeClock fake;
+  auto connect = [&](zltp::ZltpPirServer& s0, zltp::ZltpPirServer& s1,
+                     bool first_connection_dies) {
+    zltp::EstablishOptions options;
+    options.factory0 = dial(s0);
+    options.factory1 = dial(s1);
+    if (first_connection_dies) {
+      net::TransportFactory inner = options.factory0;
+      auto dials = std::make_shared<std::atomic<int>>(0);
+      options.factory0 =
+          [inner, dials]() -> Result<std::unique_ptr<net::Transport>> {
+        LW_ASSIGN_OR_RETURN(std::unique_ptr<net::Transport> t, inner());
+        if (dials->fetch_add(1) == 0) {
+          // Hello (2 ops) plus one mid-batch send survive, then crash.
+          return std::unique_ptr<net::Transport>(
+          std::make_unique<net::DyingTransport>(std::move(t), 3));
+        }
+        return t;
+      };
+    }
+    options.retry.max_attempts = 3;
+    options.retry.jitter = 0.0;
+    options.clock = &fake;
+    return zltp::PirSession::Establish(std::move(options));
+  };
+
+  auto code_session = connect(code0, code1, false);
+  auto data_session = connect(data0, data1, /*first_connection_dies=*/true);
+  ASSERT_TRUE(code_session.ok()) << code_session.status().ToString();
+  ASSERT_TRUE(data_session.ok()) << data_session.status().ToString();
+
+  BrowserConfig bconfig;
+  bconfig.fetches_per_page = universe.fetches_per_page();
+  auto data_channel = std::make_unique<ZltpChannel>(
+      std::make_unique<zltp::PirSession>(std::move(*data_session)));
+  zltp::Session& data_ref = data_channel->session();
+  Browser browser(
+      std::make_unique<ZltpChannel>(
+          std::make_unique<zltp::PirSession>(std::move(*code_session))),
+      std::move(data_channel), bconfig);
+
+  auto page = browser.Visit("a.example/anything");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_NE(page->text.find("y"), std::string::npos);
+  EXPECT_GE(data_ref.traffic().redials, 1u)
+      << "the blip must have been recovered by a redial, not avoided";
+  EXPECT_GE(data_ref.traffic().retries, 1u);
 }
 
 }  // namespace

@@ -142,7 +142,9 @@ TEST(FrontEnd, FullClientSessionAgainstShardedDeployment) {
   frontend0.ServeConnectionDetached(std::move(c0.b));
   frontend1.ServeConnectionDetached(std::move(c1.b));
 
-  auto session = PirSession::Establish(std::move(c0.a), std::move(c1.a));
+  auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(c0.a), std::move(c1.a)));
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   EXPECT_EQ(session->domain_bits(), 12);
 

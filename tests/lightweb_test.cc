@@ -497,7 +497,10 @@ TEST(BrowserOverZltp, FullStackWithNetworkedSessions) {
     net::TransportPair p1 = net::CreateInMemoryPair();
     s0.ServeConnectionDetached(std::move(p0.b));
     s1.ServeConnectionDetached(std::move(p1.b));
-    return zltp::PirSession::Establish(std::move(p0.a), std::move(p1.a));
+    zltp::EstablishOptions options;
+    options.transport0 = std::move(p0.a);
+    options.transport1 = std::move(p1.a);
+    return zltp::PirSession::Establish(std::move(options));
   };
   auto code_session = connect(code0, code1);
   auto data_session = connect(data0, data1);
@@ -506,9 +509,11 @@ TEST(BrowserOverZltp, FullStackWithNetworkedSessions) {
 
   BrowserConfig config;
   config.fetches_per_page = universe.fetches_per_page();
-  Browser browser(
-      std::make_unique<ZltpPirChannel>(std::move(*code_session)),
-      std::make_unique<ZltpPirChannel>(std::move(*data_session)), config);
+  Browser browser(std::make_unique<ZltpChannel>(std::make_unique<zltp::PirSession>(
+                      std::move(*code_session))),
+                  std::make_unique<ZltpChannel>(std::make_unique<zltp::PirSession>(
+                      std::move(*data_session))),
+                  config);
 
   auto page = browser.Visit("planet.com/world/africa");
   ASSERT_TRUE(page.ok()) << page.status().ToString();

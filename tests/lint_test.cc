@@ -139,6 +139,25 @@ TEST(Lwlint, MetricLabelFromRequestData) {
       << "literal and kConstant names, and the allow hatch, must not fire";
 }
 
+TEST(Lwlint, ReceiveWithoutDeadlineOutsideNet) {
+  const auto findings =
+      LintFixture("receive_deadline.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "receive-without-deadline", 13))
+      << "bare t.Receive()";
+  EXPECT_TRUE(HasFinding(findings, "receive-without-deadline", 17))
+      << "bare t->Receive()";
+  EXPECT_EQ(FindingsFor(findings, "receive-without-deadline").size(), 2u)
+      << "deadline-passing calls and the long-poll allow must not fire";
+}
+
+TEST(Lwlint, ReceiveWithoutDeadlineExemptInsideNet) {
+  // src/net defines the convenience overload itself; the rule is for its
+  // callers, not the transport layer.
+  const auto findings =
+      LintFixture("receive_deadline.cc", "src/net/fixture.cc");
+  EXPECT_TRUE(FindingsFor(findings, "receive-without-deadline").empty());
+}
+
 TEST(Lwlint, VarTimeLoopIsCryptoOnly) {
   const auto findings =
       LintFixture("var_time_loop.cc", "src/zltp/fixture.cc");
@@ -183,7 +202,7 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
   for (const char* name :
        {"ct_compare.cc", "secret_index.cc", "insecure_rand.cc",
         "naked_new.cc", "unchecked_result.cc", "var_time_loop.cc",
-        "allow_escape.cc", "metric_label.cc"}) {
+        "allow_escape.cc", "metric_label.cc", "receive_deadline.cc"}) {
     auto f = LintFixture(name, std::string("src/crypto/") + name);
     all.insert(all.end(), f.begin(), f.end());
   }

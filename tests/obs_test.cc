@@ -357,7 +357,9 @@ TEST(EndToEnd, PirRoundTripPopulatesServingMetrics) {
     server0.ServeConnectionDetached(std::move(p0.b));
     server1.ServeConnectionDetached(std::move(p1.b));
     auto session =
-        zltp::PirSession::Establish(std::move(p0.a), std::move(p1.a));
+        zltp::PirSession::Establish(
+            zltp::EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
     ASSERT_TRUE(session.ok()) << session.status().ToString();
     auto value = session->PrivateGet("obs.example/page");
     ASSERT_TRUE(value.ok()) << value.status().ToString();

@@ -307,7 +307,9 @@ class PirSessionTest : public ::testing::Test {
     net::TransportPair p1 = net::CreateInMemoryPair();
     server0_.ServeConnectionDetached(std::move(p0.b));
     server1_.ServeConnectionDetached(std::move(p1.b));
-    return PirSession::Establish(std::move(p0.a), std::move(p1.a));
+    return PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
   }
 
   PirStore store_;
@@ -400,7 +402,9 @@ TEST(PirSessionErrors, BothConnectionsSameRoleRejected) {
   net::TransportPair p1 = net::CreateInMemoryPair();
   server0.ServeConnectionDetached(std::move(p0.b));
   server0.ServeConnectionDetached(std::move(p1.b));  // same role twice!
-  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
   EXPECT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -414,7 +418,9 @@ TEST(PirSessionErrors, MismatchedUniversesRejected) {
   net::TransportPair p1 = net::CreateInMemoryPair();
   server0.ServeConnectionDetached(std::move(p0.b));
   server1.ServeConnectionDetached(std::move(p1.b));
-  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
   EXPECT_FALSE(session.ok());
 }
 
@@ -448,7 +454,7 @@ TEST(EnclaveSessionTest, EndToEnd) {
   net::TransportPair p = net::CreateInMemoryPair();
   server.ServeConnectionDetached(std::move(p.b));
 
-  auto session = EnclaveSession::Establish(std::move(p.a));
+  auto session = EnclaveSession::Establish(EstablishOptions::FromTransports(std::move(p.a)));
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   auto value = session->PrivateGet("wiki/Uganda");
   ASSERT_TRUE(value.ok()) << value.status().ToString();
@@ -525,7 +531,9 @@ TEST(PirBatchCoBatching, PipelinedRequestsShareServerScans) {
   net::TransportPair p1 = net::CreateInMemoryPair();
   server0.ServeConnectionDetached(std::move(p0.b));
   server1.ServeConnectionDetached(std::move(p1.b));
-  auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+  auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
   ASSERT_TRUE(session.ok());
 
   std::vector<std::string> keys;
@@ -564,7 +572,9 @@ TEST(PirThreaded, RoundTripThroughWorkerPool) {
     net::TransportPair p1 = net::CreateInMemoryPair();
     server0.ServeConnectionDetached(std::move(p0.b));
     server1.ServeConnectionDetached(std::move(p1.b));
-    auto session = PirSession::Establish(std::move(p0.a), std::move(p1.a));
+    auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(p0.a), std::move(p1.a)));
     ASSERT_TRUE(session.ok()) << session.status().ToString();
     for (const auto& key : published) {
       auto value = session->PrivateGet(key);
@@ -604,7 +614,9 @@ TEST(TcpSessionTest, PirOverRealSockets) {
   ASSERT_TRUE(t0.ok() && t1.ok());
   acceptor.join();
 
-  auto session = PirSession::Establish(std::move(*t0), std::move(*t1));
+  auto session = PirSession::Establish(
+      EstablishOptions::FromTransports(
+      std::move(*t0), std::move(*t1)));
   ASSERT_TRUE(session.ok()) << session.status().ToString();
   EXPECT_EQ(ToString(session->PrivateGet("tcp-page").value()),
             "over the wire");

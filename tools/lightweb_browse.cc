@@ -6,6 +6,7 @@
 // a path, a link number from the last page, or 'q'.
 //
 // Usage:  lightweb_browse <host> <base_port> [path]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -22,11 +23,20 @@ using namespace lw;
 
 Result<zltp::PirSession> ConnectPair(const std::string& host, int port0,
                                      int port1) {
-  LW_ASSIGN_OR_RETURN(auto t0, net::TcpConnect(host,
-                                static_cast<std::uint16_t>(port0)));
-  LW_ASSIGN_OR_RETURN(auto t1, net::TcpConnect(host,
-                                static_cast<std::uint16_t>(port1)));
-  return zltp::PirSession::Establish(std::move(t0), std::move(t1));
+  // Dial via factories so the session can redial and retry (with fresh DPF
+  // shares) if a CDN node blips mid-browse.
+  const auto dial = [&host](int port) -> net::TransportFactory {
+    return [host, port] {
+      return net::TcpConnect(host, static_cast<std::uint16_t>(port));
+    };
+  };
+  zltp::EstablishOptions options;
+  options.factory0 = dial(port0);
+  options.factory1 = dial(port1);
+  options.hello_timeout = std::chrono::seconds(5);
+  options.op_timeout = std::chrono::seconds(10);
+  options.retry.max_attempts = 3;
+  return zltp::PirSession::Establish(std::move(options));
 }
 
 void Render(const lightweb::RenderedPage& page) {
@@ -70,8 +80,10 @@ int main(int argc, char** argv) {
   lightweb::BrowserConfig config;
   config.fetches_per_page = 5;  // must match the served universe
   lightweb::Browser browser(
-      std::make_unique<lightweb::ZltpPirChannel>(std::move(*code_session)),
-      std::make_unique<lightweb::ZltpPirChannel>(std::move(*data_session)),
+      std::make_unique<lightweb::ZltpChannel>(
+          std::make_unique<zltp::PirSession>(std::move(*code_session))),
+      std::make_unique<lightweb::ZltpChannel>(
+          std::make_unique<zltp::PirSession>(std::move(*data_session))),
       config);
 
   std::vector<lightweb::PageLink> last_links;

@@ -20,6 +20,7 @@ const char kNakedNew[] = "naked-new";
 const char kUncheckedResult[] = "unchecked-result";
 const char kVarTimeLoop[] = "var-time-loop";
 const char kMetricLabelFromRequest[] = "metric-label-from-request";
+const char kReceiveWithoutDeadline[] = "receive-without-deadline";
 
 // Files exempt from secret-index: the software AES fallback is a table
 // cipher (kSbox[state[i]] is its definition); the AES-NI path used in
@@ -152,6 +153,10 @@ bool IsCryptoFile(const std::string& path) {
   return path.find("src/crypto/") != std::string::npos;
 }
 
+bool IsNetFile(const std::string& path) {
+  return path.find("src/net/") != std::string::npos;
+}
+
 // True if `text` contains an identifier carrying a secret token (and not a
 // known-benign word like "keyword").
 bool HasSecretIdentifier(const std::string& text) {
@@ -217,6 +222,7 @@ class Linter {
 
   std::vector<Finding> Run() {
     const bool crypto = IsCryptoFile(path_);
+    const bool net = IsNetFile(path_);
     bool secret_index_whitelisted = false;
     for (const char* wl : kSecretIndexWhitelist) {
       if (EndsWithPath(path_, wl)) secret_index_whitelisted = true;
@@ -232,6 +238,7 @@ class Linter {
       CheckMemcmp(ln, code);
       CheckUncheckedResult(ln, code);
       CheckMetricLabel(ln, code);
+      if (!net) CheckReceiveDeadline(ln, code);
       if (!secret_index_whitelisted) CheckSecretIndex(ln, code, crypto);
       if (crypto) {
         CheckCtEquality(ln, code);
@@ -375,6 +382,21 @@ class Linter {
     }
   }
 
+  void CheckReceiveDeadline(std::size_t ln, const std::string& code) {
+    // Outside the transport layer every Receive must name a deadline, even
+    // if it is Deadline::Infinite() — an unbounded read should be a visible,
+    // deliberate decision (docs/ROBUSTNESS.md), not the default a hung peer
+    // exploits. The one sanctioned exception is the server's long-poll on
+    // the batcher loop, which carries an allow annotation.
+    static const std::regex kBareReceive(R"((\.|->)\s*Receive\s*\(\s*\))");
+    if (std::regex_search(code, kBareReceive)) {
+      Report(ln, kReceiveWithoutDeadline,
+             "Receive() with no deadline blocks forever on a hung peer; pass "
+             "a net::Deadline (Deadline::Infinite() if waiting forever is "
+             "truly intended) — see docs/ROBUSTNESS.md");
+    }
+  }
+
   void CheckUncheckedResult(std::size_t ln, const std::string& code) {
     static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
     if (!std::regex_search(code, kValue)) return;
@@ -476,7 +498,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       kCtCompare,       kSecretIndex,     kInsecureRand,
       kNakedNew,        kUncheckedResult, kVarTimeLoop,
-      kMetricLabelFromRequest,
+      kMetricLabelFromRequest,            kReceiveWithoutDeadline,
   };
   return kRules;
 }

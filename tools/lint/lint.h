@@ -15,6 +15,14 @@
 //                    ok() check / LW_CHECK / assertion nearby.
 //   var-time-loop    early exits (break/return) or secret-dependent bounds
 //                    in loops inside src/crypto.
+//   metric-label-from-request
+//                    metric names/labels built from request-derived data;
+//                    telemetry must be aggregate-only (literal names).
+//   receive-without-deadline
+//                    Transport::Receive() with no deadline argument outside
+//                    src/net; unbounded reads must name Deadline::Infinite()
+//                    explicitly (or carry an allow for the batcher
+//                    long-poll) — see docs/ROBUSTNESS.md.
 //
 // Escape hatch: a comment `lwlint: allow(rule)` (comma-separate several
 // rules) on the offending line or the line directly above suppresses the

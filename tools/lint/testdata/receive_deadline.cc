@@ -1,0 +1,33 @@
+// lwlint fixture: receive-without-deadline true/false positives.
+
+struct FakeDeadline {
+  static FakeDeadline Infinite();
+};
+
+struct FakeTransport {
+  int Receive();
+  int Receive(const FakeDeadline& deadline);
+};
+
+int BadBareReceive(FakeTransport& t) {
+  return t.Receive();  // line 13: no deadline
+}
+
+int BadBareReceiveThroughPointer(FakeTransport* t) {
+  return t->Receive();  // line 17: no deadline
+}
+
+int ExplicitDeadlineIsFine(FakeTransport& t, const FakeDeadline& d) {
+  return t.Receive(d);  // no finding: deadline passed
+}
+
+int ExplicitInfiniteIsFine(FakeTransport& t) {
+  // Waiting forever is allowed when it is spelled out.
+  return t.Receive(FakeDeadline::Infinite());  // no finding
+}
+
+int AllowedLongPoll(FakeTransport& t) {
+  // The batcher's long-poll escape hatch.
+  // lwlint: allow(receive-without-deadline)
+  return t.Receive();  // no finding: allowed on the line above
+}
