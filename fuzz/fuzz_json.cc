@@ -1,0 +1,10 @@
+// libFuzzer harness for the json decoder target (see fuzz/targets.h).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return lw::fuzz::FuzzJson(data, size);
+}

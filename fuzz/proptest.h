@@ -1,0 +1,110 @@
+// Minimal property-based testing helper for the decoder surfaces.
+//
+// A property test draws random inputs from a seeded lw::Rng (so every run is
+// reproducible), checks a boolean property, and — when the property fails —
+// greedily minimizes the failing byte string before reporting it, so the
+// counterexample that lands in a test log (and then in fuzz/corpus/ as a
+// regression input) is small enough to reason about.
+//
+// Usage, from a gtest:
+//
+//   proptest::Config cfg;
+//   auto cex = proptest::FindCounterexample(
+//       cfg,
+//       [](Rng& rng) { return /* Bytes */ GenerateInput(rng); },
+//       [](const Bytes& input) { return /* bool */ HoldsFor(input); });
+//   EXPECT_FALSE(cex.has_value()) << proptest::Describe(*cex);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/hex.h"
+#include "util/rand.h"
+
+namespace lw::proptest {
+
+struct Config {
+  int iterations = 300;
+  std::uint64_t seed = 0xC0FFEE;
+  // Bound on shrink attempts; greedy chunk-removal plus byte-lowering
+  // converges long before this for any realistic input.
+  int max_shrink_steps = 4096;
+};
+
+// Greedy minimizer: repeatedly (a) deletes chunks (halves down to single
+// bytes) and (b) lowers bytes toward zero, keeping any change that still
+// fails the property. The result is 1-minimal w.r.t. chunk deletion.
+template <typename PropFn>
+Bytes Shrink(const Config& cfg, Bytes failing, PropFn prop) {
+  int steps = 0;
+  bool progress = true;
+  while (progress && steps < cfg.max_shrink_steps) {
+    progress = false;
+    // Chunk deletion, large chunks first.
+    for (std::size_t chunk = failing.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t off = 0; off + chunk <= failing.size();) {
+        Bytes candidate;
+        candidate.reserve(failing.size() - chunk);
+        candidate.insert(candidate.end(), failing.begin(),
+                         failing.begin() + static_cast<std::ptrdiff_t>(off));
+        candidate.insert(
+            candidate.end(),
+            failing.begin() + static_cast<std::ptrdiff_t>(off + chunk),
+            failing.end());
+        ++steps;
+        if (!prop(candidate)) {
+          failing = std::move(candidate);
+          progress = true;  // offsets shift; retry same position
+        } else {
+          off += chunk;
+        }
+        if (steps >= cfg.max_shrink_steps) return failing;
+      }
+      if (chunk == 1) break;
+    }
+    // Byte lowering (0, then halving toward the current value).
+    for (std::size_t i = 0; i < failing.size(); ++i) {
+      for (std::uint8_t v : {std::uint8_t{0}, std::uint8_t{1},
+                             static_cast<std::uint8_t>(failing[i] / 2)}) {
+        if (v >= failing[i]) continue;
+        Bytes candidate = failing;
+        candidate[i] = v;
+        ++steps;
+        if (!prop(candidate)) {
+          failing = std::move(candidate);
+          progress = true;
+          break;
+        }
+        if (steps >= cfg.max_shrink_steps) return failing;
+      }
+    }
+  }
+  return failing;
+}
+
+// Runs `prop` on `cfg.iterations` inputs drawn from `gen`. Returns the
+// minimized first counterexample, or nullopt when every iteration passed.
+template <typename GenFn, typename PropFn>
+std::optional<Bytes> FindCounterexample(const Config& cfg, GenFn gen,
+                                        PropFn prop) {
+  Rng rng(cfg.seed);
+  for (int i = 0; i < cfg.iterations; ++i) {
+    Bytes input = gen(rng);
+    if (prop(input)) continue;
+    return Shrink(cfg, std::move(input), prop);
+  }
+  return std::nullopt;
+}
+
+// Human-readable report line for a counterexample ("repro: feed these bytes
+// to the decoder / check them into fuzz/corpus/<target>/").
+inline std::string Describe(const Bytes& cex) {
+  return "minimal counterexample (" + std::to_string(cex.size()) +
+         " bytes, hex): " + HexEncode(cex);
+}
+
+}  // namespace lw::proptest

@@ -1,0 +1,64 @@
+#include "fuzz/replay.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "fuzz/targets.h"
+#include "util/bytes.h"
+#include "util/file.h"
+
+namespace lw::fuzz {
+
+Result<ReplayStats> ReplayCorpus(const std::string& corpus_root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(corpus_root, ec)) {
+    return InvalidArgumentError("corpus root is not a directory: " +
+                                corpus_root);
+  }
+
+  ReplayStats stats;
+  std::vector<std::string> covered;
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(corpus_root, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());
+
+  for (const fs::path& dir : dirs) {
+    const std::string name = dir.filename().string();
+    const TargetFn target = FindTarget(name);
+    if (target == nullptr) {
+      return InvalidArgumentError("corpus directory names no fuzz target: " +
+                                  name);
+    }
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      return FailedPreconditionError("empty corpus for target: " + name);
+    }
+    for (const fs::path& file : files) {
+      LW_ASSIGN_OR_RETURN(const std::string contents,
+                          ReadFileToString(file.string()));
+      const Bytes bytes = ToBytes(contents);
+      target(bytes.data(), bytes.size());
+      ++stats.inputs;
+    }
+    covered.push_back(name);
+    ++stats.targets;
+  }
+
+  for (const Target& t : AllTargets()) {
+    if (std::find(covered.begin(), covered.end(), t.name) == covered.end()) {
+      return FailedPreconditionError(
+          std::string("target has no corpus directory: ") + t.name);
+    }
+  }
+  return stats;
+}
+
+}  // namespace lw::fuzz

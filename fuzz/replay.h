@@ -1,0 +1,26 @@
+// Deterministic corpus replay: runs every checked-in input under
+// fuzz/corpus/<target>/ through its target, without libFuzzer. This is what
+// the tier-1 ctest `fuzz.replay` and tests/fuzz_replay_test.cc execute, so
+// regression inputs keep guarding the decoders on every build and compiler.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace lw::fuzz {
+
+struct ReplayStats {
+  std::size_t targets = 0;  // corpus subdirectories replayed
+  std::size_t inputs = 0;   // files fed to targets
+};
+
+// Replays every file under `corpus_root`/<target>/. Fails if the root is
+// missing, a subdirectory names no known target, a file cannot be read, or
+// any of the six targets has no corpus (an empty corpus silently stops
+// guarding its decoder). Crashing inputs abort the process — that is the
+// point: the minimized input gets checked in and must stay green forever.
+Result<ReplayStats> ReplayCorpus(const std::string& corpus_root);
+
+}  // namespace lw::fuzz

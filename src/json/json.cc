@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/check.h"
 
@@ -19,7 +20,15 @@ double Value::AsNumber() const {
 }
 
 std::int64_t Value::AsInt() const {
-  return static_cast<std::int64_t>(AsNumber());
+  const double d = AsNumber();
+  // Casting a double outside int64's range is undefined behaviour, and
+  // programmatically built values can hold any double; saturate instead.
+  // 2^63 is exactly representable, so `d < 2^63` is the precise upper test.
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (std::isnan(d)) return 0;
+  if (d >= kTwo63) return std::numeric_limits<std::int64_t>::max();
+  if (d < -kTwo63) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(d);
 }
 
 const std::string& Value::AsString() const {
@@ -453,7 +462,14 @@ class Parser {
       }
     }
     const std::string num(text_.substr(start, pos_ - start));
-    return Value(std::strtod(num.c_str(), nullptr));
+    const double d = std::strtod(num.c_str(), nullptr);
+    // A huge exponent overflows strtod to ±inf, which JSON cannot represent
+    // (the writer would re-serialize it as null, breaking the canonical
+    // parse→write→parse fixpoint). Underflow to 0 is fine.
+    if (!std::isfinite(d)) {
+      return Error("number out of range for double");
+    }
+    return Value(d);
   }
 
   std::string_view text_;

@@ -27,11 +27,20 @@ using internal::TemplateNode;
 
 // ------------------------------------------------------- template parsing
 
+// Section nesting bound: the parser (and the renderer walking its AST)
+// recurses once per open {{#each}}/{{#if}} section, and code blobs are
+// attacker-supplied, so an unbounded depth is a remote stack overflow.
+constexpr int kMaxTemplateDepth = 64;
+
 struct TemplateParser {
   std::string_view text;
   std::size_t pos = 0;
 
-  Result<std::unique_ptr<TemplateNode>> ParseSequence(bool expect_close) {
+  Result<std::unique_ptr<TemplateNode>> ParseSequence(bool expect_close,
+                                                      int depth = 0) {
+    if (depth > kMaxTemplateDepth) {
+      return InvalidArgumentError("template sections nested too deep");
+    }
     auto seq = std::make_unique<TemplateNode>();
     seq->kind = TemplateNode::Kind::kSequence;
     std::string literal;
@@ -59,7 +68,7 @@ struct TemplateParser {
           auto node = std::make_unique<TemplateNode>();
           node->kind = TemplateNode::Kind::kEach;
           node->text = Trim(tag.substr(6));
-          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true));
+          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true, depth + 1));
           node->children = std::move(body->children);
           seq->children.push_back(std::move(node));
         } else if (tag.starts_with("#if ") || tag.starts_with("^if ")) {
@@ -68,7 +77,7 @@ struct TemplateParser {
           node->kind = TemplateNode::Kind::kIf;
           node->inverted = tag.front() == '^';
           node->text = Trim(tag.substr(4));
-          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true));
+          LW_ASSIGN_OR_RETURN(auto body, ParseSequence(true, depth + 1));
           node->children = std::move(body->children);
           seq->children.push_back(std::move(node));
         } else if (tag.starts_with("/")) {

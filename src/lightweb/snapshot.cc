@@ -60,6 +60,8 @@ Status LoadUniverseSnapshot(Universe& universe, std::string_view snapshot) {
           static_cast<double>(config.data_blob_size) ||
       doc.GetNumber("config.code_blob_size") !=
           static_cast<double>(config.code_blob_size) ||
+      doc.GetNumber("config.data_domain_bits") != config.data_domain_bits ||
+      doc.GetNumber("config.code_domain_bits") != config.code_domain_bits ||
       doc.GetNumber("config.fetches_per_page") != config.fetches_per_page) {
     return FailedPreconditionError(
         "target universe configuration does not match snapshot");

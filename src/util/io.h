@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
 #include "util/bytes.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace lw {
@@ -35,12 +37,19 @@ class Writer {
   }
   void Raw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
 
-  // Length-prefixed byte field.
+  // Length-prefixed byte field. The prefix is a u32, so a field of 4 GiB or
+  // more cannot be represented; silently truncating the length would make
+  // the peer mis-frame everything that follows, so an oversized field is an
+  // invariant violation at the writer, never on the wire.
   void LengthPrefixed(ByteSpan b) {
+    LW_CHECK_MSG(b.size() <= std::numeric_limits<std::uint32_t>::max(),
+                 "length-prefixed field exceeds u32 length prefix");
     U32(static_cast<std::uint32_t>(b.size()));
     Raw(b);
   }
   void String(std::string_view s) {
+    LW_CHECK_MSG(s.size() <= std::numeric_limits<std::uint32_t>::max(),
+                 "string field exceeds u32 length prefix");
     U32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }

@@ -1,5 +1,6 @@
 #include "zltp/messages.h"
 
+#include "dpf/dpf.h"
 #include "util/io.h"
 
 namespace lw::zltp {
@@ -75,9 +76,20 @@ Result<ServerHello> DecodeServerHello(const net::Frame& f) {
   LW_ASSIGN_OR_RETURN(m.server_role, r.U8());
   if (m.server_role > 1) return ProtocolError("server role must be 0 or 1");
   LW_ASSIGN_OR_RETURN(m.domain_bits, r.U8());
+  // 0 is legitimate in enclave mode (no PIR domain); anything above the DPF
+  // bound would later size allocations as 2^d.
+  if (m.domain_bits > dpf::kMaxDomainBits) {
+    return ProtocolError("server hello domain_bits out of range");
+  }
   LW_ASSIGN_OR_RETURN(m.record_size, r.U32());
   LW_ASSIGN_OR_RETURN(m.keyword_seed, r.LengthPrefixed());
+  if (!m.keyword_seed.empty() && m.keyword_seed.size() != dpf::kSeedSize) {
+    return ProtocolError("keyword seed must be empty or 16 bytes");
+  }
   LW_ASSIGN_OR_RETURN(m.enclave_public_key, r.LengthPrefixed());
+  if (!m.enclave_public_key.empty() && m.enclave_public_key.size() != 32) {
+    return ProtocolError("enclave public key must be empty or 32 bytes");
+  }
   LW_RETURN_IF_ERROR(r.ExpectEnd());
   return m;
 }

@@ -161,6 +161,29 @@ TEST(Dpf, DeserializeRejectsGarbage) {
   EXPECT_FALSE(DpfKey::Deserialize(wire3).ok());
 }
 
+TEST(Dpf, DeserializeRejectsOutOfRangeDomainBits) {
+  // Pre-fix, domain_bits outside [1, kMaxDomainBits] deserialized fine and
+  // blew up later: 0 made EvalFull return an empty vector others indexed
+  // into, 41+ asked for a 2^41-bit allocation from attacker-chosen input.
+  const Bytes zero_bits(2 + kSeedSize, 0);  // party 0, domain_bits 0, seed
+  EXPECT_FALSE(DpfKey::Deserialize(zero_bits).ok()) << "domain_bits 0";
+
+  Bytes too_big;
+  too_big.push_back(0);   // party
+  too_big.push_back(41);  // domain_bits > kMaxDomainBits
+  too_big.resize(too_big.size() + kSeedSize);          // root seed
+  too_big.resize(too_big.size() + 41 * (kSeedSize + 1));  // 41 CWs
+  EXPECT_FALSE(DpfKey::Deserialize(too_big).ok()) << "domain_bits 41";
+}
+
+TEST(Dpf, DeserializeRejectsBadCorrectionWordBits) {
+  // The per-level t-bit pair packs into 2 bits; anything above 3 means the
+  // bytes were not produced by Serialize().
+  Bytes wire = Generate(3, 4).key0.Serialize();
+  wire[wire.size() - 1] = 4;  // last CW's packed bits
+  EXPECT_FALSE(DpfKey::Deserialize(wire).ok());
+}
+
 TEST(Dpf, GenerateRejectsBadArguments) {
   EXPECT_THROW(Generate(0, 0), InvariantViolation);
   EXPECT_THROW(Generate(0, 99), InvariantViolation);

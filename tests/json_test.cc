@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "json/json.h"
 #include "util/check.h"
@@ -78,6 +79,62 @@ TEST(JsonParse, DepthLimit) {
   std::string shallow(50, '[');
   shallow += std::string(50, ']');
   EXPECT_TRUE(Parse(shallow).ok());
+}
+
+TEST(JsonParse, RejectsHugeExponents) {
+  // Pre-fix these parsed to ±inf, which the writer then serialized as
+  // "null" — silently changing the document on a write/parse roundtrip.
+  EXPECT_FALSE(Parse("1e999").ok());
+  EXPECT_FALSE(Parse("-1e999").ok());
+  EXPECT_FALSE(Parse("[1, 1e400]").ok());
+  // Underflow to zero is representable, not an error.
+  const auto tiny = Parse("1e-999");
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->AsNumber(), 0.0);
+}
+
+TEST(JsonParse, RejectsLoneSurrogates) {
+  EXPECT_FALSE(Parse("\"\\ud800\"").ok()) << "unpaired high surrogate";
+  EXPECT_FALSE(Parse("\"\\udc00\"").ok()) << "lone low surrogate";
+  EXPECT_FALSE(Parse("\"\\ud800\\ud800\"").ok()) << "high followed by high";
+  EXPECT_TRUE(Parse("\"\\ud83d\\ude00\"").ok()) << "valid surrogate pair";
+}
+
+TEST(JsonParse, DepthLimitExactBoundary) {
+  // kMaxDepth nesting must parse; one deeper must not. Pinning the exact
+  // boundary keeps the recursion budget from drifting in either direction.
+  // kMaxDepth = 128 in json.cc; the root value enters ParseValue at depth
+  // 0 and the check is `depth > kMaxDepth`, so 129 nested containers are
+  // the deepest accepted shape.
+  constexpr int kDeepestAccepted = 129;
+  std::string at_limit(kDeepestAccepted, '[');
+  at_limit += std::string(kDeepestAccepted, ']');
+  EXPECT_TRUE(Parse(at_limit).ok());
+  std::string over(kDeepestAccepted + 1, '[');
+  over += std::string(kDeepestAccepted + 1, ']');
+  EXPECT_FALSE(Parse(over).ok());
+}
+
+TEST(JsonParse, NulByteInStringRoundTrips) {
+  const auto v = Parse("\"a\\u0000b\"");
+  ASSERT_TRUE(v.ok());
+  const std::string s = v->AsString();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], '\0');
+  const std::string written = Write(*v);
+  const auto again = Parse(written);
+  ASSERT_TRUE(again.ok()) << written;
+  EXPECT_TRUE(*again == *v);
+}
+
+TEST(JsonValue, AsIntSaturatesOutsideInt64Range) {
+  // Pre-fix this cast was UB for values outside int64's range.
+  EXPECT_EQ(MustParse("9.3e18").AsInt(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(MustParse("-9.3e18").AsInt(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(MustParse("1e308").AsInt(),
+            std::numeric_limits<std::int64_t>::max());
 }
 
 TEST(JsonWrite, Scalars) {

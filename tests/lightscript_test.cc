@@ -257,6 +257,31 @@ TEST(Template, NumbersRenderCleanly) {
             "42/2.5");
 }
 
+std::string DeepIfBlob(int nesting) {
+  std::string tpl;
+  for (int i = 0; i < nesting; ++i) tpl += "{{#if a}}";
+  tpl += "x";
+  for (int i = 0; i < nesting; ++i) tpl += "{{/if}}";
+  return R"({"routes":[{"pattern":"/","fetch":[],"render":")" + tpl +
+         R"("}]})";
+}
+
+TEST(Template, NestingDepthExactBoundary) {
+  // kMaxTemplateDepth nesting parses; one deeper is rejected with a clean
+  // error at CodeProgram::Parse time.
+  constexpr int kMaxTemplateDepth = 64;  // mirrors lightscript.cc
+  EXPECT_TRUE(CodeProgram::Parse(DeepIfBlob(kMaxTemplateDepth)).ok());
+  EXPECT_FALSE(CodeProgram::Parse(DeepIfBlob(kMaxTemplateDepth + 1)).ok());
+}
+
+TEST(Template, PathologicalNestingDoesNotOverflowStack) {
+  // Pre-fix, the recursive-descent template parser had no depth bound, so a
+  // hostile code blob with thousands of nested sections overflowed the
+  // stack (the parser recurses twice per section). Must now error cleanly.
+  const auto p = CodeProgram::Parse(DeepIfBlob(5000));
+  EXPECT_FALSE(p.ok());
+}
+
 TEST(Links, ExtractLinks) {
   const auto links = ExtractLinks(
       "Read [Alpha](planet.com/story/alpha) and "

@@ -116,6 +116,19 @@ TEST(Lwlint, UncheckedResultValueWithoutGuard) {
       << "value() guarded by a nearby ok() must not fire";
 }
 
+TEST(Lwlint, UncheckedReaderDerefDiscardAndGuards) {
+  const auto findings =
+      LintFixture("unchecked_reader.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "unchecked-reader", 5))
+      << "*r.U32() dereferences the Result temporary";
+  EXPECT_TRUE(HasFinding(findings, "unchecked-reader", 9))
+      << "r.LengthPrefixed()->size() reads through the temporary";
+  EXPECT_TRUE(HasFinding(findings, "unchecked-reader", 13))
+      << "r.U16(); discards the read entirely";
+  EXPECT_EQ(FindingsFor(findings, "unchecked-reader").size(), 3u)
+      << "LW_ASSIGN_OR_RETURN and ok()-guarded uses must not fire";
+}
+
 TEST(Lwlint, VarTimeLoopEarlyExitAndSecretBound) {
   const auto findings =
       LintFixture("var_time_loop.cc", "src/crypto/fixture.cc");
@@ -201,8 +214,9 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
   std::vector<Finding> all;
   for (const char* name :
        {"ct_compare.cc", "secret_index.cc", "insecure_rand.cc",
-        "naked_new.cc", "unchecked_result.cc", "var_time_loop.cc",
-        "allow_escape.cc", "metric_label.cc", "receive_deadline.cc"}) {
+        "naked_new.cc", "unchecked_result.cc", "unchecked_reader.cc",
+        "var_time_loop.cc", "allow_escape.cc", "metric_label.cc",
+        "receive_deadline.cc"}) {
     auto f = LintFixture(name, std::string("src/crypto/") + name);
     all.insert(all.end(), f.begin(), f.end());
   }

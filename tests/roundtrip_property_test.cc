@@ -1,0 +1,380 @@
+// Property-based tests over the decoder surfaces (fuzz/proptest.h):
+// encode→decode→re-encode roundtrips, decode-never-crashes over random
+// bytes, and the minimizing reporter itself. The properties mirror the
+// LW_CHECK invariants inside fuzz/targets.cc, so anything a fuzzer would
+// flag as a crash fails here as a returned (minimized) counterexample.
+
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dpf/dpf.h"
+#include "fuzz/proptest.h"
+#include "fuzz/targets.h"
+#include "json/json.h"
+#include "net/transport.h"
+#include "util/check.h"
+#include "util/hex.h"
+#include "util/io.h"
+#include "zltp/messages.h"
+
+namespace lw {
+namespace {
+
+// Wraps a fuzz target as a boolean property: LW_CHECK failures inside the
+// target (roundtrip invariant violations) become counterexamples instead of
+// process aborts.
+bool TargetHolds(fuzz::TargetFn target, const Bytes& input) {
+  try {
+    return target(input.data(), input.size()) == 0;
+  } catch (const InvariantViolation&) {
+    return false;
+  }
+}
+
+Bytes RandomBytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.UniformInt(max_len + 1));
+  rng.Fill(MutableByteSpan(out.data(), out.size()));
+  return out;
+}
+
+// ---------------------------------------------------------------- decoders
+// decode-never-crashes + accepted-implies-roundtrip, via the fuzz targets.
+
+TEST(DecoderProperty, AllTargetsTotalOverRandomBytes) {
+  for (const fuzz::Target& t : fuzz::AllTargets()) {
+    proptest::Config cfg;
+    cfg.iterations = 200;
+    const auto cex = proptest::FindCounterexample(
+        cfg, [](Rng& rng) { return RandomBytes(rng, 96); },
+        [&](const Bytes& input) { return TargetHolds(t.fn, input); });
+    EXPECT_FALSE(cex.has_value())
+        << "target " << t.name << ": " << proptest::Describe(*cex);
+  }
+}
+
+TEST(DecoderProperty, ZltpStructuredFramesRoundTrip) {
+  proptest::Config cfg;
+  const auto cex = proptest::FindCounterexample(
+      cfg,
+      [](Rng& rng) {
+        // A structurally valid message of a random type, encoded, with the
+        // FuzzZltp type-selector byte prepended (type = 1 + selector % 5).
+        net::Frame f;
+        switch (rng.UniformInt(5)) {
+          case 0: {
+            zltp::ClientHello m;
+            m.version = static_cast<std::uint16_t>(rng.UniformInt(1 << 16));
+            const int n = static_cast<int>(rng.UniformInt(4));
+            for (int i = 0; i < n; ++i) {
+              m.supported_modes.push_back(rng.UniformInt(2) == 0
+                                              ? zltp::Mode::kTwoServerPir
+                                              : zltp::Mode::kEnclave);
+            }
+            f = zltp::Encode(m);
+            break;
+          }
+          case 1: {
+            zltp::ServerHello m;
+            m.version = static_cast<std::uint16_t>(rng.UniformInt(1 << 16));
+            m.mode = rng.UniformInt(2) == 0 ? zltp::Mode::kTwoServerPir
+                                            : zltp::Mode::kEnclave;
+            m.server_role = static_cast<std::uint8_t>(rng.UniformInt(2));
+            m.domain_bits = static_cast<std::uint8_t>(rng.UniformInt(41));
+            m.record_size = static_cast<std::uint32_t>(rng.Next());
+            if (rng.UniformInt(2) == 0) {
+              m.keyword_seed.resize(dpf::kSeedSize);
+              rng.Fill(MutableByteSpan(m.keyword_seed.data(),
+                                       m.keyword_seed.size()));
+            }
+            if (rng.UniformInt(2) == 0) {
+              m.enclave_public_key.resize(32);
+              rng.Fill(MutableByteSpan(m.enclave_public_key.data(),
+                                       m.enclave_public_key.size()));
+            }
+            f = zltp::Encode(m);
+            break;
+          }
+          case 2: {
+            zltp::GetRequest m;
+            m.request_id = static_cast<std::uint32_t>(rng.Next());
+            m.body.resize(rng.UniformInt(48));
+            rng.Fill(MutableByteSpan(m.body.data(), m.body.size()));
+            f = zltp::Encode(m);
+            break;
+          }
+          case 3: {
+            zltp::GetResponse m;
+            m.request_id = static_cast<std::uint32_t>(rng.Next());
+            m.body.resize(rng.UniformInt(48));
+            rng.Fill(MutableByteSpan(m.body.data(), m.body.size()));
+            f = zltp::Encode(m);
+            break;
+          }
+          default: {
+            zltp::ErrorMsg m;
+            m.code = static_cast<StatusCode>(rng.UniformInt(
+                static_cast<std::uint64_t>(StatusCode::kDeadlineExceeded) + 1));
+            const std::size_t n = rng.UniformInt(24);
+            for (std::size_t i = 0; i < n; ++i) {
+              m.message.push_back(
+                  static_cast<char>('a' + rng.UniformInt(26)));
+            }
+            f = zltp::Encode(m);
+            break;
+          }
+        }
+        Bytes input;
+        input.push_back(static_cast<std::uint8_t>(f.type - 1));
+        input.insert(input.end(), f.payload.begin(), f.payload.end());
+        return input;
+      },
+      [](const Bytes& input) {
+        if (input.empty()) return true;  // shrunk candidates may be empty
+        if (!TargetHolds(fuzz::FuzzZltp, input)) return false;
+        // A frame we encoded ourselves must also be *accepted*: prepending
+        // the selector reproduces the frame, so decode must succeed.
+        net::Frame f;
+        f.type = static_cast<std::uint8_t>(1 + input[0] % 5);
+        f.payload.assign(input.begin() + 1, input.end());
+        switch (static_cast<zltp::MsgType>(f.type)) {
+          case zltp::MsgType::kClientHello:
+            return zltp::DecodeClientHello(f).ok();
+          case zltp::MsgType::kServerHello:
+            return zltp::DecodeServerHello(f).ok();
+          case zltp::MsgType::kGetRequest:
+            return zltp::DecodeGetRequest(f).ok();
+          case zltp::MsgType::kGetResponse:
+            return zltp::DecodeGetResponse(f).ok();
+          default:
+            return zltp::DecodeError(f).ok();
+        }
+      });
+  EXPECT_FALSE(cex.has_value()) << proptest::Describe(*cex);
+}
+
+TEST(DecoderProperty, DpfKeySerializeDeserializeIdentity) {
+  // Generate → Serialize → Deserialize must be the identity, and the
+  // deserialized pair must still evaluate to the point function at alpha.
+  Rng rng(0xD9F);
+  for (int i = 0; i < 60; ++i) {
+    const int domain_bits = 1 + static_cast<int>(rng.UniformInt(10));
+    const std::uint64_t alpha =
+        rng.UniformInt(std::uint64_t{1} << domain_bits);
+    const dpf::KeyPair pair = dpf::Generate(alpha, domain_bits);
+    for (const dpf::DpfKey& key : {pair.key0, pair.key1}) {
+      const Bytes wire = key.Serialize();
+      const auto back = dpf::DpfKey::Deserialize(wire);
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      EXPECT_TRUE(*back == key);
+      EXPECT_EQ(back->Serialize(), wire);
+    }
+    const auto key0 = dpf::DpfKey::Deserialize(pair.key0.Serialize());
+    const auto key1 = dpf::DpfKey::Deserialize(pair.key1.Serialize());
+    ASSERT_TRUE(key0.ok() && key1.ok());
+    const dpf::BitVector b0 = dpf::EvalFull(*key0);
+    const dpf::BitVector b1 = dpf::EvalFull(*key1);
+    const std::uint64_t domain = std::uint64_t{1} << domain_bits;
+    for (std::uint64_t x = 0; x < domain; ++x) {
+      const std::uint8_t want = x == alpha ? 1 : 0;
+      ASSERT_EQ(dpf::GetBit(b0, x) ^ dpf::GetBit(b1, x), want)
+          << "alpha=" << alpha << " x=" << x << " d=" << domain_bits;
+    }
+  }
+}
+
+TEST(DecoderProperty, JsonCanonicalWriteIsParseFixpoint) {
+  // Random value trees: write → parse → compare, then write again and
+  // compare bytes (canonical form is a fixpoint).
+  proptest::Config cfg;
+  cfg.iterations = 150;
+  Rng tree_rng(0xBEEF);
+  for (int i = 0; i < cfg.iterations; ++i) {
+    struct Gen {
+      Rng& rng;
+      json::Value Tree(int depth) {
+        switch (rng.UniformInt(depth <= 0 ? 4 : 6)) {
+          case 0: return json::Value(nullptr);
+          case 1: return json::Value(rng.UniformInt(2) == 0);
+          case 2: {
+            // Mix integers and fractions, positive and negative.
+            const double d = rng.UniformInt(2) == 0
+                                 ? static_cast<double>(rng.UniformInt(1000)) -
+                                       500
+                                 : rng.UniformDouble() * 2e9 - 1e9;
+            return json::Value(d);
+          }
+          case 3: {
+            std::string s;
+            const std::size_t n = rng.UniformInt(12);
+            for (std::size_t j = 0; j < n; ++j) {
+              // Include controls, quotes, NULs, and non-ASCII bytes.
+              s.push_back(static_cast<char>(rng.UniformInt(256)));
+            }
+            return json::Value(std::move(s));
+          }
+          case 4: {
+            json::Array a;
+            const std::size_t n = rng.UniformInt(4);
+            for (std::size_t j = 0; j < n; ++j) a.push_back(Tree(depth - 1));
+            return json::Value(std::move(a));
+          }
+          default: {
+            json::Object o;
+            const std::size_t n = rng.UniformInt(4);
+            for (std::size_t j = 0; j < n; ++j) {
+              o["k" + std::to_string(rng.UniformInt(16))] = Tree(depth - 1);
+            }
+            return json::Value(std::move(o));
+          }
+        }
+      }
+    };
+    const json::Value v = Gen{tree_rng}.Tree(3);
+    const std::string once = json::Write(v);
+    const auto parsed = json::Parse(once);
+    ASSERT_TRUE(parsed.ok()) << once << ": " << parsed.status().ToString();
+    EXPECT_TRUE(*parsed == v) << once;
+    EXPECT_EQ(json::Write(*parsed), once);
+  }
+}
+
+TEST(DecoderProperty, HexEncodeDecodeIdentity) {
+  proptest::Config cfg;
+  const auto cex = proptest::FindCounterexample(
+      cfg, [](Rng& rng) { return RandomBytes(rng, 64); },
+      [](const Bytes& input) {
+        const auto decoded = HexDecode(HexEncode(input));
+        return decoded.ok() && *decoded == input;
+      });
+  EXPECT_FALSE(cex.has_value()) << proptest::Describe(*cex);
+}
+
+TEST(DecoderProperty, WriterReaderFieldScriptRoundTrip) {
+  // Write a random field sequence, read it back with the same script.
+  proptest::Config cfg;
+  cfg.iterations = 200;
+  Rng rng(0xD1CE);
+  for (int i = 0; i < cfg.iterations; ++i) {
+    const std::size_t n_fields = rng.UniformInt(8);
+    std::vector<std::uint8_t> script;
+    Writer w;
+    std::vector<std::uint64_t> ints;
+    std::vector<Bytes> blobs;
+    for (std::size_t j = 0; j < n_fields; ++j) {
+      const std::uint8_t op = static_cast<std::uint8_t>(rng.UniformInt(5));
+      script.push_back(op);
+      switch (op) {
+        case 0: {
+          const auto v = static_cast<std::uint8_t>(rng.Next());
+          w.U8(v);
+          ints.push_back(v);
+          break;
+        }
+        case 1: {
+          const auto v = static_cast<std::uint16_t>(rng.Next());
+          w.U16(v);
+          ints.push_back(v);
+          break;
+        }
+        case 2: {
+          const auto v = static_cast<std::uint32_t>(rng.Next());
+          w.U32(v);
+          ints.push_back(v);
+          break;
+        }
+        case 3: {
+          const std::uint64_t v = rng.Next();
+          w.U64(v);
+          ints.push_back(v);
+          break;
+        }
+        default: {
+          Bytes b = RandomBytes(rng, 24);
+          w.LengthPrefixed(b);
+          blobs.push_back(std::move(b));
+          break;
+        }
+      }
+    }
+    Reader r(w.bytes());
+    std::size_t int_at = 0, blob_at = 0;
+    for (const std::uint8_t op : script) {
+      switch (op) {
+        case 0: {
+          const auto v = r.U8();
+          ASSERT_TRUE(v.ok());
+          EXPECT_EQ(*v, ints[int_at++]);
+          break;
+        }
+        case 1: {
+          const auto v = r.U16();
+          ASSERT_TRUE(v.ok());
+          EXPECT_EQ(*v, ints[int_at++]);
+          break;
+        }
+        case 2: {
+          const auto v = r.U32();
+          ASSERT_TRUE(v.ok());
+          EXPECT_EQ(*v, ints[int_at++]);
+          break;
+        }
+        case 3: {
+          const auto v = r.U64();
+          ASSERT_TRUE(v.ok());
+          EXPECT_EQ(*v, ints[int_at++]);
+          break;
+        }
+        default: {
+          const auto v = r.LengthPrefixed();
+          ASSERT_TRUE(v.ok());
+          EXPECT_EQ(*v, blobs[blob_at++]);
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(r.ExpectEnd().ok());
+  }
+}
+
+// --------------------------------------------------------------- minimizer
+
+TEST(Proptest, MinimizerShrinksToOneByte) {
+  // Property: "input contains no 0x7f byte". The generator plants 0x7f
+  // inside noise; the minimizer must strip the noise down to {0x7f}.
+  proptest::Config cfg;
+  cfg.iterations = 50;
+  const auto cex = proptest::FindCounterexample(
+      cfg,
+      [](Rng& rng) {
+        Bytes b = RandomBytes(rng, 40);
+        for (std::uint8_t& x : b) {
+          if (x == 0x7f) x = 0;  // plant exactly one, deterministically
+        }
+        if (rng.UniformInt(2) == 0 && !b.empty()) {
+          b[b.size() / 2] = 0x7f;
+        }
+        return b;
+      },
+      [](const Bytes& input) {
+        for (const std::uint8_t x : input) {
+          if (x == 0x7f) return false;
+        }
+        return true;
+      });
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(*cex, Bytes{0x7f}) << proptest::Describe(*cex);
+}
+
+TEST(Proptest, PassingPropertyReturnsNoCounterexample) {
+  proptest::Config cfg;
+  cfg.iterations = 20;
+  const auto cex = proptest::FindCounterexample(
+      cfg, [](Rng& rng) { return RandomBytes(rng, 16); },
+      [](const Bytes&) { return true; });
+  EXPECT_FALSE(cex.has_value());
+}
+
+}  // namespace
+}  // namespace lw

@@ -102,6 +102,27 @@ TEST(Snapshot, LoadRejectsMismatchedConfig) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(Snapshot, LoadRejectsMismatchedDomainBits) {
+  // Pre-fix only the blob sizes were compared, so a snapshot taken at a
+  // different domain size loaded into a universe whose PIR servers then
+  // scanned the wrong table shape.
+  Universe original(SnapConfig());
+  FillUniverse(original);
+  const std::string snapshot = SaveUniverseSnapshot(original).value();
+
+  UniverseConfig data_bits = SnapConfig();
+  data_bits.data_domain_bits = 15;
+  Universe target1(data_bits);
+  EXPECT_EQ(LoadUniverseSnapshot(target1, snapshot).code(),
+            StatusCode::kFailedPrecondition);
+
+  UniverseConfig code_bits = SnapConfig();
+  code_bits.code_domain_bits = 11;
+  Universe target2(code_bits);
+  EXPECT_EQ(LoadUniverseSnapshot(target2, snapshot).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(Snapshot, LoadRejectsNonEmptyTarget) {
   Universe original(SnapConfig());
   FillUniverse(original);

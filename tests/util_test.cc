@@ -163,6 +163,36 @@ TEST(Io, ExpectEndFailsWithTrailingBytes) {
   EXPECT_FALSE(r.ExpectEnd().ok());
 }
 
+TEST(Io, WriterRejectsFieldLongerThanU32Prefix) {
+  // Pre-fix, a >4GiB field had its length silently truncated to u32 and the
+  // peer mis-framed everything after it. The span below fabricates a huge
+  // size; the guard must throw before any element is dereferenced.
+  if constexpr (sizeof(std::size_t) > 4) {
+    static const std::uint8_t byte = 0;
+    const std::size_t huge = std::size_t{1} << 32;
+    const ByteSpan oversized(&byte, huge);
+    Writer w;
+    EXPECT_THROW(w.LengthPrefixed(oversized), InvariantViolation);
+    const std::string_view oversized_str(
+        reinterpret_cast<const char*>(&byte), huge);
+    EXPECT_THROW(w.String(oversized_str), InvariantViolation);
+    EXPECT_EQ(w.size(), 0u) << "failed writes must not emit partial bytes";
+  }
+}
+
+TEST(Io, WriterAcceptsMaxU32Boundary) {
+  // The boundary itself (exactly 2^32-1 would allocate 4 GiB, so spot-check
+  // a normal large-ish field instead) stays accepted.
+  Writer w;
+  const Bytes b(1 << 16, 0x5a);
+  w.LengthPrefixed(b);
+  Reader r(w.bytes());
+  const auto back = r.LengthPrefixed();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
 TEST(Rand, SecureRandomProducesDistinctBuffers) {
   const Bytes a = SecureRandom(32);
   const Bytes b = SecureRandom(32);

@@ -98,6 +98,63 @@ TEST(Messages, DecodeRejectsTruncated) {
   EXPECT_FALSE(DecodeGetRequest(f).ok());
 }
 
+TEST(Messages, DecodeRejectsTrailingGarbageEveryType) {
+  // Pre-fix, decoders stopped at the last expected field and accepted any
+  // suffix, so one frame had many byte representations. Strict framing
+  // (ExpectEnd) makes encoding a bijection — and every fuzz roundtrip
+  // check depends on that.
+  ClientHello ch;
+  ch.supported_modes = {Mode::kTwoServerPir};
+  net::Frame f1 = Encode(ch);
+  f1.payload.push_back(0);
+  EXPECT_FALSE(DecodeClientHello(f1).ok());
+
+  ServerHello sh;
+  sh.domain_bits = 20;
+  sh.keyword_seed = Bytes(16, 7);
+  net::Frame f2 = Encode(sh);
+  f2.payload.push_back(0);
+  EXPECT_FALSE(DecodeServerHello(f2).ok());
+
+  net::Frame f3 = Encode(GetRequest{1, ToBytes("body")});
+  f3.payload.push_back(0);
+  EXPECT_FALSE(DecodeGetRequest(f3).ok());
+
+  net::Frame f4 = Encode(GetResponse{1, ToBytes("share")});
+  f4.payload.push_back(0);
+  EXPECT_FALSE(DecodeGetResponse(f4).ok());
+
+  net::Frame f5 = Encode(ErrorMsg{StatusCode::kNotFound, "nope"});
+  f5.payload.push_back(0);
+  EXPECT_FALSE(DecodeError(f5).ok());
+}
+
+TEST(Messages, ServerHelloRejectsOutOfRangeFields) {
+  // Pre-fix these decoded fine and poisoned the client's universe/DPF
+  // configuration (domain_bits drives allocation sizes downstream).
+  ServerHello m;
+  m.domain_bits = 20;
+  m.keyword_seed = Bytes(16, 7);
+
+  ServerHello bad_bits = m;
+  bad_bits.domain_bits = 41;  // > dpf::kMaxDomainBits
+  EXPECT_FALSE(DecodeServerHello(Encode(bad_bits)).ok());
+
+  ServerHello bad_seed = m;
+  bad_seed.keyword_seed = Bytes(17, 7);  // not empty and not kSeedSize
+  EXPECT_FALSE(DecodeServerHello(Encode(bad_seed)).ok());
+
+  ServerHello bad_key = m;
+  bad_key.enclave_public_key = Bytes(33, 1);  // not empty and not 32
+  EXPECT_FALSE(DecodeServerHello(Encode(bad_key)).ok());
+
+  // Still-legal shapes: enclave mode with domain_bits 0 and empty seed.
+  ServerHello enclave;
+  enclave.mode = Mode::kEnclave;
+  enclave.enclave_public_key = Bytes(32, 9);
+  EXPECT_TRUE(DecodeServerHello(Encode(enclave)).ok());
+}
+
 // -------------------------------------------------------------- PirStore
 
 TEST(PirStore, PublishAndDirectLookup) {

@@ -18,6 +18,7 @@ const char kSecretIndex[] = "secret-index";
 const char kInsecureRand[] = "insecure-rand";
 const char kNakedNew[] = "naked-new";
 const char kUncheckedResult[] = "unchecked-result";
+const char kUncheckedReader[] = "unchecked-reader";
 const char kVarTimeLoop[] = "var-time-loop";
 const char kMetricLabelFromRequest[] = "metric-label-from-request";
 const char kReceiveWithoutDeadline[] = "receive-without-deadline";
@@ -237,6 +238,7 @@ class Linter {
       CheckNakedNew(ln, code);
       CheckMemcmp(ln, code);
       CheckUncheckedResult(ln, code);
+      CheckUncheckedReader(ln, code);
       CheckMetricLabel(ln, code);
       if (!net) CheckReceiveDeadline(ln, code);
       if (!secret_index_whitelisted) CheckSecretIndex(ln, code, crypto);
@@ -413,6 +415,41 @@ class Linter {
            "LW_ASSIGN_OR_RETURN or LW_CHECK the status first");
   }
 
+  void CheckUncheckedReader(std::size_t ln, const std::string& code) {
+    // Every lw::Reader decode returns Result<T>; wiring that value into the
+    // surrounding expression without a status check turns a truncated frame
+    // into an InvariantViolation at best and silently-wrong data at worst.
+    // Three shapes are flagged:
+    //   *r.U32()                    dereference of the temporary
+    //   r.LengthPrefixed(...)->...  member access through the temporary
+    //   r.U32();                    discarded read (bytes consumed, value
+    //                               and status both dropped)
+    // Writer methods of the same names all take arguments and return void,
+    // so the zero-arg discard pattern cannot fire on a Writer.
+    static const std::regex kDerefTemp(
+        R"(\*\s*[A-Za-z_][A-Za-z0-9_]*\s*\.\s*(U8|U16|U32|U64|Raw|LengthPrefixed|String)\s*\()");
+    static const std::regex kThroughTemp(
+        R"(\.\s*(U8|U16|U32|U64|Raw|LengthPrefixed|String)\s*\([^()]*\)\s*(->|\.\s*value\b))");
+    static const std::regex kDiscarded(
+        R"(^\s*[A-Za-z_][A-Za-z0-9_.]*\s*\.\s*(U8|U16|U32|U64|LengthPrefixed|String)\s*\(\s*\)\s*;\s*$)");
+    const bool hit = std::regex_search(code, kDerefTemp) ||
+                     std::regex_search(code, kThroughTemp) ||
+                     std::regex_search(code, kDiscarded);
+    if (!hit) return;
+    // Same guard window as unchecked-result: a visible check on this line
+    // or the three preceding ones counts.
+    static const std::regex kGuard(
+        R"(\.ok\s*\(|LW_CHECK|LW_ASSIGN_OR_RETURN|LW_RETURN_IF_ERROR|ASSERT_|EXPECT_)");
+    const std::size_t first = ln >= 3 ? ln - 3 : 0;
+    for (std::size_t g = first; g <= ln; ++g) {
+      if (std::regex_search(scan_.code[g], kGuard)) return;
+    }
+    Report(ln, kUncheckedReader,
+           "Reader decode result used without a status check; a short or "
+           "malformed frame must become a ProtocolError, not data — use "
+           "LW_ASSIGN_OR_RETURN (see docs/FUZZING.md)");
+  }
+
   // Loop tracking for var-time-loop: maintains brace depth and the depths at
   // which loop bodies opened, fed one code line at a time.
   void TrackLoops(const std::string& code) {
@@ -497,8 +534,9 @@ bool IsSourceFile(const std::filesystem::path& p) {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       kCtCompare,       kSecretIndex,     kInsecureRand,
-      kNakedNew,        kUncheckedResult, kVarTimeLoop,
-      kMetricLabelFromRequest,            kReceiveWithoutDeadline,
+      kNakedNew,        kUncheckedResult, kUncheckedReader,
+      kVarTimeLoop,     kMetricLabelFromRequest,
+      kReceiveWithoutDeadline,
   };
   return kRules;
 }

@@ -13,6 +13,11 @@
 //   naked-new        naked new/delete; use std::make_unique or containers.
 //   unchecked-result lw::Result<T> unwrapped with .value() with no visible
 //                    ok() check / LW_CHECK / assertion nearby.
+//   unchecked-reader Reader decode results (U8/U16/U32/U64/Raw/
+//                    LengthPrefixed/String) dereferenced in the same
+//                    expression or discarded without a status check; a
+//                    truncated frame must surface as ProtocolError, never
+//                    as silently-wrong data — see docs/FUZZING.md.
 //   var-time-loop    early exits (break/return) or secret-dependent bounds
 //                    in loops inside src/crypto.
 //   metric-label-from-request

@@ -1,0 +1,25 @@
+// lwlint fixture: unchecked-reader true positives and guarded negatives.
+#include "util/io.h"
+
+unsigned BadDerefTemporary(lw::Reader& r) {
+  return *r.U32();  // line 5: dereferences the Result temporary unchecked
+}
+
+unsigned long BadThroughTemporary(lw::Reader& r) {
+  return r.LengthPrefixed()->size();  // line 9: member access, unchecked
+}
+
+void BadDiscardedRead(lw::Reader& r) {
+  r.U16();  // line 13: bytes consumed, status and value dropped
+}
+
+lw::Result<unsigned> GoodAssignOrReturn(lw::Reader& r) {
+  LW_ASSIGN_OR_RETURN(const unsigned v, r.U32());  // macro guard: no finding
+  return v;
+}
+
+int GoodOkChecked(lw::Reader& r) {
+  auto v = r.U32();
+  if (!v.ok()) return -1;
+  return static_cast<int>(*v);  // named variable, not a decode temporary
+}
