@@ -32,6 +32,9 @@ std::size_t ShardRecords() {
 }
 
 const pir::BlobDatabase& Shard() {
+  // Leaky singleton: the shard is hundreds of MiB and shared across
+  // benchmark registrations; freeing it during static destruction buys
+  // nothing and slows exit. lwlint: allow(naked-new)
   static const pir::BlobDatabase* db = new pir::BlobDatabase(
       BuildShard(kDomainBits, kRecordSize, ShardRecords()));
   return *db;

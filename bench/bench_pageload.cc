@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "net/transport.h"
+#include "util/check.h"
 #include "util/timer.h"
 #include "zltp/client.h"
 #include "zltp/server.h"
@@ -25,7 +26,7 @@ struct Deployment {
   zltp::PirStore store;
   zltp::ZltpPirServer server0;
   zltp::ZltpPirServer server1;
-  std::vector<std::string> keys;
+  std::vector<std::string> titles;
 
   explicit Deployment(std::size_t pages)
       : store([] {
@@ -38,10 +39,10 @@ struct Deployment {
         server0(store, 0),
         server1(store, 1) {
     for (std::size_t i = 0; i < pages; ++i) {
-      const std::string key = "site/page" + std::to_string(i);
-      if (store.Publish(key, ToBytes("{\"n\":" + std::to_string(i) + "}"))
+      const std::string title = "site/page" + std::to_string(i);
+      if (store.Publish(title, ToBytes("{\"n\":" + std::to_string(i) + "}"))
               .ok()) {
-        keys.push_back(key);
+        titles.push_back(title);
       }
     }
   }
@@ -51,26 +52,30 @@ struct Deployment {
     net::TransportPair p1 = net::CreateInMemoryPair();
     server0.ServeConnectionDetached(std::move(p0.b));
     server1.ServeConnectionDetached(std::move(p1.b));
-    return zltp::PirSession::Establish(
-               zltp::EstablishOptions::FromTransports(
-      std::move(p0.a), std::move(p1.a)))
-        .value();
+    auto session = zltp::PirSession::Establish(
+        zltp::EstablishOptions::FromTransports(std::move(p0.a),
+                                               std::move(p1.a)));
+    LW_CHECK(session.ok());
+    return std::move(*session);
   }
 };
 
 Deployment& SharedDeployment() {
+  // Leaky singleton: the deployment owns detached server threads, and
+  // tearing it down during static destruction races them at exit.
+  // lwlint: allow(naked-new)
   static Deployment* d = new Deployment(2000);
   return *d;
 }
 
 void BM_PageLoadSequential(benchmark::State& state) {
   zltp::PirSession session = SharedDeployment().Connect();
-  const auto& keys = SharedDeployment().keys;
+  const auto& titles = SharedDeployment().titles;
   std::size_t i = 0;
   for (auto _ : state) {
     for (int f = 0; f < kFetchesPerPage; ++f) {
       benchmark::DoNotOptimize(
-          session.PrivateGet(keys[(i + f) % keys.size()]));
+          session.PrivateGet(titles[(i + f) % titles.size()]));
     }
     i += kFetchesPerPage;
   }
@@ -80,14 +85,14 @@ BENCHMARK(BM_PageLoadSequential)->Unit(benchmark::kMillisecond);
 
 void BM_PageLoadPipelined(benchmark::State& state) {
   zltp::PirSession session = SharedDeployment().Connect();
-  const auto& keys = SharedDeployment().keys;
+  const auto& titles = SharedDeployment().titles;
   std::size_t i = 0;
   for (auto _ : state) {
-    std::vector<std::string> page_keys;
+    std::vector<std::string> page_titles;
     for (int f = 0; f < kFetchesPerPage; ++f) {
-      page_keys.push_back(keys[(i + f) % keys.size()]);
+      page_titles.push_back(titles[(i + f) % titles.size()]);
     }
-    benchmark::DoNotOptimize(session.PrivateGetBatch(page_keys));
+    benchmark::DoNotOptimize(session.PrivateGetBatch(page_titles));
     i += kFetchesPerPage;
   }
   session.Close();
@@ -99,24 +104,24 @@ void PrintReproductionTable() {
               "loads ===\n");
   Deployment& deployment = SharedDeployment();
   zltp::PirSession session = deployment.Connect();
-  const auto& keys = deployment.keys;
+  const auto& titles = deployment.titles;
 
   constexpr int kPages = 20;
   Stopwatch seq_timer;
   for (int p = 0; p < kPages; ++p) {
     for (int f = 0; f < kFetchesPerPage; ++f) {
-      (void)session.PrivateGet(keys[(p * kFetchesPerPage + f) % keys.size()]);
+      (void)session.PrivateGet(titles[(p * kFetchesPerPage + f) % titles.size()]);
     }
   }
   const double seq_ms = seq_timer.ElapsedMillis() / kPages;
 
   Stopwatch pipe_timer;
   for (int p = 0; p < kPages; ++p) {
-    std::vector<std::string> page_keys;
+    std::vector<std::string> page_titles;
     for (int f = 0; f < kFetchesPerPage; ++f) {
-      page_keys.push_back(keys[(p * kFetchesPerPage + f) % keys.size()]);
+      page_titles.push_back(titles[(p * kFetchesPerPage + f) % titles.size()]);
     }
-    (void)session.PrivateGetBatch(page_keys);
+    (void)session.PrivateGetBatch(page_titles);
   }
   const double pipe_ms = pipe_timer.ElapsedMillis() / kPages;
   session.Close();

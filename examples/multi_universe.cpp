@@ -34,8 +34,11 @@ int main() {
 
   Cdn akamai("akamai");
   Cdn fastly("fastly");
-  Universe* u_akamai = akamai.CreateUniverse(small_config("main")).value();
-  Universe* u_fastly = fastly.CreateUniverse(small_config("main")).value();
+  auto r_akamai = akamai.CreateUniverse(small_config("main"));
+  auto r_fastly = fastly.CreateUniverse(small_config("main"));
+  LW_CHECK(r_akamai.ok() && r_fastly.ok());
+  Universe* u_akamai = r_akamai.value();
+  Universe* u_fastly = r_fastly.value();
   u_akamai->AddPeer(*u_fastly);
 
   Publisher pub("encyclopedia-co");

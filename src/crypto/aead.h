@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -17,10 +18,11 @@ inline constexpr std::size_t kAeadNonceSize = 12;
 inline constexpr std::size_t kAeadTagSize = 16;
 
 // Returns ciphertext || 16-byte tag (size = plaintext.size() + 16).
-Bytes AeadSeal(ByteSpan key, ByteSpan nonce, ByteSpan aad, ByteSpan plaintext);
+Bytes AeadSeal(LW_SECRET ByteSpan key, ByteSpan nonce, ByteSpan aad,
+               ByteSpan plaintext);
 
 // Verifies and decrypts; fails with PERMISSION_DENIED on tag mismatch.
-Result<Bytes> AeadOpen(ByteSpan key, ByteSpan nonce, ByteSpan aad,
+Result<Bytes> AeadOpen(LW_SECRET ByteSpan key, ByteSpan nonce, ByteSpan aad,
                        ByteSpan ciphertext_and_tag);
 
 }  // namespace lw::crypto

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 
 namespace lw::crypto {
@@ -15,11 +16,11 @@ inline constexpr std::size_t kChaChaNonceSize = 12;
 
 // XORs the ChaCha20 keystream (key, nonce, starting at block `counter`)
 // into `data` in place. Encryption and decryption are the same operation.
-void ChaCha20Xor(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
+void ChaCha20Xor(LW_SECRET ByteSpan key, ByteSpan nonce, std::uint32_t counter,
                  MutableByteSpan data);
 
 // Writes one 64-byte keystream block (used to derive the Poly1305 key).
-void ChaCha20Block(ByteSpan key, ByteSpan nonce, std::uint32_t counter,
-                   std::uint8_t out[64]);
+void ChaCha20Block(LW_SECRET ByteSpan key, ByteSpan nonce,
+                   std::uint32_t counter, std::uint8_t out[64]);
 
 }  // namespace lw::crypto

@@ -6,15 +6,16 @@
 
 #include <string_view>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 
 namespace lw::crypto {
 
 // HMAC-SHA256(key, msg); output is 32 bytes.
-Bytes HmacSha256(ByteSpan key, ByteSpan msg);
+Bytes HmacSha256(LW_SECRET ByteSpan key, ByteSpan msg);
 
 // HKDF-Extract + HKDF-Expand. `length` ≤ 255*32.
-Bytes Hkdf(ByteSpan ikm, ByteSpan salt, std::string_view info,
+Bytes Hkdf(LW_SECRET ByteSpan ikm, ByteSpan salt, std::string_view info,
            std::size_t length);
 
 }  // namespace lw::crypto

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 
 namespace lw::crypto {
@@ -11,13 +12,13 @@ inline constexpr std::size_t kPoly1305KeySize = 32;
 inline constexpr std::size_t kPoly1305TagSize = 16;
 
 // Computes the Poly1305 tag of `msg` under a 32-byte one-time key.
-void Poly1305(ByteSpan key, ByteSpan msg,
+void Poly1305(LW_SECRET ByteSpan key, ByteSpan msg,
               std::uint8_t tag[kPoly1305TagSize]);
 
 // Incremental interface (the AEAD feeds AAD, ciphertext, and lengths).
 class Poly1305State {
  public:
-  explicit Poly1305State(ByteSpan key);
+  explicit Poly1305State(LW_SECRET ByteSpan key);
   void Update(ByteSpan data);
   void Finish(std::uint8_t tag[kPoly1305TagSize]);
 

@@ -1,0 +1,20 @@
+// LW_SECRET — taint-source annotation for the lwlint dataflow engine.
+//
+// Mark a declaration whose *value* must never influence a branch, a memory
+// address, or the argument of a variable-time function:
+//
+//   void AeadSeal(LW_SECRET ByteSpan key, ...);
+//   LW_SECRET Seed root_seed;
+//   LW_SECRET std::uint64_t block_id = ...;
+//
+// The macro expands to nothing — it exists purely so tools/lint can trace
+// flows from annotated values through assignments into sinks
+// (secret-taint-branch / secret-taint-index / secret-taint-call). Sizes
+// and lengths of secret buffers are public and must NOT be annotated.
+// Laundering through the lw::crypto::ct helpers (ct.h) sanitizes a flow;
+// a deliberate declassification is spelled with an allow(secret-taint)
+// lint annotation plus a justification comment. See
+// docs/STATIC_ANALYSIS.md for the full source/sanitizer/sink model.
+#pragma once
+
+#define LW_SECRET

@@ -7,13 +7,15 @@
 
 #include <cstdint>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 
 namespace lw::crypto {
 
 inline constexpr std::size_t kSipHashKeySize = 16;
 
-// key must be 16 bytes.
-std::uint64_t SipHash24(ByteSpan key, ByteSpan msg);
+// key must be 16 bytes. `msg` is the record keyword, which on the client
+// side is itself private — SipHash's runtime depends only on msg length.
+std::uint64_t SipHash24(LW_SECRET ByteSpan key, ByteSpan msg);
 
 }  // namespace lw::crypto

@@ -5,6 +5,7 @@
 // untrusted host around the enclave never sees the lookup key.
 #pragma once
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 
 namespace lw::crypto {
@@ -12,23 +13,23 @@ namespace lw::crypto {
 inline constexpr std::size_t kX25519KeySize = 32;
 
 // out = scalar * point (the X25519 function). scalar and point are 32 bytes.
-void X25519(const std::uint8_t scalar[kX25519KeySize],
+void X25519(LW_SECRET const std::uint8_t scalar[kX25519KeySize],
             const std::uint8_t point[kX25519KeySize],
             std::uint8_t out[kX25519KeySize]);
 
 // Computes the public key for a private scalar (scalar * base point 9).
-void X25519BasePoint(const std::uint8_t scalar[kX25519KeySize],
+void X25519BasePoint(LW_SECRET const std::uint8_t scalar[kX25519KeySize],
                      std::uint8_t public_key[kX25519KeySize]);
 
 struct X25519KeyPair {
-  Bytes private_key;  // 32 bytes
-  Bytes public_key;   // 32 bytes
+  LW_SECRET Bytes private_key;  // 32 bytes
+  Bytes public_key;             // 32 bytes
 };
 
 // Generates a fresh keypair from the secure RNG.
 X25519KeyPair X25519Generate();
 
 // Convenience: shared = private * peer_public. Both 32 bytes.
-Bytes X25519SharedSecret(ByteSpan private_key, ByteSpan peer_public);
+Bytes X25519SharedSecret(LW_SECRET ByteSpan private_key, ByteSpan peer_public);
 
 }  // namespace lw::crypto

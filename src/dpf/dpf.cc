@@ -65,9 +65,9 @@ Status ReadCorrectionWords(Reader& r, int count,
 // Expands `levels` levels starting from `n` roots (seeds/ts), returning only
 // the leaf control bits, packed. Ping-pongs two uninitialized buffers: this
 // is the per-request hot loop of a ZLTP server (§5.1's "DPF evaluation").
-BitVector ExpandToLeafBits(const std::uint8_t* root_seeds,
+BitVector ExpandToLeafBits(LW_SECRET const std::uint8_t* root_seeds,
                            const std::uint8_t* root_ts, std::size_t n,
-                           const CorrectionWord* cws, int levels) {
+                           LW_SECRET const CorrectionWord* cws, int levels) {
   const std::size_t final_n = n << levels;
   if (levels == 0) {
     BitVector out((n + 63) / 64, 0);
@@ -144,8 +144,8 @@ BitVector ExpandToLeafBits(const std::uint8_t* root_seeds,
 
 // Small-scale expansion keeping seeds AND control bits (used by the
 // front-end's top-of-tree split, where n stays tiny).
-void ExpandKeepingSeeds(Bytes& seeds, Bytes& ts, const CorrectionWord* cws,
-                        int levels) {
+void ExpandKeepingSeeds(LW_SECRET Bytes& seeds, Bytes& ts,
+                        LW_SECRET const CorrectionWord* cws, int levels) {
   for (int level = 0; level < levels; ++level) {
     const std::size_t n = ts.size();
     Bytes next_seeds(2 * n * kSeedSize);
@@ -176,10 +176,10 @@ void ExpandKeepingSeeds(Bytes& seeds, Bytes& ts, const CorrectionWord* cws,
 // two blocks per pool thread for handoff balance. The serial top-of-tree
 // expansion is 2^(k+1) PRG calls against 2^(levels+1) total, well under 1%
 // at the paper's domain sizes.
-BitVector ExpandToLeafBitsParallel(const std::uint8_t* root_seed,
+BitVector ExpandToLeafBitsParallel(LW_SECRET const std::uint8_t* root_seed,
                                    std::uint8_t root_t,
-                                   const CorrectionWord* cws, int levels,
-                                   ThreadPool* pool) {
+                                   LW_SECRET const CorrectionWord* cws,
+                                   int levels, ThreadPool* pool) {
   const int threads = pool == nullptr ? 1 : pool->thread_count();
   int k = 7;  // minimum split with >= 2 blocks of 64 sub-trees
   while (k < 14 && (std::size_t{1} << (k - 6)) < 2 * static_cast<std::size_t>(
@@ -305,7 +305,7 @@ Result<SubtreeKey> SubtreeKey::Deserialize(ByteSpan data) {
 
 // ------------------------------------------------------------- generation
 
-KeyPair Generate(std::uint64_t alpha, int domain_bits) {
+KeyPair Generate(LW_SECRET std::uint64_t alpha, int domain_bits) {
   LW_CHECK_MSG(CheckDomainBits(domain_bits).ok(), "invalid domain_bits");
   LW_CHECK_MSG(alpha < (std::uint64_t{1} << domain_bits),
                "alpha outside domain");

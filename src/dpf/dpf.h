@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/secret.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -34,8 +35,10 @@ inline constexpr int kMaxDomainBits = 40;
 inline constexpr int kLambdaBits = 128;  // PRG seed length (security param)
 
 // Per-level correction word: a seed plus one control-bit correction per side.
+// One correction word alone is secret-correlated with alpha (it is the XOR
+// of the two parties' off-path seeds); treat it like key material.
 struct CorrectionWord {
-  std::uint8_t seed[kSeedSize];
+  LW_SECRET std::uint8_t seed[kSeedSize];
   std::uint8_t t_left;   // 0 or 1
   std::uint8_t t_right;  // 0 or 1
 };
@@ -47,7 +50,7 @@ struct CorrectionWord {
 struct DpfKey {
   std::uint8_t party = 0;        // 0 or 1
   std::uint8_t domain_bits = 0;  // d; domain size is 2^d
-  std::uint8_t root_seed[kSeedSize] = {};
+  LW_SECRET std::uint8_t root_seed[kSeedSize] = {};
   std::vector<CorrectionWord> correction_words;  // d entries
 
   std::size_t SerializedSize() const;
@@ -64,7 +67,8 @@ struct KeyPair {
 
 // Generates the two shares of f_alpha over a 2^domain_bits domain.
 // alpha must be < 2^domain_bits; 1 <= domain_bits <= kMaxDomainBits.
-KeyPair Generate(std::uint64_t alpha, int domain_bits);
+// alpha is the queried index — THE secret the whole protocol protects.
+KeyPair Generate(LW_SECRET std::uint64_t alpha, int domain_bits);
 
 // Evaluates this party's share bit at a single point x.
 std::uint8_t EvalPoint(const DpfKey& key, std::uint64_t x);
@@ -105,7 +109,7 @@ BitVector EvalFullParallel(const DpfKey& key, ThreadPool* pool);
 struct SubtreeKey {
   std::uint8_t party = 0;
   std::uint8_t domain_bits = 0;  // remaining depth below this root
-  std::uint8_t seed[kSeedSize] = {};
+  LW_SECRET std::uint8_t seed[kSeedSize] = {};
   std::uint8_t t = 0;  // control bit at the sub-tree root
   std::vector<CorrectionWord> correction_words;  // remaining levels
 

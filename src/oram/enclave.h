@@ -67,7 +67,7 @@ class KvEnclave {
   // also arrives via a secure channel; the ORAM access it performs is
   // indistinguishable from a query. `value` must be <= value_size;
   // it is padded internally.
-  Status Put(std::string_view key, ByteSpan value);
+  Status Put(LW_SECRET std::string_view key, ByteSpan value);
 
   // Host-visible query path: opaque encrypted request in, opaque encrypted
   // response out. The host cannot distinguish hits from misses.
@@ -77,7 +77,7 @@ class KvEnclave {
   std::size_t stash_size() const { return oram_.stash_size(); }
 
  private:
-  Result<Bytes> LookupInsideEnclave(std::string_view key);
+  Result<Bytes> LookupInsideEnclave(LW_SECRET std::string_view key);
 
   EnclaveConfig config_;
   Bytes private_key_;  // enclave-sealed

@@ -51,7 +51,6 @@ PathOram::PathOram(const PathOramConfig& config, UntrustedStorage& storage,
   LW_CHECK_MSG(storage.bucket_count() >= RequiredBucketCount(config),
                "storage too small for ORAM tree");
   position_.resize(config.capacity);
-  allocated_.assign(config.capacity, false);
   for (auto& p : position_) p = RandomLeaf(leaf_count());
 }
 
@@ -103,15 +102,21 @@ std::vector<PathOram::Block> PathOram::OpenBucket(ByteSpan sealed) {
   return out;
 }
 
-Result<Bytes> PathOram::Access(Op op, std::uint64_t block_id,
+Result<Bytes> PathOram::Access(Op op, LW_SECRET std::uint64_t block_id,
                                ByteSpan new_data) {
   std::uint64_t leaf;
   if (op == Op::kDummy) {
     leaf = RandomLeaf(leaf_count());
   } else {
     LW_CHECK_MSG(block_id < config_.capacity, "block id out of range");
+    // The position map lives in enclave-private memory (see class comment),
+    // and the leaf it yields is deliberately declassified: it is a uniform
+    // random value, independent of block_id, consumed exactly once — the
+    // path the host is about to watch us read and rewrite IS this value.
+    // lwlint: allow(secret-taint-index, secret-taint)
     leaf = position_[block_id];
-    position_[block_id] = RandomLeaf(leaf_count());
+    position_[block_id] =        // lwlint: allow(secret-taint-index)
+        RandomLeaf(leaf_count());
   }
 
   // Read the whole path into the stash.
@@ -123,23 +128,26 @@ Result<Bytes> PathOram::Access(Op op, std::uint64_t block_id,
 
   Result<Bytes> result = NotFoundError("block never written");
   if (op != Op::kDummy) {
-    if (op == Op::kRead && allocated_[block_id]) {
-      // Constant-time bucket/stash selection: touch every block pulled from
-      // the path and pick the target with masks, so which slot held the
-      // requested block is not observable through the access pattern or
-      // timing of this scan (the path itself is already randomized).
+    if (op == Op::kRead) {
+      // Constant-time stash selection (CtStashScan): touch every block
+      // pulled from the path and pick the target with masks, so which slot
+      // held the requested block is not observable through the access
+      // pattern or timing of this scan (the path itself is already
+      // randomized). A block that was never written is in no bucket and no
+      // stash entry, so the mask stays zero and the read reports NOT_FOUND
+      // with the exact same scan.
       Bytes found(config_.block_size, 0);
-      std::uint64_t found_mask = 0;
-      for (const auto& [id, data] : stash_) {
-        const std::uint64_t m = crypto::ct::EqMask(id, block_id);
-        crypto::ct::CondAssign(m, found, data);
-        found_mask |= m;
-      }
+      const std::uint64_t found_mask = CtStashScan(stash_, block_id, found);
+      // Hit/miss is deliberately revealed to the in-enclave caller as a
+      // status; the host-visible access pattern above is identical for both
+      // outcomes. lwlint: allow(secret-taint-branch)
       if (found_mask != 0) result = std::move(found);
     }
     if (op == Op::kWrite) {
-      stash_[block_id] = Bytes(new_data.begin(), new_data.end());
-      allocated_[block_id] = true;
+      // The stash is an enclave-private map; this keyed insert is not
+      // host-visible (the write-back below touches the whole path).
+      stash_[block_id] =  // lwlint: allow(secret-taint-index)
+          Bytes(new_data.begin(), new_data.end());
       result = Bytes{};
     }
   } else {
@@ -167,11 +175,23 @@ Result<Bytes> PathOram::Access(Op op, std::uint64_t block_id,
   return result;
 }
 
-Result<Bytes> PathOram::Read(std::uint64_t block_id) {
+std::uint64_t CtStashScan(const std::unordered_map<std::uint64_t, Bytes>& stash,
+                          LW_SECRET std::uint64_t block_id,
+                          MutableByteSpan out) {
+  std::uint64_t found_mask = 0;
+  for (const auto& [id, data] : stash) {
+    const std::uint64_t m = crypto::ct::EqMask(id, block_id);
+    crypto::ct::CondAssign(m, out, data);
+    found_mask |= m;
+  }
+  return found_mask;
+}
+
+Result<Bytes> PathOram::Read(LW_SECRET std::uint64_t block_id) {
   return Access(Op::kRead, block_id, {});
 }
 
-Status PathOram::Write(std::uint64_t block_id, ByteSpan data) {
+Status PathOram::Write(LW_SECRET std::uint64_t block_id, ByteSpan data) {
   if (data.size() != config_.block_size) {
     return InvalidArgumentError("block size mismatch");
   }

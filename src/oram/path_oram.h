@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "crypto/secret.h"
 #include "oram/storage.h"
 #include "util/bytes.h"
 #include "util/rand.h"
@@ -48,11 +49,12 @@ class PathOram {
 
   // Reads a logical block. NOT_FOUND if never written — but the untrusted
   // access pattern is identical to a successful read (a full path is read
-  // and rewritten either way).
-  Result<Bytes> Read(std::uint64_t block_id);
+  // and rewritten either way). The block id names WHICH record the client
+  // wants, i.e. the very thing ORAM exists to hide.
+  Result<Bytes> Read(LW_SECRET std::uint64_t block_id);
 
   // Writes a logical block (data must be exactly block_size bytes).
-  Status Write(std::uint64_t block_id, ByteSpan data);
+  Status Write(LW_SECRET std::uint64_t block_id, ByteSpan data);
 
   // Performs an access indistinguishable from Read/Write without touching
   // any real block: used by the enclave to mask absent keys and to pad
@@ -70,7 +72,8 @@ class PathOram {
   };
 
   enum class Op { kRead, kWrite, kDummy };
-  Result<Bytes> Access(Op op, std::uint64_t block_id, ByteSpan new_data);
+  Result<Bytes> Access(Op op, LW_SECRET std::uint64_t block_id,
+                       ByteSpan new_data);
 
   std::size_t BucketIndex(int level, std::uint64_t leaf) const;
   Bytes SealBucket(const std::vector<Block>& blocks);
@@ -82,8 +85,18 @@ class PathOram {
   int levels_;         // tree levels; leaves = 2^(levels_-1)
   // Enclave-private state: position map (block -> leaf) and stash.
   std::vector<std::uint64_t> position_;
-  std::vector<bool> allocated_;  // block ever written?
   std::unordered_map<std::uint64_t, Bytes> stash_;
 };
+
+// Constant-time stash selection (the data-oblivious core of PathOram::Read,
+// exposed as a free function so tools/ctcheck can time it in isolation):
+// touches every entry of `stash` and copies the block whose id equals
+// `block_id` into `out` with masks. `out` must be pre-sized to the block
+// size. Returns the all-ones mask if the block was present, 0 otherwise;
+// runtime depends only on the stash size and block size, never on which
+// entry (if any) matched.
+std::uint64_t CtStashScan(const std::unordered_map<std::uint64_t, Bytes>& stash,
+                          LW_SECRET std::uint64_t block_id,
+                          MutableByteSpan out);
 
 }  // namespace lw::oram

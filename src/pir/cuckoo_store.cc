@@ -76,7 +76,8 @@ Result<Bytes> CuckooPirStore::AnswerQuery(const dpf::DpfKey& key) const {
 }
 
 Result<Bytes> InterpretCuckooRecords(ByteSpan record_a, ByteSpan record_b,
-                                     std::uint64_t expected_fingerprint) {
+                                     LW_SECRET std::uint64_t
+                                         expected_fingerprint) {
   // Which of the two candidate slots (if either) holds the queried key is a
   // function of the private keyword, so the match must not leak through
   // timing: compare both fingerprints and select the winning record with

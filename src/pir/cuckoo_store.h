@@ -14,6 +14,7 @@
 
 #include <string_view>
 
+#include "crypto/secret.h"
 #include "dpf/dpf.h"
 #include "pir/blob_db.h"
 #include "pir/cuckoo.h"
@@ -69,8 +70,11 @@ class CuckooPirStore {
 
 // Client-side reconstruction: given the two candidate records (already
 // XOR-combined from the two servers), returns the payload whose fingerprint
-// matches, NOT_FOUND if neither slot holds the key.
+// matches, NOT_FOUND if neither slot holds the key. The expected
+// fingerprint is derived from the private keyword, so it is secret: which
+// slot matched must not leak through timing.
 Result<Bytes> InterpretCuckooRecords(ByteSpan record_a, ByteSpan record_b,
-                                     std::uint64_t expected_fingerprint);
+                                     LW_SECRET std::uint64_t
+                                         expected_fingerprint);
 
 }  // namespace lw::pir

@@ -184,7 +184,83 @@ TEST(Lwlint, AllowSuppressesSameLineAndLineAbove) {
   EXPECT_FALSE(HasFinding(findings, "insecure-rand", 10)) << "line-above allow";
   EXPECT_TRUE(HasFinding(findings, "insecure-rand", 14))
       << "allow(naked-new) must not suppress a different rule";
-  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(HasFinding(findings, "stale-allow", 14))
+      << "the wrong-rule allow suppresses nothing, so it is itself stale";
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(Lwlint, TaintBranchOnSecretParamAndLoops) {
+  const auto findings = LintFixture("taint_branch.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-branch", 5))
+      << "if condition directly on an LW_SECRET parameter";
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-branch", 11))
+      << "while bound on a secret";
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-branch", 20))
+      << "middle clause of a classic for";
+  EXPECT_EQ(findings.size(), 3u) << "the public branch must not fire";
+}
+
+TEST(Lwlint, TaintFlowsThroughAssignmentChains) {
+  // The acceptance bar for the dataflow engine: a secret walked through two
+  // local assignments still reaches branch and index sinks, while the same
+  // shape with a ct:: sanitizer at the source stays clean.
+  const auto findings = LintFixture("taint_chain.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-branch", 8))
+      << "branch on a value two assignments away from the secret";
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-index", 9))
+      << "subscript on a value two assignments away from the secret";
+  EXPECT_EQ(findings.size(), 2u)
+      << "the ct::EqMask-sanitized chain must not fire";
+}
+
+TEST(Lwlint, CtSanitizedPatternsAreCleanInCrypto) {
+  // The sanctioned constant-time idioms, linted under src/crypto where
+  // every heuristic is armed.
+  EXPECT_TRUE(
+      LintFixture("taint_sanitized.cc", "src/crypto/fixture.cc").empty());
+}
+
+TEST(Lwlint, DeclassifyAllowCutsPropagation) {
+  const auto findings =
+      LintFixture("taint_declassified.cc", "src/oram/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-branch", 17))
+      << "without an allow the copy stays tainted";
+  EXPECT_EQ(findings.size(), 1u)
+      << "allow(secret-taint) at the assignment must stop propagation, and "
+         "a used allow must not be reported as stale";
+}
+
+TEST(Lwlint, TaintIndexSubscriptAndPointerOffset) {
+  const auto findings = LintFixture("taint_index.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-index", 8))
+      << "direct subscript";
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-index", 13))
+      << ".data() + secret pointer offset";
+  EXPECT_EQ(findings.size(), 2u) << "the public index must not fire";
+}
+
+TEST(Lwlint, TaintCallVariableTimeCallees) {
+  const auto findings = LintFixture("taint_call.cc", "src/pir/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-call", 9))
+      << "memcmp on a secret buffer";
+  EXPECT_TRUE(HasFinding(findings, "secret-taint-call", 14))
+      << "unordered_map::count keyed by a secret";
+  EXPECT_EQ(findings.size(), 2u) << "the public probe must not fire";
+}
+
+TEST(Lwlint, StaleAllowsAreReportedAndAcknowledgeable) {
+  const auto findings = LintFixture("stale_allow.cc", "src/util/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "stale-allow", 6)) << "same-line stale";
+  EXPECT_TRUE(HasFinding(findings, "stale-allow", 9)) << "own-line stale";
+  EXPECT_EQ(findings.size(), 2u)
+      << "allow(stale-allow) must acknowledge the third hatch";
+}
+
+TEST(Lwlint, TokenizerEdgeCasesAreInert) {
+  // Raw strings full of banned spellings, digit separators and a macro with
+  // a line continuation: all tokenizer territory, none may fire.
+  EXPECT_TRUE(
+      LintFixture("tokenizer_edge.cc", "src/crypto/fixture.cc").empty());
 }
 
 TEST(Lwlint, AllowfileSuppressesWholeFile) {
@@ -216,7 +292,8 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
        {"ct_compare.cc", "secret_index.cc", "insecure_rand.cc",
         "naked_new.cc", "unchecked_result.cc", "unchecked_reader.cc",
         "var_time_loop.cc", "allow_escape.cc", "metric_label.cc",
-        "receive_deadline.cc"}) {
+        "receive_deadline.cc", "taint_branch.cc", "taint_chain.cc",
+        "taint_index.cc", "taint_call.cc", "stale_allow.cc"}) {
     auto f = LintFixture(name, std::string("src/crypto/") + name);
     all.insert(all.end(), f.begin(), f.end());
   }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <map>
 #include <set>
 #include <sstream>
+
+#include "token.h"
 
 namespace lw::lint {
 namespace {
@@ -15,6 +18,9 @@ namespace {
 
 const char kCtCompare[] = "ct-compare";
 const char kSecretIndex[] = "secret-index";
+const char kTaintBranch[] = "secret-taint-branch";
+const char kTaintIndex[] = "secret-taint-index";
+const char kTaintCall[] = "secret-taint-call";
 const char kInsecureRand[] = "insecure-rand";
 const char kNakedNew[] = "naked-new";
 const char kUncheckedResult[] = "unchecked-result";
@@ -22,11 +28,17 @@ const char kUncheckedReader[] = "unchecked-reader";
 const char kVarTimeLoop[] = "var-time-loop";
 const char kMetricLabelFromRequest[] = "metric-label-from-request";
 const char kReceiveWithoutDeadline[] = "receive-without-deadline";
+const char kStaleAllow[] = "stale-allow";
 
-// Files exempt from secret-index: the software AES fallback is a table
-// cipher (kSbox[state[i]] is its definition); the AES-NI path used in
-// production is constant-time, and the fallback is documented in
-// docs/STATIC_ANALYSIS.md.
+// Pseudo-rule: an allow(secret-taint) annotation on an assignment
+// declassifies the flow (taint does not propagate through it). It never
+// appears as a finding itself, so it is not in AllRules().
+const char kSecretTaintDeclassify[] = "secret-taint";
+
+// Files exempt from secret-index / secret-taint-index: the software AES
+// fallback is a table cipher (kSbox[state[i]] is its definition); the AES-NI
+// path used in production is constant-time, and the fallback is documented
+// in docs/STATIC_ANALYSIS.md.
 const char* kSecretIndexWhitelist[] = {
     "src/crypto/aes128.cc",
 };
@@ -55,95 +67,38 @@ const char* kRequestTaintTokens[] = {
     "path",    "domain",  "query", "keyword", "body",
 };
 
-// --------------------------------------------------- scanning machinery
-
-struct ScannedFile {
-  // Source lines with comments and string/char literal bodies blanked out,
-  // so the rules never fire on prose or log messages.
-  std::vector<std::string> code;
-  // allows[i] = rules suppressed on line i (0-based), via `lwlint: allow`.
-  std::vector<std::set<std::string>> allows;
-  std::set<std::string> file_allows;  // via `lwlint: allowfile`
+// lw::crypto::ct helpers (src/crypto/ct.h). A call through `ct::` to one of
+// these is a sanitizer: its result is branch/index-safe by construction, so
+// taint does not flow out of the call expression.
+const char* kCtSanitizers[] = {
+    "ValueBarrier", "ValueBarrier32", "NonzeroMask", "ZeroMask",  "EqMask",
+    "MaskFromBit32", "Select",        "Select32",    "CondAssign", "CondSwap",
+    "EqBytesMask",   "Eq",
 };
 
-void ParseAnnotations(const std::string& comment, std::size_t line_index,
-                      ScannedFile& out) {
-  static const std::regex kAnnot(R"(lwlint:\s*(allowfile|allow)\s*\(([^)]*)\))");
-  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAnnot);
-       it != std::sregex_iterator(); ++it) {
-    const bool whole_file = (*it)[1] == "allowfile";
-    std::stringstream rules((*it)[2].str());
-    std::string rule;
-    while (std::getline(rules, rule, ',')) {
-      rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                 rule.end());
-      if (rule.empty()) continue;
-      if (whole_file) {
-        out.file_allows.insert(rule);
-      } else {
-        out.allows[line_index].insert(rule);
-      }
-    }
-  }
-}
+// Curated variable-time functions: their running time depends on the
+// argument values (early-exit compares, hash probes, branchy search).
+const char* kVarTimeFree[] = {"memcmp", "strcmp", "strncmp", "strlen",
+                              "strstr", "strchr", "memchr"};
+const char* kVarTimeStd[] = {"find",        "search",       "count",
+                             "lower_bound", "upper_bound",  "binary_search",
+                             "sort"};
+const char* kVarTimeMember[] = {"find", "count", "at"};
 
-// Splits into lines, strips comments and literal bodies, collects allows.
-ScannedFile Scan(const std::string& content) {
-  ScannedFile out;
-  std::vector<std::string> lines;
-  {
-    std::stringstream ss(content);
-    std::string line;
-    while (std::getline(ss, line)) lines.push_back(line);
-  }
-  out.code.resize(lines.size());
-  out.allows.resize(lines.size());
+// Members whose value is public even when the object is secret: the size of
+// a key is not the key.
+const char* kPublicMembers[] = {"size", "length", "empty",   "ok",
+                                "begin", "end",   "capacity"};
 
-  bool in_block_comment = false;
-  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& src = lines[ln];
-    std::string code;
-    code.reserve(src.size());
-    std::string comment_text;
-    for (std::size_t i = 0; i < src.size(); ++i) {
-      if (in_block_comment) {
-        comment_text += src[i];
-        if (src[i] == '/' && i > 0 && src[i - 1] == '*') in_block_comment = false;
-        continue;
-      }
-      const char c = src[i];
-      const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-      if (c == '/' && next == '/') {
-        comment_text.append(src, i, std::string::npos);
-        break;
-      }
-      if (c == '/' && next == '*') {
-        in_block_comment = true;
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        // Blank the literal body; keep the quotes so expressions still parse.
-        code += c;
-        ++i;
-        while (i < src.size()) {
-          if (src[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (src[i] == c) break;
-          ++i;
-        }
-        code += c;
-        continue;
-      }
-      code += c;
-    }
-    out.code[ln] = std::move(code);
-    if (!comment_text.empty()) ParseAnnotations(comment_text, ln, out);
-  }
-  return out;
-}
+// Identifiers that can never open a function definition's parameter list.
+const char* kNotFunctionNames[] = {
+    "if",     "for",      "while",    "switch",   "return",  "sizeof",
+    "catch",  "new",      "delete",   "throw",    "alignof", "decltype",
+    "static_assert",      "constexpr", "defined", "assert",  "co_await",
+    "co_return",          "co_yield",
+};
+
+// ------------------------------------------------------------- helpers
 
 bool EndsWithPath(const std::string& path, const std::string& suffix) {
   return path.size() >= suffix.size() &&
@@ -158,371 +113,1068 @@ bool IsNetFile(const std::string& path) {
   return path.find("src/net/") != std::string::npos;
 }
 
-// True if `text` contains an identifier carrying a secret token (and not a
-// known-benign word like "keyword").
-bool HasSecretIdentifier(const std::string& text) {
-  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
-  for (auto it = std::sregex_iterator(text.begin(), text.end(), kIdent);
-       it != std::sregex_iterator(); ++it) {
-    std::string ident = it->str();
-    // Project constants (kFooSize, kAeadKeySize, ...) are compile-time
-    // public values, not secret data.
-    if (ident.size() >= 2 && ident[0] == 'k' &&
-        std::isupper(static_cast<unsigned char>(ident[1]))) {
-      continue;
-    }
-    std::transform(ident.begin(), ident.end(), ident.begin(), ::tolower);
-    bool benign = false;
-    for (const char* ex : kTokenExceptions) {
-      if (ident.find(ex) != std::string::npos) benign = true;
-    }
-    // Sizes and lengths of secret buffers are public.
-    if (ident.find("size") != std::string::npos ||
-        ident.find("len") != std::string::npos) {
-      benign = true;
-    }
-    if (benign) continue;
-    for (const char* tok : kSecretTokens) {
-      if (ident.find(tok) != std::string::npos) return true;
-    }
+bool InList(const std::string& s, const char* const* list, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (s == list[i]) return true;
+  }
+  return false;
+}
+#define LW_IN_LIST(s, list) InList((s), (list), sizeof(list) / sizeof(*(list)))
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+  return s;
+}
+
+// Project constants (kFooSize, kAeadKeySize, ...) are compile-time public
+// values, not secret data.
+bool IsKConstant(const std::string& ident) {
+  return ident.size() >= 2 && ident[0] == 'k' &&
+         std::isupper(static_cast<unsigned char>(ident[1]));
+}
+
+// Secret-name heuristic on a single identifier: carries a secret token and
+// is not a known-benign word. Sizes and lengths of secret buffers are
+// public; LW_SECRET itself is the annotation macro, not a value.
+bool NameHasSecretToken(const std::string& ident) {
+  if (ident == "LW_SECRET") return false;
+  if (IsKConstant(ident)) return false;
+  const std::string low = Lower(ident);
+  for (const char* ex : kTokenExceptions) {
+    if (low.find(ex) != std::string::npos) return false;
+  }
+  if (low.find("size") != std::string::npos ||
+      low.find("len") != std::string::npos) {
+    return false;
+  }
+  for (const char* tok : kSecretTokens) {
+    if (low.find(tok) != std::string::npos) return true;
   }
   return false;
 }
 
-bool LooksPublicOperand(const std::string& operand) {
-  for (const char* mark : kPublicOperandMarks) {
-    if (operand.find(mark) != std::string::npos) return true;
-  }
-  return false;
-}
-
-// True if `text` contains an identifier carrying a request-taint token.
-// kConstant-style identifiers (kPageSize, ...) are compile-time values,
-// not request data.
-bool HasRequestTaintedIdentifier(const std::string& text) {
-  static const std::regex kIdent(R"([A-Za-z_][A-Za-z0-9_]*)");
-  for (auto it = std::sregex_iterator(text.begin(), text.end(), kIdent);
-       it != std::sregex_iterator(); ++it) {
-    std::string ident = it->str();
-    if (ident.size() >= 2 && ident[0] == 'k' &&
-        std::isupper(static_cast<unsigned char>(ident[1]))) {
-      continue;
-    }
-    std::transform(ident.begin(), ident.end(), ident.begin(), ::tolower);
-    for (const char* tok : kRequestTaintTokens) {
-      if (ident.find(tok) != std::string::npos) return true;
-    }
-  }
-  return false;
-}
+// One propagation step recorded by the assignment collector: at `line`,
+// `lhs` receives the value of the token range [rhs_a, rhs_b].
+struct AssignEvent {
+  int line = 0;
+  std::string lhs;
+  size_t rhs_a = 0;
+  size_t rhs_b = 0;  // inclusive
+};
 
 class Linter {
  public:
-  Linter(std::string path, const ScannedFile& scan)
-      : path_(std::move(path)), scan_(scan) {}
+  Linter(std::string path, const TokenizedFile& tf)
+      : path_(std::move(path)), tf_(tf), t_(tf.tokens) {}
 
-  std::vector<Finding> Run() {
-    const bool crypto = IsCryptoFile(path_);
-    const bool net = IsNetFile(path_);
-    bool secret_index_whitelisted = false;
-    for (const char* wl : kSecretIndexWhitelist) {
-      if (EndsWithPath(path_, wl)) secret_index_whitelisted = true;
-    }
-    for (std::size_t ln = 0; ln < scan_.code.size(); ++ln) {
-      const std::string& code = scan_.code[ln];
-      if (code.empty()) {
-        TrackLoops(code);
-        continue;
-      }
-      CheckInsecureRand(ln, code);
-      CheckNakedNew(ln, code);
-      CheckMemcmp(ln, code);
-      CheckUncheckedResult(ln, code);
-      CheckUncheckedReader(ln, code);
-      CheckMetricLabel(ln, code);
-      if (!net) CheckReceiveDeadline(ln, code);
-      if (!secret_index_whitelisted) CheckSecretIndex(ln, code, crypto);
-      if (crypto) {
-        CheckCtEquality(ln, code);
-        CheckVarTimeLoop(ln, code);
-      }
-      TrackLoops(code);
-    }
-    return std::move(findings_);
-  }
+  std::vector<Finding> Run();
 
  private:
-  bool Allowed(std::size_t ln, const std::string& rule) const {
-    if (scan_.file_allows.count(rule) != 0) return true;
-    if (scan_.allows[ln].count(rule) != 0) return true;
-    // An annotation on the line directly above also applies.
-    if (ln > 0 && scan_.allows[ln - 1].count(rule) != 0) return true;
-    return false;
-  }
+  // ---- infrastructure
+  void ComputeMatches();
+  void ComputeSanitizedSpans();
+  void CollectSecretNames();
+  void ComputeGuardLines();
+  bool Allowed(int line, const std::string& rule) const;
+  void MarkUsed(int line, const std::string& rule);
+  void Report(int line, const std::string& rule, const std::string& message);
 
-  void Report(std::size_t ln, const std::string& rule, std::string message) {
-    if (Allowed(ln, rule)) return;
-    findings_.push_back(
-        Finding{path_, static_cast<int>(ln + 1), rule, std::move(message)});
+  // ---- token utilities
+  bool IsIdent(size_t i, const char* text) const {
+    return i < t_.size() && t_[i].kind == Tk::kIdent && t_[i].text == text;
   }
+  bool IsPunct(size_t i, const char* text) const {
+    return i < t_.size() && t_[i].kind == Tk::kPunct && t_[i].text == text;
+  }
+  // Matching bracket for an opener/closer, or npos.
+  size_t Match(size_t i) const {
+    return (i < match_.size() && match_[i] != SIZE_MAX) ? match_[i] : SIZE_MAX;
+  }
+  std::string JoinRange(size_t a, size_t b) const;
+  bool LooksPublicOperandRange(size_t a, size_t b) const;
+  bool HasSecretIdentRange(size_t a, size_t b) const;
+  bool HasRequestTaintedRange(size_t a, size_t b) const;
+  bool TaintedRange(size_t a, size_t b,
+                    const std::set<std::string>& fn_tainted) const;
+  bool IsSubscript(size_t i) const;
 
-  void CheckInsecureRand(std::size_t ln, const std::string& code) {
-    static const std::regex kRand(
-        R"((^|[^:A-Za-z0-9_])(std::)?(rand|srand|drand48|lrand48|random_shuffle)\s*\()");
-    if (std::regex_search(code, kRand)) {
-      Report(ln, kInsecureRand,
-             "libc randomness is not seedable/secure enough for this "
-             "codebase; use lw::Rng (simulation) or lw::SecureRandom "
-             "(secrets)");
+  // ---- ported rules (token scans)
+  void CheckInsecureRand();
+  void CheckNakedNew();
+  void CheckMemcmp();
+  void CheckCtEquality();
+  void CheckSecretIndex();
+  void CheckMetricLabel();
+  void CheckReceiveDeadline();
+  void CheckUncheckedResult();
+  void CheckUncheckedReader();
+  void CheckVarTimeLoops();
+
+  // ---- taint engine
+  void AnalyzeFunctions();
+  void ProcessFunction(size_t body_a, size_t body_b);
+  void CollectAssignments(size_t body_a, size_t body_b,
+                          std::vector<AssignEvent>& events) const;
+  bool DeclassifiedAt(int line) const;
+  void CheckTaintSinks(size_t body_a, size_t body_b,
+                       const std::set<std::string>& fn_tainted);
+
+  void CheckStaleAllows();
+
+  const std::string path_;
+  const TokenizedFile& tf_;
+  const std::vector<Token>& t_;
+  std::vector<Finding> findings_;
+  std::set<std::pair<std::string, int>> reported_;  // (rule, line) dedupe
+
+  bool crypto_ = false;
+  bool net_ = false;
+  bool secret_index_whitelisted_ = false;
+
+  std::vector<size_t> match_;          // bracket matching, both directions
+  std::vector<bool> sanitized_;        // token is inside a ct::Helper(...) call
+  std::set<std::string> secret_names_; // LW_SECRET-annotated declarations
+  std::vector<bool> guard_result_;     // per 1-based line, size line_count+2
+  std::vector<bool> guard_reader_;
+  std::vector<bool> allow_used_;       // parallel to tf_.allow_sites
+};
+
+// ------------------------------------------------ infrastructure
+
+void Linter::ComputeMatches() {
+  match_.assign(t_.size(), SIZE_MAX);
+  std::vector<size_t> paren, bracket, brace;
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].kind != Tk::kPunct) continue;
+    const std::string& x = t_[i].text;
+    if (x == "(") paren.push_back(i);
+    else if (x == "[") bracket.push_back(i);
+    else if (x == "{") brace.push_back(i);
+    else if (x == ")" && !paren.empty()) {
+      match_[i] = paren.back();
+      match_[paren.back()] = i;
+      paren.pop_back();
+    } else if (x == "]" && !bracket.empty()) {
+      match_[i] = bracket.back();
+      match_[bracket.back()] = i;
+      bracket.pop_back();
+    } else if (x == "}" && !brace.empty()) {
+      match_[i] = brace.back();
+      match_[brace.back()] = i;
+      brace.pop_back();
     }
   }
+}
 
-  void CheckNakedNew(std::size_t ln, const std::string& code) {
-    static const std::regex kNew(R"((^|[^A-Za-z0-9_.:])new\s+[A-Za-z_:])");
-    static const std::regex kDelete(R"((^|[^A-Za-z0-9_])delete(\s|\[|;))");
-    if (std::regex_search(code, kNew)) {
-      Report(ln, kNakedNew,
-             "naked new; use std::make_unique/containers so ownership is "
-             "explicit and exception-safe");
+void Linter::ComputeSanitizedSpans() {
+  sanitized_.assign(t_.size(), false);
+  for (size_t i = 0; i + 3 < t_.size(); ++i) {
+    if (!IsIdent(i, "ct") || !IsPunct(i + 1, "::")) continue;
+    if (t_[i + 2].kind != Tk::kIdent ||
+        !LW_IN_LIST(t_[i + 2].text, kCtSanitizers)) {
+      continue;
     }
-    if (std::regex_search(code, kDelete) &&
-        code.find("= delete") == std::string::npos) {
-      Report(ln, kNakedNew,
+    if (!IsPunct(i + 3, "(")) continue;
+    const size_t close = Match(i + 3);
+    if (close == SIZE_MAX) continue;
+    for (size_t j = i; j <= close; ++j) sanitized_[j] = true;
+  }
+}
+
+void Linter::CollectSecretNames() {
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || !IsIdent(i, "LW_SECRET")) continue;
+    // The declared name is the last identifier before the declarator ends
+    // (`;`/`,`/`)`/`=`/`{`/`[`/`:`), skipping template argument lists.
+    std::string last;
+    int angle = 0;
+    for (size_t j = i + 1; j < t_.size(); ++j) {
+      const Token& tok = t_[j];
+      if (tok.kind == Tk::kPunct) {
+        if (tok.text == "<") { ++angle; continue; }
+        if (tok.text == ">") { if (angle > 0) --angle; continue; }
+        if (tok.text == ">>") { angle = std::max(0, angle - 2); continue; }
+        if (angle > 0) continue;
+        if (tok.text == ";" || tok.text == "," || tok.text == ")" ||
+            tok.text == "=" || tok.text == "{" || tok.text == "[" ||
+            tok.text == ":") {
+          break;
+        }
+        continue;
+      }
+      if (angle > 0) continue;
+      if (tok.kind == Tk::kIdent) last = tok.text;
+    }
+    if (!last.empty()) secret_names_.insert(last);
+  }
+}
+
+void Linter::ComputeGuardLines() {
+  guard_result_.assign(static_cast<size_t>(tf_.line_count) + 2, false);
+  guard_reader_.assign(static_cast<size_t>(tf_.line_count) + 2, false);
+  auto mark = [&](int line, bool result_too) {
+    if (line < 1 || line >= static_cast<int>(guard_result_.size())) return;
+    guard_reader_[static_cast<size_t>(line)] = true;
+    if (result_too) guard_result_[static_cast<size_t>(line)] = true;
+  };
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].kind != Tk::kIdent) continue;
+    const std::string& x = t_[i].text;
+    if (x == "ok" && i > 0 &&
+        (IsPunct(i - 1, ".") || IsPunct(i - 1, "->")) && IsPunct(i + 1, "(")) {
+      mark(t_[i].line, true);
+    } else if (x.rfind("LW_CHECK", 0) == 0 || x == "LW_ASSIGN_OR_RETURN" ||
+               x.rfind("ASSERT_", 0) == 0 || x.rfind("EXPECT_", 0) == 0) {
+      mark(t_[i].line, true);
+    } else if (x == "LW_RETURN_IF_ERROR") {
+      mark(t_[i].line, false);
+    }
+  }
+}
+
+bool Linter::Allowed(int line, const std::string& rule) const {
+  if (tf_.file_allows.count(rule) != 0) return true;
+  const int idx = line - 1;  // 0-based
+  if (idx >= 0 && idx < static_cast<int>(tf_.line_allows.size()) &&
+      tf_.line_allows[static_cast<size_t>(idx)].count(rule) != 0) {
+    return true;
+  }
+  // An annotation on the line directly above also applies.
+  if (idx - 1 >= 0 && idx - 1 < static_cast<int>(tf_.line_allows.size()) &&
+      tf_.line_allows[static_cast<size_t>(idx - 1)].count(rule) != 0) {
+    return true;
+  }
+  return false;
+}
+
+void Linter::MarkUsed(int line, const std::string& rule) {
+  for (size_t i = 0; i < tf_.allow_sites.size(); ++i) {
+    const AllowSite& site = tf_.allow_sites[i];
+    if (site.rule != rule) continue;
+    if (site.whole_file || site.line == line || site.line == line - 1) {
+      allow_used_[i] = true;
+    }
+  }
+}
+
+void Linter::Report(int line, const std::string& rule,
+                    const std::string& message) {
+  if (Allowed(line, rule)) {
+    MarkUsed(line, rule);
+    return;
+  }
+  if (!reported_.insert({rule, line}).second) return;
+  findings_.push_back(Finding{path_, line, rule, message});
+}
+
+// ------------------------------------------------ token utilities
+
+std::string Linter::JoinRange(size_t a, size_t b) const {
+  std::string out;
+  for (size_t i = a; i <= b && i < t_.size(); ++i) out += t_[i].text;
+  return out;
+}
+
+bool Linter::LooksPublicOperandRange(size_t a, size_t b) const {
+  const std::string joined = JoinRange(a, b);
+  for (const char* mark : kPublicOperandMarks) {
+    if (joined.find(mark) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Linter::HasSecretIdentRange(size_t a, size_t b) const {
+  for (size_t i = a; i <= b && i < t_.size(); ++i) {
+    if (t_[i].kind != Tk::kIdent || t_[i].pp) continue;
+    if (NameHasSecretToken(t_[i].text)) return true;
+  }
+  return false;
+}
+
+bool Linter::HasRequestTaintedRange(size_t a, size_t b) const {
+  for (size_t i = a; i <= b && i < t_.size(); ++i) {
+    if (t_[i].kind != Tk::kIdent || t_[i].pp) continue;
+    if (IsKConstant(t_[i].text)) continue;
+    const std::string low = Lower(t_[i].text);
+    for (const char* tok : kRequestTaintTokens) {
+      if (low.find(tok) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+bool Linter::TaintedRange(size_t a, size_t b,
+                          const std::set<std::string>& fn_tainted) const {
+  for (size_t i = a; i <= b && i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    if (sanitized_[i]) continue;  // inside a ct:: sanitizer call
+    if (t_[i].kind != Tk::kIdent) continue;
+    const std::string& name = t_[i].text;
+    if (name == "sizeof" && IsPunct(i + 1, "(")) {
+      const size_t close = Match(i + 1);
+      if (close != SIZE_MAX && close <= b) { i = close; continue; }
+    }
+    if (name == "LW_SECRET" || IsKConstant(name)) continue;
+    // The size of a secret buffer is public: `key.size()` contributes no
+    // taint even though `key` does.
+    if ((IsPunct(i + 1, ".") || IsPunct(i + 1, "->")) && i + 2 < t_.size() &&
+        t_[i + 2].kind == Tk::kIdent &&
+        LW_IN_LIST(t_[i + 2].text, kPublicMembers)) {
+      i += 2;
+      continue;
+    }
+    if (secret_names_.count(name) != 0) return true;
+    if (fn_tainted.count(name) != 0) return true;
+    if (crypto_ && NameHasSecretToken(name)) return true;
+  }
+  return false;
+}
+
+// A `[` is an array subscript only when it follows a postfix expression
+// (identifier, `)`, or `]`). Everything else — lambda capture lists,
+// attributes, structured bindings — is not a memory access. Keywords that
+// can directly precede a lambda are excluded too.
+bool Linter::IsSubscript(size_t i) const {
+  if (!IsPunct(i, "[")) return false;
+  if (IsPunct(i + 1, "[")) return false;  // [[attribute]]
+  if (i == 0) return false;
+  const Token& p = t_[i - 1];
+  if (p.kind == Tk::kPunct) return p.text == ")" || p.text == "]";
+  if (p.kind != Tk::kIdent) return false;
+  static const char* kNotPostfix[] = {"auto",   "return", "case",
+                                      "new",    "delete", "throw",
+                                      "co_return", "co_yield"};
+  return !LW_IN_LIST(p.text, kNotPostfix);
+}
+
+// ------------------------------------------------ ported rules
+
+void Linter::CheckInsecureRand() {
+  static const char* kRandNames[] = {"rand", "srand", "drand48", "lrand48",
+                                     "random_shuffle"};
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || t_[i].kind != Tk::kIdent) continue;
+    if (!LW_IN_LIST(t_[i].text, kRandNames)) continue;
+    if (!IsPunct(i + 1, "(")) continue;
+    // `std::rand(` is flagged; `lw::Rng::rand(` or any other qualified name
+    // is someone else's rand.
+    if (i >= 2 && IsPunct(i - 1, "::") && !IsIdent(i - 2, "std")) continue;
+    Report(t_[i].line, kInsecureRand,
+           "libc randomness is not seedable/secure enough for this "
+           "codebase; use lw::Rng (simulation) or lw::SecureRandom "
+           "(secrets)");
+  }
+}
+
+void Linter::CheckNakedNew() {
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || t_[i].kind != Tk::kIdent) continue;
+    if (t_[i].text == "new") {
+      if (i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->") ||
+                    IsPunct(i - 1, "::") || IsIdent(i - 1, "operator"))) {
+        continue;
+      }
+      if (i + 1 < t_.size() &&
+          (t_[i + 1].kind == Tk::kIdent || IsPunct(i + 1, "::"))) {
+        Report(t_[i].line, kNakedNew,
+               "naked new; use std::make_unique/containers so ownership is "
+               "explicit and exception-safe");
+      }
+    } else if (t_[i].text == "delete") {
+      if (i > 0 && (IsPunct(i - 1, "=") || IsIdent(i - 1, "operator"))) {
+        continue;
+      }
+      Report(t_[i].line, kNakedNew,
              "naked delete; owning raw pointers are banned outside the "
              "allocator layer");
     }
   }
+}
 
-  void CheckMemcmp(std::size_t ln, const std::string& code) {
-    static const std::regex kMemcmp(R"((^|[^A-Za-z0-9_])(std::)?memcmp\s*\()");
-    std::smatch m;
-    if (!std::regex_search(code, m, kMemcmp)) return;
-    const std::string args = code.substr(m.position(0));
-    if (HasSecretIdentifier(args)) {
-      Report(ln, kCtCompare,
+void Linter::CheckMemcmp() {
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || !IsIdent(i, "memcmp") || !IsPunct(i + 1, "(")) continue;
+    const size_t close = Match(i + 1);
+    if (close == SIZE_MAX) continue;
+    if (HasSecretIdentRange(i + 2, close - 1)) {
+      Report(t_[i].line, kCtCompare,
              "memcmp on secret material leaks a timing side channel; use "
              "lw::crypto::ct::Eq");
     }
   }
+}
 
-  void CheckCtEquality(std::size_t ln, const std::string& code) {
-    // Operands of ==/!= in crypto sources must not be secret-named values.
-    static const std::regex kCmp(
-        R"(([A-Za-z0-9_.:\]\[()>-]+)\s*(==|!=)\s*([A-Za-z0-9_.:\]\[()>-]+))");
-    for (auto it = std::sregex_iterator(code.begin(), code.end(), kCmp);
-         it != std::sregex_iterator(); ++it) {
-      const std::string lhs = (*it)[1].str();
-      const std::string rhs = (*it)[3].str();
-      if (LooksPublicOperand(lhs) || LooksPublicOperand(rhs)) continue;
-      if (HasSecretIdentifier(lhs) || HasSecretIdentifier(rhs)) {
-        Report(ln, kCtCompare,
-               "variable-time comparison of secret material; use "
-               "lw::crypto::ct::Eq / EqMask");
-        return;
+void Linter::CheckCtEquality() {
+  // Operands of ==/!= in crypto sources must not be secret-named values.
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || t_[i].kind != Tk::kPunct) continue;
+    if (t_[i].text != "==" && t_[i].text != "!=") continue;
+    // Left operand: a postfix chain ending just before the operator.
+    size_t l = i;  // exclusive lower bound walker
+    while (l > 0) {
+      const Token& p = t_[l - 1];
+      if (p.kind == Tk::kIdent || p.kind == Tk::kNumber) { --l; continue; }
+      if (p.kind == Tk::kPunct &&
+          (p.text == "." || p.text == "->" || p.text == "::" ||
+           p.text == "-")) { --l; continue; }
+      if (p.kind == Tk::kPunct && (p.text == ")" || p.text == "]")) {
+        const size_t open = Match(l - 1);
+        if (open == SIZE_MAX) break;
+        l = open;
+        continue;
       }
+      break;
+    }
+    // Right operand.
+    size_t r = i;  // exclusive upper bound walker
+    while (r + 1 < t_.size()) {
+      const Token& n = t_[r + 1];
+      if (n.kind == Tk::kIdent || n.kind == Tk::kNumber) { ++r; continue; }
+      if (n.kind == Tk::kPunct &&
+          (n.text == "." || n.text == "->" || n.text == "::" ||
+           n.text == "-")) { ++r; continue; }
+      if (n.kind == Tk::kPunct && (n.text == "(" || n.text == "[")) {
+        const size_t close = Match(r + 1);
+        if (close == SIZE_MAX) break;
+        r = close;
+        continue;
+      }
+      break;
+    }
+    if (l >= i || r <= i) continue;  // an operand is empty
+    if (LooksPublicOperandRange(l, i - 1) ||
+        LooksPublicOperandRange(i + 1, r)) {
+      continue;
+    }
+    if (HasSecretIdentRange(l, i - 1) || HasSecretIdentRange(i + 1, r)) {
+      Report(t_[i].line, kCtCompare,
+             "variable-time comparison of secret material; use "
+             "lw::crypto::ct::Eq / EqMask");
     }
   }
+}
 
-  void CheckSecretIndex(std::size_t ln, const std::string& code, bool crypto) {
-    // (a) Everywhere: an index expression naming secret material.
-    // (b) In src/crypto: nested data-dependent lookups tbl[x[i]] — the
-    //     classic cache-timing shape even when nothing is named "key".
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      if (code[i] != '[') continue;
-      // Structured bindings (`auto& [key, val]`) are not array accesses.
-      std::size_t before = i;
-      while (before > 0 && code[before - 1] == ' ') --before;
-      if (before > 0 && code[before - 1] == '&') continue;
-      if (before >= 4 && code.compare(before - 4, 4, "auto") == 0) continue;
-      int depth = 1;
-      std::size_t j = i + 1;
-      bool nested = false;
-      while (j < code.size() && depth > 0) {
-        if (code[j] == '[') {
-          ++depth;
-          nested = true;
-        }
-        if (code[j] == ']') --depth;
-        ++j;
-      }
-      const std::string index = code.substr(i + 1, j - i - 2);
-      // Attribute syntax [[...]] is not an index expression.
-      if (index.empty() || code.compare(i, 2, "[[") == 0) continue;
-      if (HasSecretIdentifier(index)) {
-        Report(ln, kSecretIndex,
-               "array access indexed by secret material; memory addresses "
-               "leak through the cache — use a constant-time scan "
-               "(crypto::ct::CondAssign over all slots)");
-        return;
-      }
-      if (crypto && nested && !LooksPublicOperand(index)) {
-        Report(ln, kSecretIndex,
-               "nested data-dependent table lookup in crypto code; table "
-               "indices derived from processed data leak through the cache");
-        return;
-      }
+void Linter::CheckSecretIndex() {
+  if (secret_index_whitelisted_) return;
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || !IsSubscript(i)) continue;
+    const size_t close = Match(i);
+    if (close == SIZE_MAX || close <= i + 1) continue;
+    bool nested = false;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (IsPunct(j, "[")) nested = true;
+    }
+    if (HasSecretIdentRange(i + 1, close - 1)) {
+      Report(t_[i].line, kSecretIndex,
+             "array access indexed by secret material; memory addresses "
+             "leak through the cache — use a constant-time scan "
+             "(crypto::ct::CondAssign over all slots)");
+    } else if (crypto_ && nested &&
+               !LooksPublicOperandRange(i + 1, close - 1)) {
+      Report(t_[i].line, kSecretIndex,
+             "nested data-dependent table lookup in crypto code; table "
+             "indices derived from processed data leak through the cache");
     }
   }
+}
 
-  void CheckMetricLabel(std::size_t ln, const std::string& code) {
-    // Metric registration must use compile-time literal names. String
-    // literals are blanked before this runs, so a clean registration shows
-    // only `""` arguments; any surviving request-tainted identifier means
-    // the metric name/label is being built from per-request data, which
-    // would record the access pattern PIR hides (paper §2).
-    static const std::regex kRegister(
-        R"((^|[^A-Za-z0-9_])(AddCounter|AddGauge|AddHistogram|RegisterCounter|RegisterGauge|RegisterHistogram)\s*\()");
-    std::smatch m;
-    if (!std::regex_search(code, m, kRegister)) return;
-    const std::string args =
-        code.substr(static_cast<std::size_t>(m.position(2)));
-    if (HasRequestTaintedIdentifier(args)) {
-      Report(ln, kMetricLabelFromRequest,
+void Linter::CheckMetricLabel() {
+  // Metric registration must use compile-time literal names. Literal bodies
+  // are blanked by the tokenizer, so any request-tainted identifier among a
+  // registration's arguments means the metric name/label is being built
+  // from per-request data, which would record the access pattern PIR hides
+  // (paper §2).
+  static const char* kRegisterNames[] = {
+      "AddCounter",      "AddGauge",      "AddHistogram",
+      "RegisterCounter", "RegisterGauge", "RegisterHistogram"};
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp || t_[i].kind != Tk::kIdent) continue;
+    if (!LW_IN_LIST(t_[i].text, kRegisterNames)) continue;
+    if (!IsPunct(i + 1, "(")) continue;
+    const size_t close = Match(i + 1);
+    if (close == SIZE_MAX || close <= i + 2) continue;
+    if (HasRequestTaintedRange(i + 2, close - 1)) {
+      Report(t_[i].line, kMetricLabelFromRequest,
              "metric name/label built from request-derived data; telemetry "
              "must be aggregate-only (literal names), or it re-leaks the "
              "access pattern PIR hides — see docs/OBSERVABILITY.md");
     }
   }
+}
 
-  void CheckReceiveDeadline(std::size_t ln, const std::string& code) {
-    // Outside the transport layer every Receive must name a deadline, even
-    // if it is Deadline::Infinite() — an unbounded read should be a visible,
-    // deliberate decision (docs/ROBUSTNESS.md), not the default a hung peer
-    // exploits. The one sanctioned exception is the server's long-poll on
-    // the batcher loop, which carries an allow annotation.
-    static const std::regex kBareReceive(R"((\.|->)\s*Receive\s*\(\s*\))");
-    if (std::regex_search(code, kBareReceive)) {
-      Report(ln, kReceiveWithoutDeadline,
-             "Receive() with no deadline blocks forever on a hung peer; pass "
-             "a net::Deadline (Deadline::Infinite() if waiting forever is "
-             "truly intended) — see docs/ROBUSTNESS.md");
-    }
+void Linter::CheckReceiveDeadline() {
+  // Outside the transport layer every Receive must name a deadline, even
+  // if it is Deadline::Infinite() — an unbounded read should be a visible,
+  // deliberate decision (docs/ROBUSTNESS.md), not the default a hung peer
+  // exploits. The one sanctioned exception is the server's long-poll on
+  // the batcher loop, which carries an allow annotation.
+  for (size_t i = 1; i < t_.size(); ++i) {
+    if (t_[i].pp || !IsIdent(i, "Receive")) continue;
+    if (!IsPunct(i - 1, ".") && !IsPunct(i - 1, "->")) continue;
+    if (!IsPunct(i + 1, "(") || !IsPunct(i + 2, ")")) continue;
+    Report(t_[i].line, kReceiveWithoutDeadline,
+           "Receive() with no deadline blocks forever on a hung peer; pass "
+           "a net::Deadline (Deadline::Infinite() if waiting forever is "
+           "truly intended) — see docs/ROBUSTNESS.md");
   }
+}
 
-  void CheckUncheckedResult(std::size_t ln, const std::string& code) {
-    static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
-    if (!std::regex_search(code, kValue)) return;
+void Linter::CheckUncheckedResult() {
+  for (size_t i = 0; i + 3 < t_.size(); ++i) {
+    if (t_[i].pp || !IsPunct(i, ".")) continue;
+    if (!IsIdent(i + 1, "value") || !IsPunct(i + 2, "(") ||
+        !IsPunct(i + 3, ")")) {
+      continue;
+    }
     // A visible guard on the same or the three preceding lines counts:
     // .ok() tests, LW_CHECK/LW_ASSIGN_OR_RETURN, or test assertions.
-    static const std::regex kGuard(
-        R"(\.ok\s*\(|LW_CHECK|LW_ASSIGN_OR_RETURN|ASSERT_|EXPECT_)");
-    const std::size_t first = ln >= 3 ? ln - 3 : 0;
-    for (std::size_t g = first; g <= ln; ++g) {
-      if (std::regex_search(scan_.code[g], kGuard)) return;
+    const int line = t_[i + 1].line;
+    bool guarded = false;
+    for (int g = std::max(1, line - 3); g <= line; ++g) {
+      if (guard_result_[static_cast<size_t>(g)]) guarded = true;
     }
-    Report(ln, kUncheckedResult,
+    if (guarded) continue;
+    Report(line, kUncheckedResult,
            "Result<T>::value() without a visible ok() check; use "
            "LW_ASSIGN_OR_RETURN or LW_CHECK the status first");
   }
+}
 
-  void CheckUncheckedReader(std::size_t ln, const std::string& code) {
-    // Every lw::Reader decode returns Result<T>; wiring that value into the
-    // surrounding expression without a status check turns a truncated frame
-    // into an InvariantViolation at best and silently-wrong data at worst.
-    // Three shapes are flagged:
-    //   *r.U32()                    dereference of the temporary
-    //   r.LengthPrefixed(...)->...  member access through the temporary
-    //   r.U32();                    discarded read (bytes consumed, value
-    //                               and status both dropped)
-    // Writer methods of the same names all take arguments and return void,
-    // so the zero-arg discard pattern cannot fire on a Writer.
-    static const std::regex kDerefTemp(
-        R"(\*\s*[A-Za-z_][A-Za-z0-9_]*\s*\.\s*(U8|U16|U32|U64|Raw|LengthPrefixed|String)\s*\()");
-    static const std::regex kThroughTemp(
-        R"(\.\s*(U8|U16|U32|U64|Raw|LengthPrefixed|String)\s*\([^()]*\)\s*(->|\.\s*value\b))");
-    static const std::regex kDiscarded(
-        R"(^\s*[A-Za-z_][A-Za-z0-9_.]*\s*\.\s*(U8|U16|U32|U64|LengthPrefixed|String)\s*\(\s*\)\s*;\s*$)");
-    const bool hit = std::regex_search(code, kDerefTemp) ||
-                     std::regex_search(code, kThroughTemp) ||
-                     std::regex_search(code, kDiscarded);
-    if (!hit) return;
-    // Same guard window as unchecked-result: a visible check on this line
-    // or the three preceding ones counts.
-    static const std::regex kGuard(
-        R"(\.ok\s*\(|LW_CHECK|LW_ASSIGN_OR_RETURN|LW_RETURN_IF_ERROR|ASSERT_|EXPECT_)");
-    const std::size_t first = ln >= 3 ? ln - 3 : 0;
-    for (std::size_t g = first; g <= ln; ++g) {
-      if (std::regex_search(scan_.code[g], kGuard)) return;
+void Linter::CheckUncheckedReader() {
+  // Every lw::Reader decode returns Result<T>; wiring that value into the
+  // surrounding expression without a status check turns a truncated frame
+  // into an InvariantViolation at best and silently-wrong data at worst.
+  // Three shapes are flagged:
+  //   *r.U32()                    dereference of the temporary
+  //   r.LengthPrefixed(...)->...  member access through the temporary
+  //   r.U32();                    discarded read (bytes consumed, value
+  //                               and status both dropped)
+  // Writer methods of the same names all take arguments and return void,
+  // so the zero-arg discard pattern cannot fire on a Writer.
+  static const char* kDecodeNames[] = {"U8",  "U16",    "U32",
+                                       "U64", "Raw",    "LengthPrefixed",
+                                       "String"};
+  static const char* kDiscardNames[] = {"U8",  "U16",            "U32",
+                                        "U64", "LengthPrefixed", "String"};
+  auto guarded = [&](int line) {
+    for (int g = std::max(1, line - 3); g <= line; ++g) {
+      if (guard_reader_[static_cast<size_t>(g)]) return true;
     }
-    Report(ln, kUncheckedReader,
+    return false;
+  };
+  auto report = [&](int line) {
+    if (guarded(line)) return;
+    Report(line, kUncheckedReader,
            "Reader decode result used without a status check; a short or "
            "malformed frame must become a ProtocolError, not data — use "
            "LW_ASSIGN_OR_RETURN (see docs/FUZZING.md)");
-  }
-
-  // Loop tracking for var-time-loop: maintains brace depth and the depths at
-  // which loop bodies opened, fed one code line at a time.
-  void TrackLoops(const std::string& code) {
-    static const std::regex kLoopHead(R"((^|[^A-Za-z0-9_])(for|while)\s*\()");
-    if (std::regex_search(code, kLoopHead)) pending_loop_ = true;
-    for (const char c : code) {
-      if (c == '(') {
-        ++paren_depth_;
-      } else if (c == ')') {
-        if (paren_depth_ > 0) --paren_depth_;
-      } else if (c == '{') {
-        ++depth_;
-        if (pending_loop_) {
-          loop_depths_.push_back(depth_);
-          pending_loop_ = false;
+  };
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    // *r.U32( — dereference of the decode temporary.
+    if (IsPunct(i, "*") && i + 4 < t_.size() &&
+        t_[i + 1].kind == Tk::kIdent && IsPunct(i + 2, ".") &&
+        t_[i + 3].kind == Tk::kIdent &&
+        LW_IN_LIST(t_[i + 3].text, kDecodeNames) && IsPunct(i + 4, "(")) {
+      report(t_[i + 3].line);
+    }
+    // .U32(args)-> or .U32(args).value — reading through the temporary.
+    if (IsPunct(i, ".") && i + 2 < t_.size() &&
+        t_[i + 1].kind == Tk::kIdent &&
+        LW_IN_LIST(t_[i + 1].text, kDecodeNames) && IsPunct(i + 2, "(")) {
+      const size_t close = Match(i + 2);
+      if (close != SIZE_MAX && close + 1 < t_.size()) {
+        if (IsPunct(close + 1, "->") ||
+            (IsPunct(close + 1, ".") && IsIdent(close + 2, "value"))) {
+          report(t_[i + 1].line);
         }
-      } else if (c == '}') {
-        if (!loop_depths_.empty() && loop_depths_.back() == depth_) {
-          loop_depths_.pop_back();
-        }
-        --depth_;
-      } else if (c == ';' && pending_loop_ && paren_depth_ == 0) {
-        // Braceless loop body or a do-while tail; nothing to track. The
-        // semicolons inside a for(;;) head sit at paren depth > 0 and must
-        // not clear the pending flag.
-        pending_loop_ = false;
+      }
+    }
+    // Statement of the exact shape `obj.member...U16();` — discarded read.
+    const bool stmt_start =
+        i == 0 || IsPunct(i - 1, ";") || IsPunct(i - 1, "{") ||
+        IsPunct(i - 1, "}");
+    if (stmt_start && t_[i].kind == Tk::kIdent) {
+      size_t k = i;
+      while (k + 2 < t_.size() && IsPunct(k + 1, ".") &&
+             t_[k + 2].kind == Tk::kIdent) {
+        k += 2;
+      }
+      if (k > i && LW_IN_LIST(t_[k].text, kDiscardNames) &&
+          IsPunct(k + 1, "(") && IsPunct(k + 2, ")") && IsPunct(k + 3, ";")) {
+        report(t_[k].line);
       }
     }
   }
+}
 
-  void CheckVarTimeLoop(std::size_t ln, const std::string& code) {
-    // Secret-dependent bound in the loop head.
-    static const std::regex kLoopHead(R"((^|[^A-Za-z0-9_])(for|while)\s*\()");
-    std::smatch m;
-    if (std::regex_search(code, m, kLoopHead)) {
-      // Only the parenthesized condition is the loop bound; the body on the
-      // same line may legitimately touch secrets.
-      std::size_t open = code.find('(', static_cast<std::size_t>(m.position(0)));
-      std::size_t close = open;
-      int pdepth = 0;
-      while (close < code.size()) {
-        if (code[close] == '(') ++pdepth;
-        if (code[close] == ')' && --pdepth == 0) break;
-        ++close;
-      }
-      const std::string head = code.substr(open, close - open + 1);
-      if (!LooksPublicOperand(head) && HasSecretIdentifier(head)) {
-        Report(ln, kVarTimeLoop,
+void Linter::CheckVarTimeLoops() {
+  // Sequential walk tracking which brace depths are loop bodies; an early
+  // exit while any loop is open, or a secret-named loop bound, is
+  // variable time. Crypto-only.
+  int depth = 0;
+  bool pending_loop = false;
+  std::vector<int> loop_depths;
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    const Token& tok = t_[i];
+    if (tok.kind == Tk::kIdent &&
+        (tok.text == "for" || tok.text == "while") && IsPunct(i + 1, "(")) {
+      const size_t close = Match(i + 1);
+      if (close == SIZE_MAX) continue;
+      // Only the parenthesized head is the loop bound; the body may
+      // legitimately touch secrets.
+      if (close > i + 2 && !LooksPublicOperandRange(i + 1, close) &&
+          HasSecretIdentRange(i + 2, close - 1)) {
+        Report(tok.line, kVarTimeLoop,
                "loop bound depends on secret material; iteration counts "
                "leak through timing — bound by the (public) buffer size");
       }
+      pending_loop = true;
+      i = close;  // the head's own `;` tokens must not clear the flag
+      continue;
     }
-    // Early exits inside any loop body in crypto code.
-    if (!loop_depths_.empty()) {
-      static const std::regex kEarlyExit(
-          R"((^|[^A-Za-z0-9_])(break\s*;|return\b))");
-      if (std::regex_search(code, kEarlyExit)) {
-        Report(ln, kVarTimeLoop,
-               "early exit from a loop in crypto code is variable-time; "
-               "accumulate into a mask and exit at the bound instead");
+    if (tok.kind == Tk::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+        if (pending_loop) {
+          loop_depths.push_back(depth);
+          pending_loop = false;
+        }
+      } else if (tok.text == "}") {
+        if (!loop_depths.empty() && loop_depths.back() == depth) {
+          loop_depths.pop_back();
+        }
+        --depth;
+      } else if (tok.text == ";" && pending_loop) {
+        // Braceless loop body or a do-while tail; nothing to track.
+        pending_loop = false;
+      }
+      continue;
+    }
+    if (!loop_depths.empty() && tok.kind == Tk::kIdent &&
+        (tok.text == "return" ||
+         (tok.text == "break" && IsPunct(i + 1, ";")))) {
+      Report(tok.line, kVarTimeLoop,
+             "early exit from a loop in crypto code is variable-time; "
+             "accumulate into a mask and exit at the bound instead");
+    }
+  }
+}
+
+// ------------------------------------------------ taint engine
+
+// Walks the token stream for function definitions: `name(params)` followed
+// (possibly via const/noexcept/trailing return/ctor-init) by a `{` body.
+void Linter::AnalyzeFunctions() {
+  const size_t n = t_.size();
+  size_t i = 0;
+  while (i < n) {
+    if (t_[i].pp || !IsPunct(i, "(") || i == 0 ||
+        t_[i - 1].kind != Tk::kIdent ||
+        LW_IN_LIST(t_[i - 1].text, kNotFunctionNames)) {
+      ++i;
+      continue;
+    }
+    const size_t close = Match(i);
+    if (close == SIZE_MAX) {
+      ++i;
+      continue;
+    }
+    // Walk the declaration suffix looking for the body `{`.
+    size_t body = SIZE_MAX;
+    size_t k = close + 1;
+    while (k < n && body == SIZE_MAX) {
+      const Token& tok = t_[k];
+      if (tok.pp) { ++k; continue; }
+      if (tok.kind == Tk::kIdent) { ++k; continue; }  // const, noexcept, types
+      if (tok.kind != Tk::kPunct) break;
+      const std::string& x = tok.text;
+      if (x == "{") { body = k; break; }
+      if (x == "->" || x == "::" || x == "<" || x == ">" || x == "*" ||
+          x == "&" || x == "&&") { ++k; continue; }
+      if (x == "(" || x == "[") {  // noexcept(...), [[attributes]]
+        const size_t m = Match(k);
+        if (m == SIZE_MAX) break;
+        k = m + 1;
+        continue;
+      }
+      if (x == ":") {  // constructor initializer list
+        ++k;
+        while (k < n) {
+          if (IsPunct(k, "(")) {
+            const size_t m = Match(k);
+            if (m == SIZE_MAX) break;
+            k = m + 1;
+          } else if (IsPunct(k, "{")) {
+            // `member_{init}` braces follow an identifier; the body brace
+            // follows `)` or `}` of the previous initializer.
+            if (k > 0 && t_[k - 1].kind == Tk::kIdent) {
+              const size_t m = Match(k);
+              if (m == SIZE_MAX) break;
+              k = m + 1;
+            } else {
+              body = k;
+              break;
+            }
+          } else if (IsPunct(k, ";") || IsPunct(k, "}")) {
+            break;
+          } else {
+            ++k;
+          }
+        }
+        break;
+      }
+      break;  // `;` (declaration), `=`, `,`, operators: not a definition
+    }
+    if (body == SIZE_MAX) {
+      i = close + 1;
+      continue;
+    }
+    const size_t body_close = Match(body);
+    if (body_close == SIZE_MAX) {
+      i = body + 1;
+      continue;
+    }
+    if (body_close > body + 1) ProcessFunction(body + 1, body_close - 1);
+    i = body_close + 1;
+  }
+}
+
+void Linter::CollectAssignments(size_t body_a, size_t body_b,
+                                std::vector<AssignEvent>& events) const {
+  static const char* kAssignOps[] = {"=",  "+=", "-=", "*=",  "/=", "%=",
+                                     "&=", "|=", "^=", "<<=", ">>="};
+  auto rhs_end = [&](size_t from) {
+    int depth = 0;
+    size_t j = from;
+    for (; j <= body_b && j < t_.size(); ++j) {
+      if (t_[j].kind != Tk::kPunct) continue;
+      const std::string& x = t_[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      else if (x == ")" || x == "]" || x == "}") {
+        if (depth == 0) break;
+        --depth;
+      } else if ((x == ";" || x == ",") && depth == 0) {
+        break;
+      }
+    }
+    return j;  // exclusive
+  };
+  for (size_t i = body_a; i <= body_b && i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    const Token& tok = t_[i];
+    if (tok.kind == Tk::kPunct && LW_IN_LIST(tok.text, kAssignOps)) {
+      if (i > 0 && IsIdent(i - 1, "operator")) continue;
+      // Find the base identifier of the lvalue chain (a.b[c] = x taints a).
+      // The walk crosses subscript/call groups and member/scope connectors
+      // only; a second identifier with no connector is a declaration's type
+      // (`const std::uint64_t mask = ...` must bind `mask`, not `const`).
+      size_t j = i;
+      std::string base;
+      bool expect_ident = true;
+      while (j > body_a) {
+        const Token& p = t_[j - 1];
+        if (expect_ident) {
+          if (p.kind == Tk::kIdent) {
+            base = p.text;
+            --j;
+            expect_ident = false;
+            continue;
+          }
+          if (p.kind == Tk::kPunct && (p.text == "]" || p.text == ")")) {
+            const size_t open = Match(j - 1);
+            if (open == SIZE_MAX) break;
+            j = open;
+            continue;
+          }
+          break;
+        }
+        if (p.kind == Tk::kPunct &&
+            (p.text == "." || p.text == "->" || p.text == "::")) {
+          --j;
+          expect_ident = true;
+          continue;
+        }
+        break;
+      }
+      if (base.empty()) continue;
+      const size_t end = rhs_end(i + 1);
+      if (end > i + 1) {
+        events.push_back({tok.line, base, i + 1, end - 1});
+      }
+      continue;
+    }
+    if (tok.kind != Tk::kIdent) continue;
+    // Range-for: `for (decl : container)` — the loop variable takes the
+    // container's taint.
+    if (tok.text == "for" && IsPunct(i + 1, "(")) {
+      const size_t close = Match(i + 1);
+      if (close == SIZE_MAX) continue;
+      size_t colon = SIZE_MAX;
+      int depth = 0;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t_[j].kind != Tk::kPunct) continue;
+        const std::string& x = t_[j].text;
+        if (x == "(" || x == "[" || x == "<") ++depth;
+        else if (x == ")" || x == "]" || x == ">") --depth;
+        else if (x == ";" && depth == 0) break;  // classic for
+        else if (x == ":" && depth == 0) { colon = j; break; }
+      }
+      if (colon != SIZE_MAX && colon > i + 2 && colon + 1 < close) {
+        std::string var;
+        for (size_t j = i + 2; j < colon; ++j) {
+          if (t_[j].kind == Tk::kIdent) var = t_[j].text;
+        }
+        if (!var.empty()) {
+          events.push_back({tok.line, var, colon + 1, close - 1});
+        }
+      }
+      continue;
+    }
+    // LW_ASSIGN_OR_RETURN(decl, expr): decl's last identifier gets expr's
+    // taint.
+    if (tok.text == "LW_ASSIGN_OR_RETURN" && IsPunct(i + 1, "(")) {
+      const size_t close = Match(i + 1);
+      if (close == SIZE_MAX) continue;
+      size_t comma = SIZE_MAX;
+      int depth = 0;
+      for (size_t j = i + 2; j < close; ++j) {
+        if (t_[j].kind != Tk::kPunct) continue;
+        const std::string& x = t_[j].text;
+        if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+        else if (x == ")" || x == "]" || x == "}" || x == ">") --depth;
+        else if (x == "," && depth == 0) { comma = j; break; }
+      }
+      if (comma != SIZE_MAX && comma + 1 < close) {
+        std::string var;
+        for (size_t j = i + 2; j < comma; ++j) {
+          if (t_[j].kind == Tk::kIdent) var = t_[j].text;
+        }
+        if (!var.empty()) {
+          events.push_back({tok.line, var, comma + 1, close - 1});
+        }
+      }
+      continue;
+    }
+    // Constructor-style declaration `Type name(init);`.
+    if (i > body_a && IsPunct(i + 1, "(")) {
+      const Token& prev = t_[i - 1];
+      const bool type_before =
+          (prev.kind == Tk::kIdent &&
+           !LW_IN_LIST(prev.text, kNotFunctionNames) &&
+           prev.text != "operator") ||
+          (prev.kind == Tk::kPunct &&
+           (prev.text == ">" || prev.text == "*" || prev.text == "&"));
+      if (!type_before || LW_IN_LIST(tok.text, kNotFunctionNames)) continue;
+      const size_t close = Match(i + 1);
+      if (close != SIZE_MAX && close > i + 2 && IsPunct(close + 1, ";")) {
+        events.push_back({tok.line, tok.text, i + 2, close - 1});
       }
     }
   }
+}
 
-  const std::string path_;
-  const ScannedFile& scan_;
-  std::vector<Finding> findings_;
+bool Linter::DeclassifiedAt(int line) const {
+  return Allowed(line, kSecretTaintDeclassify);
+}
 
-  int depth_ = 0;
-  int paren_depth_ = 0;
-  bool pending_loop_ = false;
-  std::vector<int> loop_depths_;
-};
+void Linter::ProcessFunction(size_t body_a, size_t body_b) {
+  std::vector<AssignEvent> events;
+  CollectAssignments(body_a, body_b, events);
+  std::set<std::string> fn_tainted;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const AssignEvent& e : events) {
+      if (fn_tainted.count(e.lhs) != 0) continue;
+      if (!TaintedRange(e.rhs_a, e.rhs_b, fn_tainted)) continue;
+      if (DeclassifiedAt(e.line)) {
+        MarkUsed(e.line, kSecretTaintDeclassify);
+        continue;
+      }
+      fn_tainted.insert(e.lhs);
+      changed = true;
+    }
+  }
+  CheckTaintSinks(body_a, body_b, fn_tainted);
+}
+
+void Linter::CheckTaintSinks(size_t body_a, size_t body_b,
+                             const std::set<std::string>& fn_tainted) {
+  auto tainted = [&](size_t a, size_t b) {
+    return a <= b && TaintedRange(a, b, fn_tainted);
+  };
+  for (size_t i = body_a; i <= body_b && i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    const Token& tok = t_[i];
+    if (tok.kind == Tk::kIdent) {
+      // Branch sinks: if/while/switch conditions and the middle clause of a
+      // classic for. Range-for and ?: are not branch sinks (a ct-select is
+      // the sanctioned way to use masks).
+      if ((tok.text == "if" || tok.text == "while" ||
+           tok.text == "switch") &&
+          IsPunct(i + 1, "(")) {
+        const size_t close = Match(i + 1);
+        if (close != SIZE_MAX && close > i + 2 &&
+            tainted(i + 2, close - 1)) {
+          Report(tok.line, kTaintBranch,
+                 "branch condition depends on secret-tainted data; the "
+                 "taken path leaks the secret through timing — restructure "
+                 "with lw::crypto::ct masks (Select/CondAssign), or "
+                 "declassify with lwlint: allow(secret-taint)");
+        }
+        continue;
+      }
+      if (tok.text == "for" && IsPunct(i + 1, "(")) {
+        const size_t close = Match(i + 1);
+        if (close == SIZE_MAX) continue;
+        size_t s1 = SIZE_MAX, s2 = SIZE_MAX;
+        int depth = 0;
+        for (size_t j = i + 2; j < close; ++j) {
+          if (t_[j].kind != Tk::kPunct) continue;
+          const std::string& x = t_[j].text;
+          if (x == "(" || x == "[" || x == "{") ++depth;
+          else if (x == ")" || x == "]" || x == "}") --depth;
+          else if (x == ";" && depth == 0) {
+            if (s1 == SIZE_MAX) s1 = j;
+            else { s2 = j; break; }
+          }
+        }
+        if (s1 != SIZE_MAX && s2 != SIZE_MAX && s2 > s1 + 1 &&
+            tainted(s1 + 1, s2 - 1)) {
+          Report(tok.line, kTaintBranch,
+                 "loop condition depends on secret-tainted data; iteration "
+                 "counts leak through timing — bound the loop by a public "
+                 "size, or declassify with lwlint: allow(secret-taint)");
+        }
+        continue;
+      }
+      // Variable-time call sinks.
+      if (IsPunct(i + 1, "(")) {
+        bool var_time = false;
+        if (LW_IN_LIST(tok.text, kVarTimeFree)) {
+          var_time = true;
+        } else if (LW_IN_LIST(tok.text, kVarTimeStd) && i >= 2 &&
+                   IsPunct(i - 1, "::") && IsIdent(i - 2, "std")) {
+          var_time = true;
+        } else if (LW_IN_LIST(tok.text, kVarTimeMember) && i >= 1 &&
+                   (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) {
+          var_time = true;
+        }
+        if (var_time) {
+          const size_t close = Match(i + 1);
+          if (close != SIZE_MAX && close > i + 2 &&
+              tainted(i + 2, close - 1)) {
+            Report(tok.line, kTaintCall,
+                   "secret-tainted data passed to the variable-time "
+                   "function '" + tok.text +
+                       "'; its running time depends on the argument — use "
+                       "lw::crypto::ct helpers (EqMask + a full scan), or "
+                       "declassify with lwlint: allow(secret-taint)");
+          }
+        }
+      }
+      // Pointer arithmetic on a buffer base: `.data() + tainted`.
+      if (tok.text == "data" && i >= 1 &&
+          (IsPunct(i - 1, ".") || IsPunct(i - 1, "->")) &&
+          IsPunct(i + 1, "(") && IsPunct(i + 2, ")") &&
+          (IsPunct(i + 3, "+") || IsPunct(i + 3, "+="))) {
+        size_t r = i + 3;
+        while (r + 1 < t_.size()) {
+          const Token& n = t_[r + 1];
+          if (n.kind == Tk::kIdent || n.kind == Tk::kNumber) { ++r; continue; }
+          if (n.kind == Tk::kPunct &&
+              (n.text == "." || n.text == "->" || n.text == "::")) {
+            ++r;
+            continue;
+          }
+          if (n.kind == Tk::kPunct && (n.text == "(" || n.text == "[")) {
+            const size_t close = Match(r + 1);
+            if (close == SIZE_MAX) break;
+            r = close;
+            continue;
+          }
+          break;
+        }
+        if (r > i + 3 && tainted(i + 4, r)) {
+          Report(t_[i + 3].line, kTaintIndex,
+                 "pointer offset computed from secret-tainted data; the "
+                 "address touched leaks through the cache — use a "
+                 "constant-time scan, or declassify with lwlint: "
+                 "allow(secret-taint)");
+        }
+      }
+      continue;
+    }
+    // Index sinks: array subscripts with a tainted index expression.
+    if (IsSubscript(i) && !secret_index_whitelisted_) {
+      const size_t close = Match(i);
+      if (close != SIZE_MAX && close > i + 1 && tainted(i + 1, close - 1)) {
+        Report(tok.line, kTaintIndex,
+               "array subscript computed from secret-tainted data; memory "
+               "addresses leak through the cache — use a constant-time "
+               "scan (ct::CondAssign over all slots), or declassify with "
+               "lwlint: allow(secret-taint)");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ stale allows
+
+void Linter::CheckStaleAllows() {
+  for (size_t i = 0; i < tf_.allow_sites.size(); ++i) {
+    if (allow_used_[i]) continue;
+    const AllowSite& site = tf_.allow_sites[i];
+    // allow(stale-allow) hatches are consumed by the reports below, never
+    // reported themselves — that way acknowledging a dead hatch is one
+    // annotation, not an infinite regress.
+    if (site.rule == kStaleAllow) continue;
+    const std::string kind = site.whole_file ? "allowfile" : "allow";
+    Report(site.line, kStaleAllow,
+           "lwlint: " + kind + "(" + site.rule +
+               ") suppresses no findings; stale escape hatches hide "
+               "regressions — remove it (or fix the rule name)");
+  }
+}
+
+// ------------------------------------------------ driver
+
+std::vector<Finding> Linter::Run() {
+  crypto_ = IsCryptoFile(path_);
+  net_ = IsNetFile(path_);
+  for (const char* wl : kSecretIndexWhitelist) {
+    if (EndsWithPath(path_, wl)) secret_index_whitelisted_ = true;
+  }
+  allow_used_.assign(tf_.allow_sites.size(), false);
+  ComputeMatches();
+  ComputeSanitizedSpans();
+  CollectSecretNames();
+  ComputeGuardLines();
+
+  CheckInsecureRand();
+  CheckNakedNew();
+  CheckMemcmp();
+  CheckUncheckedResult();
+  CheckUncheckedReader();
+  CheckMetricLabel();
+  if (!net_) CheckReceiveDeadline();
+  CheckSecretIndex();
+  if (crypto_) {
+    CheckCtEquality();
+    CheckVarTimeLoops();
+  }
+  AnalyzeFunctions();
+  CheckStaleAllows();
+
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return std::move(findings_);
+}
 
 bool IsSourceFile(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
@@ -533,34 +1185,51 @@ bool IsSourceFile(const std::filesystem::path& p) {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      kCtCompare,       kSecretIndex,     kInsecureRand,
+      kCtCompare,       kSecretIndex,     kTaintBranch,
+      kTaintIndex,      kTaintCall,       kInsecureRand,
       kNakedNew,        kUncheckedResult, kUncheckedReader,
       kVarTimeLoop,     kMetricLabelFromRequest,
-      kReceiveWithoutDeadline,
+      kReceiveWithoutDeadline,            kStaleAllow,
   };
   return kRules;
 }
 
 std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& content) {
-  const ScannedFile scan = Scan(content);
-  return Linter(path, scan).Run();
+  const TokenizedFile tf = Tokenize(content);
+  return Linter(path, tf).Run();
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
+  return LintPaths(paths, LintOptions{});
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const LintOptions& options) {
   namespace fs = std::filesystem;
+  std::vector<std::string> excludes = options.excludes;
+  // The fixtures are deliberate true positives; linting them would make
+  // every full-tree run fail by design.
+  excludes.push_back("tools/lint/testdata");
+  auto excluded = [&](const std::string& generic) {
+    for (const std::string& e : excludes) {
+      if (!e.empty() && generic.find(e) != std::string::npos) return true;
+    }
+    return false;
+  };
   std::vector<Finding> findings;
   std::vector<fs::path> files;
   for (const std::string& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path()) &&
+            !excluded(entry.path().generic_string())) {
           files.push_back(entry.path());
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
+      if (!excluded(fs::path(p).generic_string())) files.push_back(p);
     } else {
       findings.push_back(Finding{p, 0, "io-error", "no such file or directory"});
     }
@@ -588,6 +1257,89 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
 std::string FormatFinding(const Finding& f) {
   std::ostringstream os;
   os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+namespace {
+
+// GitHub workflow-command escaping: data escapes %, \r, \n; property values
+// additionally escape : and , (the command's own delimiters).
+std::string GhEscape(const std::string& s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': if (property) { out += "%3A"; break; } out += c; break;
+      case ',': if (property) { out += "%2C"; break; } out += c; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingGithub(const Finding& f) {
+  std::ostringstream os;
+  os << "::error file=" << GhEscape(f.file, true)
+     << ",line=" << f.line << ",title=lwlint " << GhEscape(f.rule, true)
+     << "::" << GhEscape(f.message, false);
+  return os.str();
+}
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  std::ostringstream os;
+  os << "{\"version\":\"2.1.0\","
+     << "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+     << "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"lwlint\","
+     << "\"informationUri\":\"docs/STATIC_ANALYSIS.md\",\"rules\":[";
+  bool first = true;
+  for (const std::string& r : rules) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << JsonEscape(r) << "\"}";
+  }
+  os << "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ruleId\":\"" << JsonEscape(f.rule) << "\","
+       << "\"level\":\"error\","
+       << "\"message\":{\"text\":\"" << JsonEscape(f.message) << "\"},"
+       << "\"locations\":[{\"physicalLocation\":{"
+       << "\"artifactLocation\":{\"uri\":\"" << JsonEscape(f.file) << "\"},"
+       << "\"region\":{\"startLine\":" << std::max(1, f.line) << "}}}]}";
+  }
+  os << "]}]}";
   return os.str();
 }
 

@@ -1,11 +1,15 @@
 // lwlint command line driver.
 //
-//   lwlint [--list-rules] [path...]
+//   lwlint [--list-rules] [--format=text|github|sarif] [--exclude=substr]
+//          [path...]
 //
 // Paths default to "src". Exit code 0 = clean, 1 = violations found,
-// 2 = usage or I/O error. Registered as the `lwlint.src` ctest so tier-1
-// catches regressions; see docs/STATIC_ANALYSIS.md for the rules and the
-// `lwlint: allow(<rule>)` escape hatch.
+// 2 = usage or I/O error. `--format=github` emits workflow-command
+// annotations so findings land inline on PRs; `--format=sarif` emits a
+// SARIF 2.1.0 document on stdout for code-scanning upload. Registered as
+// the `lwlint.src` ctest so tier-1 catches regressions; see
+// docs/STATIC_ANALYSIS.md for the rules and the allow(<rule>) escape
+// hatch.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +18,8 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::string format = "text";
+  lw::lint::LintOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -23,8 +29,22 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: lwlint [--list-rules] [path...]\n");
+      std::printf(
+          "usage: lwlint [--list-rules] [--format=text|github|sarif] "
+          "[--exclude=substr] [path...]\n");
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "github" && format != "sarif") {
+        std::fprintf(stderr, "lwlint: unknown format '%s'\n", format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--exclude=", 0) == 0) {
+      options.excludes.push_back(arg.substr(10));
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "lwlint: unknown flag '%s'\n", arg.c_str());
@@ -34,11 +54,23 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths.push_back("src");
 
-  const std::vector<lw::lint::Finding> findings = lw::lint::LintPaths(paths);
+  const std::vector<lw::lint::Finding> findings =
+      lw::lint::LintPaths(paths, options);
   bool io_error = false;
   for (const lw::lint::Finding& f : findings) {
-    std::fprintf(stderr, "%s\n", lw::lint::FormatFinding(f).c_str());
     io_error |= (f.rule == "io-error");
+  }
+  if (format == "sarif") {
+    std::printf("%s\n", lw::lint::FormatSarif(findings).c_str());
+  } else {
+    for (const lw::lint::Finding& f : findings) {
+      if (format == "github") {
+        // Annotation on stdout (the runner parses it), readable line on
+        // stderr for the raw log.
+        std::printf("%s\n", lw::lint::FormatFindingGithub(f).c_str());
+      }
+      std::fprintf(stderr, "%s\n", lw::lint::FormatFinding(f).c_str());
+    }
   }
   if (io_error) return 2;
   if (!findings.empty()) {

@@ -1,0 +1,15 @@
+// lwlint fixture: allow() hatches that suppress nothing are findings, and
+// allow(stale-allow) acknowledges one deliberately kept hatch.
+#include <cstdint>
+
+int CleanButAnnotated(int x) {
+  return x + 1;  // lwlint: allow(insecure-rand)  line 6: stale
+}
+
+// lwlint: allow(naked-new)  line 9: stale (nothing below to suppress)
+int AlsoClean(int y) { return y * 2; }
+
+// A hatch kept on purpose (e.g. for code that only exists in some builds)
+// is acknowledged with stale-allow so it does not fire forever:
+// lwlint: allow(insecure-rand, stale-allow)
+int Acknowledged(int z) { return z - 1; }

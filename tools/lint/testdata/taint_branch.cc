@@ -1,0 +1,27 @@
+// lwlint fixture: secret-taint-branch — control flow on tainted values.
+#include <cstdint>
+
+bool DirectBranch(LW_SECRET std::uint64_t token) {
+  if (token != 0) return true;  // line 5: branch directly on a secret
+  return false;
+}
+
+int LoopBound(LW_SECRET std::uint64_t token) {
+  int rounds = 0;
+  while (token > 3) {  // line 11: while condition on a secret
+    token >>= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+int ForMiddleClause(LW_SECRET std::uint64_t token) {
+  int acc = 0;
+  for (std::uint64_t i = 0; i < token; ++i) acc += 1;  // line 20: for bound
+  return acc;
+}
+
+int PublicBranch(std::uint64_t counter) {
+  if (counter != 0) return 1;  // public condition: must not fire
+  return 0;
+}

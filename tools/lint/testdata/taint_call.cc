@@ -1,0 +1,20 @@
+// lwlint fixture: secret-taint-call — tainted data handed to functions
+// whose running time depends on their argument.
+#include <cstddef>
+#include <cstring>
+#include <unordered_map>
+
+bool MemcmpOnSecret(LW_SECRET const unsigned char* token,
+                    const unsigned char* pub, std::size_t n) {
+  return memcmp(token, pub, n) == 0;  // line 9: variable-time compare
+}
+
+bool MapProbe(LW_SECRET std::uint64_t token,
+              const std::unordered_map<std::uint64_t, int>& m) {
+  return m.count(token) != 0;  // line 14: hash probe leaks via timing
+}
+
+bool PublicProbe(std::uint64_t slot,
+                 const std::unordered_map<std::uint64_t, int>& m) {
+  return m.count(slot) != 0;  // public argument: must not fire
+}

@@ -1,0 +1,19 @@
+// lwlint fixture: taint propagates through chains of local assignments,
+// and ct:: sanitizers cut the chain.
+#include <cstdint>
+
+int ChainedLeak(LW_SECRET std::uint64_t token, const int* table) {
+  std::uint64_t hop = token >> 8;  // 1st hop: hop is now tainted
+  std::uint64_t slot = hop & 0xff;  // 2nd hop: slot is now tainted
+  if (slot != 0) return -1;  // line 8: branch on two-hop taint
+  return table[slot];  // line 9: subscript on two-hop taint
+}
+
+std::uint64_t ChainedSanitized(LW_SECRET std::uint64_t token,
+                               std::uint64_t wanted, const int* table) {
+  // The mask comes out of a ct.h helper, so the chain below is public.
+  std::uint64_t m = ct::EqMask(token, wanted);
+  std::uint64_t pick = m & 1;
+  if (pick != 0) return 1;  // sanitized at the source: must not fire
+  return static_cast<std::uint64_t>(table[pick]);  // must not fire
+}

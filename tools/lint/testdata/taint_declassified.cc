@@ -1,0 +1,19 @@
+// lwlint fixture: allow(secret-taint) declassifies at an assignment, and
+// downstream uses of the declassified value stop firing.
+#include <cstdint>
+
+std::uint64_t RevealPath(LW_SECRET std::uint64_t ident,
+                         const std::uint64_t* position) {
+  // Fixture mirror of the Path ORAM leaf reveal: the mapped value is
+  // uniform random and consumed exactly once, so exposing it is the design.
+  // lwlint: allow(secret-taint-index, secret-taint)
+  const std::uint64_t leaf = position[ident];
+  if (leaf > 7) return leaf - 7;  // leaf was declassified: must not fire
+  return leaf;
+}
+
+std::uint64_t StillTainted(LW_SECRET std::uint64_t ident) {
+  const std::uint64_t copy = ident + 1;  // no allow here: taint flows
+  if (copy > 7) return 1;  // line 17: still fires
+  return 0;
+}

@@ -1,0 +1,18 @@
+// lwlint fixture: secret-taint-index — subscripts and pointer offsets
+// computed from tainted data.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+int DirectSubscript(LW_SECRET std::uint32_t token, const int* table) {
+  return table[token & 0xff];  // line 8: subscript on a secret
+}
+
+const unsigned char* PointerOffset(LW_SECRET std::uint64_t token,
+                                   const std::vector<unsigned char>& buf) {
+  return buf.data() + (token % buf.size());  // line 13: .data() + secret
+}
+
+int PublicSubscript(const int* table, std::size_t i) {
+  return table[i];  // public index: must not fire
+}

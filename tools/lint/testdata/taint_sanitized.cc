@@ -1,0 +1,24 @@
+// lwlint fixture: the sanctioned constant-time patterns. This file must
+// lint clean even under src/crypto, where every heuristic is armed.
+#include <cstddef>
+#include <cstdint>
+
+std::uint64_t CtScan(LW_SECRET std::uint64_t token, const std::uint64_t* ids,
+                     std::size_t n) {
+  // Touch every slot; collapse the matches into a mask instead of branching.
+  std::uint64_t found = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    found |= ct::EqMask(ids[i], token);
+  }
+  return found;
+}
+
+bool TagVerify(ByteSpan got_tag, ByteSpan want_tag) {
+  // Secret-named operands are fine inside a ct.h comparison.
+  return ct::Eq(got_tag, want_tag);
+}
+
+std::uint64_t MaskedPick(LW_SECRET std::uint64_t token, std::uint64_t a,
+                         std::uint64_t b) {
+  return ct::Select(ct::NonzeroMask(token), a, b);
+}

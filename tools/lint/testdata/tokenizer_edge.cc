@@ -1,0 +1,17 @@
+// lwlint fixture: tokenizer edge cases. Raw strings, digit separators and
+// preprocessor lines must all be inert — this file lints clean even under
+// src/crypto with every heuristic armed.
+#include <cstdint>
+
+const char* kRaw = R"(rand(); new Widget; memcmp(key, b, 16); key[idx])";
+const char* kRawDelim = R"ab(std::srand(7); delete p; while (key) {})ab";
+const char* kEscapes = "tag == expected \"key[3]\" \\";
+
+constexpr std::uint64_t kBigPrime = 1'000'000'007ull;  // digit separators
+
+// Line continuations keep the whole macro a preprocessor line, so the
+// `new` below is never a naked-new finding.
+#define LW_FIXTURE_ALLOC(T) \
+  new T()
+
+int Use(int n) { return static_cast<int>(kBigPrime % (n + 1)); }

@@ -1,0 +1,280 @@
+#include "token.h"
+
+#include <cctype>
+#include <regex>
+
+namespace lw::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so maximal munch falls out of
+// first-match order.
+const char* const kPuncts[] = {
+    "...", "->*", "<<=", ">>=", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+    ".*",
+};
+
+// True when the raw-string prefix ending at `i` (exclusive) spells one of
+// R, u8R, uR, UR, LR and the identifier is exactly that prefix.
+bool IsRawPrefix(const std::string& s, size_t start, size_t end) {
+  const std::string p = s.substr(start, end - start);
+  return p == "R" || p == "u8R" || p == "uR" || p == "UR" || p == "LR";
+}
+
+}  // namespace
+
+TokenizedFile Tokenize(const std::string& content) {
+  // Splice line continuations first, remembering each spliced character's
+  // original line so token line numbers stay meaningful.
+  std::string s;
+  std::vector<int> line_of;  // 0-based original line per spliced char
+  s.reserve(content.size());
+  line_of.reserve(content.size());
+  int line = 0;
+  int max_line = 0;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\\' &&
+        (i + 1 < content.size() && (content[i + 1] == '\n' ||
+                                    (content[i + 1] == '\r' &&
+                                     i + 2 < content.size() &&
+                                     content[i + 2] == '\n')))) {
+      i += (content[i + 1] == '\r') ? 2 : 1;
+      ++line;
+      max_line = std::max(max_line, line);
+      continue;
+    }
+    s.push_back(c);
+    line_of.push_back(line);
+    if (c == '\n') {
+      ++line;
+      max_line = std::max(max_line, line);
+    }
+  }
+  if (!content.empty() && content.back() != '\n') max_line = line;
+
+  TokenizedFile out;
+  out.line_count = max_line + 1;
+  if (content.empty()) out.line_count = 0;
+
+  // Comment text gathered per original line, scanned for annotations after
+  // lexing. A block comment spanning lines contributes to each line it
+  // touches so `lwlint: allow` works from either comment style.
+  std::vector<std::string> comment_text(
+      static_cast<size_t>(out.line_count) + 1);
+  auto add_comment_char = [&](int ln, char c) {
+    if (ln >= 0 && ln < static_cast<int>(comment_text.size())) {
+      comment_text[static_cast<size_t>(ln)].push_back(c);
+    }
+  };
+
+  bool in_pp = false;  // current logical line is a preprocessor directive
+  bool at_line_start = true;  // only whitespace seen since last newline
+  const size_t n = s.size();
+  size_t i = 0;
+  auto push = [&](Tk kind, std::string text, size_t at) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_of[at] + 1;
+    t.pp = in_pp;
+    out.tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      in_pp = false;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && s[i] != '\n') {
+        add_comment_char(line_of[i], s[i]);
+        ++i;
+      }
+      (void)start;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      i += 2;
+      while (i < n && !(s[i] == '*' && i + 1 < n && s[i + 1] == '/')) {
+        if (s[i] != '\n') add_comment_char(line_of[i], s[i]);
+        ++i;
+      }
+      if (i < n) i += 2;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      in_pp = true;
+      push(Tk::kPunct, "#", i);
+      at_line_start = false;
+      ++i;
+      continue;
+    }
+    at_line_start = false;
+    // Identifier — possibly a raw-string prefix.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(s[i])) ++i;
+      if (i < n && s[i] == '"' && IsRawPrefix(s, start, i)) {
+        // Raw string literal: R"delim( ... )delim"
+        ++i;  // past the quote
+        std::string delim;
+        while (i < n && s[i] != '(') delim.push_back(s[i++]);
+        if (i < n) ++i;  // past '('
+        const std::string close = ")" + delim + "\"";
+        const size_t end = s.find(close, i);
+        i = (end == std::string::npos) ? n : end + close.size();
+        push(Tk::kString, "\"\"", start);
+        continue;
+      }
+      // Ordinary string/char prefix (u8"...", L'...') — treat the literal
+      // below; the prefix itself is harmless as an ident, but fold it into
+      // the literal when directly adjacent.
+      if (i < n && (s[i] == '"' || s[i] == '\'')) {
+        const std::string p = s.substr(start, i - start);
+        if (p == "u8" || p == "u" || p == "U" || p == "L") {
+          const char q = s[i];
+          ++i;
+          while (i < n && s[i] != q) {
+            if (s[i] == '\\' && i + 1 < n) ++i;
+            ++i;
+          }
+          if (i < n) ++i;
+          push(q == '"' ? Tk::kString : Tk::kChar,
+               q == '"' ? "\"\"" : "''", start);
+          continue;
+        }
+      }
+      push(Tk::kIdent, s.substr(start, i - start), start);
+      continue;
+    }
+    // Number: leading digit, or .digit.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      const size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = s[i];
+        if (IsIdentChar(d) || d == '.') {
+          // Exponent sign: 1e+5, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i + 1 < n &&
+              (s[i + 1] == '+' || s[i + 1] == '-')) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        // Digit separator: ' between digits continues the number.
+        if (d == '\'' && i + 1 < n && IsIdentChar(s[i + 1])) {
+          i += 2;
+          continue;
+        }
+        break;
+      }
+      push(Tk::kNumber, s.substr(start, i - start), start);
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      const size_t start = i;
+      ++i;
+      while (i < n && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      push(Tk::kString, "\"\"", start);
+      continue;
+    }
+    // Character literal.
+    if (c == '\'') {
+      const size_t start = i;
+      ++i;
+      while (i < n && s[i] != '\'') {
+        if (s[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      push(Tk::kChar, "''", start);
+      continue;
+    }
+    // Punctuator, maximal munch.
+    {
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (s.compare(i, len, p) == 0) {
+          push(Tk::kPunct, p, i);
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        push(Tk::kPunct, std::string(1, c), i);
+        ++i;
+      }
+    }
+  }
+
+  // Annotation parsing over the collected comment text.
+  out.line_allows.assign(static_cast<size_t>(out.line_count) + 1, {});
+  static const std::regex kAllowRe(
+      R"(lwlint:\s*(allowfile|allow)\s*\(([^)]*)\))");
+  for (size_t ln = 0; ln < comment_text.size(); ++ln) {
+    const std::string& text = comment_text[ln];
+    if (text.empty()) continue;
+    auto begin = std::sregex_iterator(text.begin(), text.end(), kAllowRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const bool whole_file = (*it)[1].str() == "allowfile";
+      const std::string list = (*it)[2].str();
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        std::string rule = list.substr(pos, comma - pos);
+        // trim
+        while (!rule.empty() && std::isspace(
+                   static_cast<unsigned char>(rule.front()))) {
+          rule.erase(rule.begin());
+        }
+        while (!rule.empty() && std::isspace(
+                   static_cast<unsigned char>(rule.back()))) {
+          rule.pop_back();
+        }
+        if (!rule.empty()) {
+          if (whole_file) {
+            out.file_allows.insert(rule);
+          } else if (ln < out.line_allows.size()) {
+            out.line_allows[ln].insert(rule);
+          }
+          out.allow_sites.push_back(
+              {static_cast<int>(ln) + 1, rule, whole_file});
+        }
+        pos = comma + 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lw::lint

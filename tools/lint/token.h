@@ -1,0 +1,64 @@
+// C++ tokenizer shared by every lwlint rule.
+//
+// The old engine re-derived "is this inside a comment / string?" per rule
+// with line regexes; this tokenizer settles it once. It handles the lexical
+// corners that matter for linting real code:
+//
+//   - line (//) and block (/* */) comments, including the allow/allowfile
+//     annotations inside them, which are parsed out per line;
+//   - string and character literals with escapes, and raw string literals
+//     R"delim(...)delim" with any prefix (u8R, uR, UR, LR) — literal bodies
+//     are dropped so rules never fire on prose;
+//   - digit separators (1'000'000) so the ' does not open a char literal;
+//   - line continuations (backslash-newline), spliced before lexing with the
+//     original line numbers preserved;
+//   - multi-character punctuators by maximal munch (::, ->, <=>, <<=, ...),
+//     so `==` is one token and `a = =b` can never be confused with it.
+//
+// Tokens inside preprocessor directives are marked `pp` so rules can skip
+// macro definitions (a rule firing on the *definition* of LW_CHECK would be
+// noise; its uses are ordinary tokens).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lw::lint {
+
+enum class Tk : std::uint8_t {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (body kept: suffixes can matter)
+  kString,   // string literal, body blanked; text is "\"\""
+  kChar,     // character literal, body blanked; text is "''"
+  kPunct,    // operators and punctuation, maximal munch
+};
+
+struct Token {
+  Tk kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+  bool pp = false;  // token belongs to a preprocessor directive
+};
+
+// One allow(...) / allowfile(...) annotation occurrence, kept positionally
+// so the stale-suppression rule can report hatches that shield nothing.
+struct AllowSite {
+  int line = 0;  // 1-based line the annotation appears on
+  std::string rule;
+  bool whole_file = false;
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  int line_count = 0;
+  // allows[i]: rules suppressed on 0-based line i via `lwlint: allow`.
+  std::vector<std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;  // via `lwlint: allowfile`
+  std::vector<AllowSite> allow_sites;
+};
+
+TokenizedFile Tokenize(const std::string& content);
+
+}  // namespace lw::lint
