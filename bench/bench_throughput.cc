@@ -1,0 +1,330 @@
+// E11 (repo ablation) — saturating server throughput.
+//
+// The other benches time isolated server components; this one measures the
+// quantity the batch engine actually optimizes: sustained requests/second
+// of a REAL server under closed-loop load, and the latency the batching
+// deadline buys it. Per scenario it stands up both logical PIR servers on
+// ephemeral TCP ports, connects closed-loop clients (each issues its next
+// private GET the moment the previous one completes — the standard
+// saturation harness shape), and sweeps the batch close deadline
+// (--max-wait) crossed with pipelined vs serial scheduling, reporting
+//
+//   req/s sustained, p50/p95/p99 request latency, mean batch occupancy
+//
+// per scenario into BENCH_throughput.json so CI can track the trajectory
+// (tools/bench/compare_bench.py fails on >15% req/s regressions).
+//
+// Flags: --smoke (CI-sized run), --threads=N (server scan/expand pool),
+// --json=PATH (default BENCH_throughput.json), --clients=N, --requests=N
+// (per client).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/tcp.h"
+#include "pir/xor_kernel.h"
+#include "util/alloc.h"
+#include "util/check.h"
+#include "zltp/client.h"
+#include "zltp/server.h"
+#include "zltp/store.h"
+
+namespace lw::bench {
+namespace {
+
+struct ThroughputParams {
+  int domain_bits = 16;
+  std::size_t record_size = 1024;
+  std::size_t published = 2000;
+  int clients = 8;
+  int requests_per_client = 40;  // per scenario, after warmup
+  int warmup_per_client = 4;
+  int threads = 1;
+};
+
+struct Scenario {
+  std::string name;
+  bool pipelined = true;
+  std::chrono::milliseconds max_wait{2};
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  std::uint64_t completed = 0;
+  double elapsed_s = 0;
+  double req_per_s = 0;
+  double ns_per_op = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double avg_batch = 0;
+  std::uint64_t batches = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+// Accepts connections until the listener closes, handing each to the
+// server's detached per-connection serving.
+std::thread AcceptLoop(net::TcpListener& listener,
+                       zltp::ZltpPirServer& server) {
+  return std::thread([&listener, &server] {
+    for (;;) {
+      auto transport = listener.Accept();
+      if (!transport.ok()) return;  // listener closed: scenario over
+      server.ServeConnectionDetached(std::move(*transport));
+    }
+  });
+}
+
+ScenarioResult RunScenario(const zltp::PirStore& store,
+                           const ThroughputParams& params,
+                           const Scenario& scenario) {
+  zltp::ServerOptions options;
+  options.batch_config.max_batch = 16;
+  options.batch_config.max_wait = scenario.max_wait;
+  options.batch_config.pipelined = scenario.pipelined;
+  options.num_threads = params.threads;
+  zltp::ZltpPirServer server0(store, 0, options);
+  zltp::ZltpPirServer server1(store, 1, options);
+
+  auto listener0 = net::TcpListener::Listen(0);
+  auto listener1 = net::TcpListener::Listen(0);
+  LW_CHECK(listener0.ok() && listener1.ok());
+  std::thread accept0 = AcceptLoop(*listener0, server0);
+  std::thread accept1 = AcceptLoop(*listener1, server1);
+
+  // Closed-loop clients: connect + warm up first, then all start measuring
+  // together so the server sees full concurrency for the whole window.
+  std::atomic<bool> start{false};
+  std::atomic<int> ready{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(params.clients));
+  std::vector<std::thread> clients;
+  for (int c = 0; c < params.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto t0 = net::TcpConnect("127.0.0.1", listener0->bound_port());
+      auto t1 = net::TcpConnect("127.0.0.1", listener1->bound_port());
+      if (!t0.ok() || !t1.ok()) {
+        ++errors;
+        ++ready;
+        return;
+      }
+      auto session = zltp::PirSession::Establish(
+          zltp::EstablishOptions::FromTransports(std::move(*t0),
+                                                 std::move(*t1)));
+      if (!session.ok()) {
+        ++errors;
+        ++ready;
+        return;
+      }
+      Rng rng(static_cast<std::uint64_t>(c) + 1000);
+      const std::uint64_t domain = std::uint64_t{1} << store.domain_bits();
+      for (int i = 0; i < params.warmup_per_client; ++i) {
+        if (!session->PrivateGetIndex(rng.UniformInt(domain)).ok()) ++errors;
+      }
+      ++ready;
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      auto& mine = latencies_ms[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(params.requests_per_client));
+      for (int i = 0; i < params.requests_per_client; ++i) {
+        const auto before = std::chrono::steady_clock::now();
+        if (!session->PrivateGetIndex(rng.UniformInt(domain)).ok()) {
+          ++errors;
+          continue;
+        }
+        const auto after = std::chrono::steady_clock::now();
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(after - before)
+                .count());
+      }
+      session->Close();
+    });
+  }
+  while (ready.load() < params.clients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Warmup batches must not count against this scenario's stats.
+  const auto stats_before = server0.batch_stats();
+  const auto bench_start = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const auto bench_end = std::chrono::steady_clock::now();
+  const auto stats_after = server0.batch_stats();
+
+  listener0->Close();
+  listener1->Close();
+  accept0.join();
+  accept1.join();
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  std::vector<double> all_ms;
+  for (auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  result.completed = all_ms.size();
+  result.elapsed_s =
+      std::chrono::duration<double>(bench_end - bench_start).count();
+  if (result.elapsed_s > 0) {
+    result.req_per_s =
+        static_cast<double>(result.completed) / result.elapsed_s;
+    result.ns_per_op = result.completed == 0
+                           ? 0
+                           : result.elapsed_s * 1e9 /
+                                 static_cast<double>(result.completed);
+  }
+  result.p50_ms = PercentileMs(all_ms, 0.50);
+  result.p95_ms = PercentileMs(all_ms, 0.95);
+  result.p99_ms = PercentileMs(all_ms, 0.99);
+  result.batches = stats_after.batches - stats_before.batches;
+  const std::uint64_t riders =
+      (stats_after.requests - stats_after.expired) -
+      (stats_before.requests - stats_before.expired);
+  result.avg_batch = result.batches == 0
+                         ? 0
+                         : static_cast<double>(riders) /
+                               static_cast<double>(result.batches);
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "bench_throughput: %llu request errors in %s\n",
+                 static_cast<unsigned long long>(errors.load()),
+                 scenario.name.c_str());
+  }
+  return result;
+}
+
+bool WriteJson(const std::string& path, const ThroughputParams& params,
+               bool smoke, const std::vector<ScenarioResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"config\": {\"domain_bits\": %d, \"record_size\": %zu, "
+      "\"clients\": %d, \"requests_per_client\": %d, \"threads\": %d, "
+      "\"smoke\": %s, \"xor_tier\": \"%s\", "
+      "\"hugepage_advised_bytes\": %llu},\n",
+      params.domain_bits, params.record_size, params.clients,
+      params.requests_per_client, params.threads, smoke ? "true" : "false",
+      pir::XorTierName(pir::ActiveXorTier()),
+      static_cast<unsigned long long>(HugepageAdvisedBytes()));
+  std::fprintf(f, "  \"throughput\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"pipelined\": %s, \"max_wait_ms\": %lld, "
+        "\"requests\": %llu, \"req_per_s\": %.3f, \"ns_per_op\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"avg_batch\": %.2f, \"batches\": %llu}%s\n",
+        r.scenario.name.c_str(), r.scenario.pipelined ? "true" : "false",
+        static_cast<long long>(r.scenario.max_wait.count()),
+        static_cast<unsigned long long>(r.completed), r.req_per_s,
+        r.ns_per_op, r.p50_ms, r.p95_ms, r.p99_ms, r.avg_batch,
+        static_cast<unsigned long long>(r.batches),
+        i + 1 < results.size() ? "," : "");
+  }
+  const std::string metrics =
+      obs::ToJson(obs::Registry::Default().Snapshot());
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.c_str());
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(&argc, argv);
+  ThroughputParams params;
+  params.threads = flags.threads;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--clients=", 0) == 0) {
+      params.clients = std::atoi(arg.c_str() + std::strlen("--clients="));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      params.requests_per_client =
+          std::atoi(arg.c_str() + std::strlen("--requests="));
+    }
+  }
+  if (flags.smoke) {
+    params.domain_bits = 12;
+    params.record_size = 256;
+    params.published = 200;
+    params.clients = 3;
+    params.requests_per_client = 15;
+    params.warmup_per_client = 2;
+  }
+  LW_CHECK(params.clients >= 1 && params.requests_per_client >= 1);
+
+  zltp::PirStoreConfig store_config;
+  store_config.domain_bits = params.domain_bits;
+  store_config.record_size = params.record_size;
+  store_config.keyword_seed = Bytes(16, 0x7e);
+  zltp::PirStore store(store_config);
+  {
+    Rng rng(21);
+    Bytes value(params.record_size / 2);
+    for (std::size_t i = 0; i < params.published; ++i) {
+      rng.Fill(value);
+      (void)store.Publish("page/" + std::to_string(i), value);
+    }
+  }
+
+  // ≥2 batch-deadline settings, each in both scheduling modes: the deadline
+  // sweep shows the latency/throughput trade the co-rider window buys, the
+  // mode sweep shows what expand/scan overlap is worth at fixed deadline.
+  const std::vector<Scenario> scenarios = {
+      {"pipelined/wait1ms", true, std::chrono::milliseconds(1)},
+      {"serial/wait1ms", false, std::chrono::milliseconds(1)},
+      {"pipelined/wait4ms", true, std::chrono::milliseconds(4)},
+      {"serial/wait4ms", false, std::chrono::milliseconds(4)},
+  };
+  std::vector<ScenarioResult> results;
+  for (const Scenario& s : scenarios) {
+    results.push_back(RunScenario(store, params, s));
+  }
+
+  std::printf(
+      "\n=== E11 (repo ablation): saturating throughput, 2^%d domain x "
+      "%zu B, %d closed-loop clients, %d server thread(s), %s kernel ===\n",
+      params.domain_bits, params.record_size, params.clients,
+      params.threads == 0 ? static_cast<int>(
+                                std::thread::hardware_concurrency())
+                          : params.threads,
+      pir::XorTierName(pir::ActiveXorTier()));
+  PrintRule();
+  std::printf("%-22s %9s %9s %9s %9s %10s\n", "scenario", "req/s",
+              "p50 ms", "p95 ms", "p99 ms", "avg batch");
+  PrintRule();
+  for (const ScenarioResult& r : results) {
+    std::printf("%-22s %9.1f %9.2f %9.2f %9.2f %10.2f\n",
+                r.scenario.name.c_str(), r.req_per_s, r.p50_ms, r.p95_ms,
+                r.p99_ms, r.avg_batch);
+  }
+  PrintRule();
+
+  const std::string json_path =
+      flags.json_path.empty() ? "BENCH_throughput.json" : flags.json_path;
+  if (!WriteJson(json_path, params, flags.smoke, results)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lw::bench
+
+int main(int argc, char** argv) { return lw::bench::Main(argc, argv); }

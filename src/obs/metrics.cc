@@ -164,6 +164,31 @@ Metrics& M() {
       Registry::Default().AddHistogram(
           "lw_batch_queue_wait_ns",
           "queue wait from Submit to batch formation", "ns", LatencyBounds()),
+      Registry::Default().AddGauge("lw_batch_queue_depth",
+                                   "requests awaiting batch formation",
+                                   "requests"),
+      Registry::Default().AddCounter(
+          "lw_batch_shed_total",
+          "submissions refused RESOURCE_EXHAUSTED at the admission queue",
+          "requests"),
+      Registry::Default().AddCounter(
+          "lw_batch_expired_total",
+          "co-riders failed DEADLINE_EXCEEDED at batch formation",
+          "requests"),
+      Registry::Default().AddCounter(
+          "lw_batch_full_closes_total",
+          "batches closed because they reached max_batch", "batches"),
+      Registry::Default().AddCounter(
+          "lw_batch_deadline_closes_total",
+          "batches closed early to honor a rider's deadline budget",
+          "batches"),
+      Registry::Default().AddCounter(
+          "lw_batch_wait_closes_total",
+          "batches closed by the max_wait co-rider window elapsing",
+          "batches"),
+      Registry::Default().AddCounter(
+          "lw_batch_pipeline_stall_ns_total",
+          "scan-stage idle time waiting on DPF expansion", "ns"),
 
       Registry::Default().AddCounter(
           "lw_scan_rows_scanned_total",

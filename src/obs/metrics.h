@@ -189,6 +189,17 @@ struct Metrics {
   Counter& batch_batches;
   Histogram& batch_size;           // batch fill distribution
   Histogram& batch_queue_wait_ns;  // submit → batch formation
+  Gauge& batch_queue_depth;        // requests awaiting batch formation
+  Counter& batch_shed;             // admissions refused (queue over limit)
+  Counter& batch_expired;          // co-riders failed at their deadline
+  // Why each batch closed: hit max_batch, had to start to make a rider's
+  // deadline, or simply waited out max_wait.
+  Counter& batch_full_closes;
+  Counter& batch_deadline_closes;
+  Counter& batch_wait_closes;
+  // Time the pipeline's scan stage sat idle waiting for an expanded batch
+  // (nonzero = expansion is the bottleneck, not the data pass).
+  Counter& batch_pipeline_stall_ns;
 
   // Blob-database scans. ns/record = busy_ns / rows_scanned; average
   // rows per pass (≈ rows per shard) = rows_scanned / passes.

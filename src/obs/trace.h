@@ -92,6 +92,17 @@ class ScopedStageSink {
 void AddExpandNs(std::uint64_t ns);
 void AddScanNs(std::uint64_t ns);
 
+// The instrumentation clock. Trace stamps read it through this helper
+// instead of calling std::chrono::steady_clock::now() at the call site:
+// instrumentation time is deliberately real (traces measure the wall, even
+// under a FakeClock-driven scheduler), and centralizing the read here keeps
+// lwlint's raw-steady-clock rule meaningful — scheduling code in src/zltp
+// and src/net must go through lw::Clock, and anything else calling the
+// clock directly is a finding.
+inline std::chrono::steady_clock::time_point TraceNow() {
+  return std::chrono::steady_clock::now();
+}
+
 // Nanoseconds elapsed on the steady clock since `start`.
 inline std::uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(

@@ -9,10 +9,6 @@
 #include "util/check.h"
 #include "util/thread_pool.h"
 
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 namespace lw::pir {
 namespace {
 
@@ -30,39 +26,6 @@ inline void PrefetchRow(const std::uint8_t* p) {
 }
 
 }  // namespace
-
-void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
-  std::size_t i = 0;
-#if defined(__AVX2__)
-  if (((reinterpret_cast<std::uintptr_t>(dst) |
-        reinterpret_cast<std::uintptr_t>(src)) &
-       31) == 0) {
-    // Aligned path: BlobDatabase rows and scan accumulators are 64-byte
-    // aligned, so the hot scan always lands here.
-    for (; i + 32 <= n; i += 32) {
-      const __m256i a =
-          _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
-      const __m256i b =
-          _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
-      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
-                         _mm256_xor_si256(a, b));
-    }
-  } else {
-    for (; i + 32 <= n; i += 32) {
-      const __m256i a =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-      const __m256i b =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                          _mm256_xor_si256(a, b));
-    }
-  }
-#endif
-  for (; i + 8 <= n; i += 8) {
-    lw::StoreLE64(dst + i, lw::LoadLE64(dst + i) ^ lw::LoadLE64(src + i));
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
-}
 
 BlobDatabase::BlobDatabase(int domain_bits, std::size_t record_size)
     : domain_bits_(domain_bits),
@@ -161,18 +124,28 @@ void BlobDatabase::ScanRowsFused(const std::vector<dpf::BitVector>& queries,
                                  std::size_t row_begin, std::size_t row_end,
                                  std::uint8_t* accs) const {
   const std::size_t nq = queries.size();
+  // Destinations selected by the current row; hoisted so the inner loop
+  // never allocates.
+  std::vector<std::uint8_t*> selected;
+  selected.reserve(nq);
   for (std::size_t row = row_begin; row < row_end; ++row) {
     if (row + kPrefetchRows < row_end) {
       PrefetchRow(records_.data() + (row + kPrefetchRows) * row_stride_);
     }
-    // One read of the row serves every selecting query (it stays cached
-    // across the inner loop — the batching amortization of §5.1).
+    // One read of the row serves every selecting query: gather the
+    // accumulators whose bit is set, then a single fused kernel pass loads
+    // each row lane once and XORs it into all of them (the batching
+    // amortization of §5.1, carried down to the register level).
     const std::uint64_t idx = slot_index_[row];
     const std::uint8_t* rec = records_.data() + row * row_stride_;
+    selected.clear();
     for (std::size_t q = 0; q < nq; ++q) {
       if (dpf::GetBit(queries[q], idx)) {
-        XorBytes(accs + q * row_stride_, rec, record_size_);
+        selected.push_back(accs + q * row_stride_);
       }
+    }
+    if (!selected.empty()) {
+      XorRowMulti(rec, selected.data(), selected.size(), record_size_);
     }
   }
 }

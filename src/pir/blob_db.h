@@ -8,8 +8,10 @@
 // trade the paper's batching microbenchmark measures.
 //
 // Storage is cache-line friendly: rows are padded to a 64-byte stride in a
-// 64-byte-aligned arena, so every row starts on a cache line and the AVX2
-// XOR kernel runs on aligned addresses. Both Answer and AnswerBatch accept
+// 64-byte-aligned (hugepage-advised above 2 MiB) arena, so every row starts
+// on a cache line and the runtime-dispatched XOR kernels (scalar/AVX2/
+// AVX-512, see pir/xor_kernel.h) run on aligned addresses. Both Answer and
+// AnswerBatch accept
 // an optional ThreadPool: the scan is sharded into per-worker row ranges,
 // each worker XOR-accumulates into private aligned accumulators, and a
 // tree reduction combines them (the multi-core server of §5.1).
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "dpf/dpf.h"
+#include "pir/xor_kernel.h"
 #include "util/alloc.h"
 #include "util/bytes.h"
 #include "util/status.h"
@@ -106,15 +109,15 @@ class BlobDatabase {
   std::size_t row_stride_;
   // Dense row storage: records_ holds record_count rows back to back in
   // insertion order (64-byte aligned, row_stride_ apart); slot_index_[row]
-  // is the domain index of that row.
-  AlignedBytes records_;
+  // is the domain index of that row. Arenas ≥ 2 MiB are hugepage-advised
+  // (see util/alloc.h) so a full-shard scan stays TLB-cheap.
+  HugeBytes records_;
   std::vector<std::uint64_t> slot_index_;
   std::unordered_map<std::uint64_t, std::size_t> index_of_;  // index -> row
 };
 
-// XORs `src` into `dst` using 32-byte AVX2 lanes when available, with an
-// aligned-load fast path when both pointers sit on 32-byte boundaries.
-// Exposed for the benches (it is the paper's "AVX ... accelerate the scan").
-void XorBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+// XorBytes / XorRowMulti (the paper's "AVX ... accelerate the scan") live in
+// pir/xor_kernel.h, re-exported here for the benches and tests that predate
+// the runtime-dispatched tiers.
 
 }  // namespace lw::pir

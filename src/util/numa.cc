@@ -1,0 +1,99 @@
+#include "util/numa.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lw::numa {
+namespace {
+
+// Parses a decimal integer from [p, end); returns {value, rest} or
+// {-1, p} on no digits.
+std::pair<int, const char*> ParseInt(const char* p, const char* end) {
+  int value = 0;
+  const auto [rest, ec] = std::from_chars(p, end, value);
+  if (ec != std::errc() || rest == p) return {-1, p};
+  return {value, rest};
+}
+
+}  // namespace
+
+std::vector<int> ParseCpuList(std::string_view list) {
+  std::vector<int> cpus;
+  const char* p = list.data();
+  const char* const end = p + list.size();
+  while (p < end) {
+    auto [lo, after_lo] = ParseInt(p, end);
+    if (lo < 0) {
+      ++p;  // skip junk (including the ',' separator and trailing '\n')
+      continue;
+    }
+    p = after_lo;
+    int hi = lo;
+    if (p < end && *p == '-') {
+      auto [parsed_hi, after_hi] = ParseInt(p + 1, end);
+      if (parsed_hi >= lo) {
+        hi = parsed_hi;
+        p = after_hi;
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology DetectTopology() {
+  Topology topo;
+#if defined(__linux__)
+  // Node ids are dense in practice but the kernel only promises "present
+  // nodes have directories", so probe a generous range and stop after a
+  // long run of gaps.
+  int misses = 0;
+  for (int id = 0; id < 4096 && misses < 16; ++id) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(id) + "/cpulist";
+    std::ifstream in(path);
+    if (!in) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::string line;
+    std::getline(in, line);
+    Node node;
+    node.id = id;
+    node.cpus = ParseCpuList(line);
+    if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+  }
+#endif
+  if (topo.nodes.empty()) topo.nodes.push_back(Node{});  // synthetic node 0
+  return topo;
+}
+
+const Topology& SystemTopology() {
+  static const Topology topo = DetectTopology();
+  return topo;
+}
+
+bool PinCurrentThreadToNode(const Node& node) {
+  if (node.cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : node.cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lw::numa

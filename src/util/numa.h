@@ -1,0 +1,57 @@
+// libnuma-free NUMA topology detection and worker pinning.
+//
+// A PIR scan is memory-bandwidth-bound, so on a multi-socket server the
+// worst placement is a worker streaming a shard that lives on the other
+// socket's memory controller. We read the kernel's sysfs topology
+// (/sys/devices/system/node/node*/cpulist) instead of linking libnuma —
+// the container toolchain has no extra packages — and the ThreadPool pins
+// its workers round-robin across nodes when more than one is present.
+// First-touch allocation then places each shard's pages on the node of the
+// workers that scan it most.
+//
+// Everything is best-effort: on single-node hosts, non-Linux platforms, or
+// any sysfs/sched_setaffinity failure, detection reports one synthetic
+// node and pinning is a no-op. Chunk stealing in ParallelFor means the
+// shard→worker mapping is an affinity hint, not a guarantee — a straggler's
+// chunks still migrate to idle (possibly remote) workers rather than idle.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lw::numa {
+
+struct Node {
+  int id = 0;
+  std::vector<int> cpus;  // kernel cpu ids on this node, ascending
+};
+
+struct Topology {
+  std::vector<Node> nodes;  // ascending node id; never empty after Detect
+  int node_count() const { return static_cast<int>(nodes.size()); }
+  std::size_t cpu_count() const {
+    std::size_t n = 0;
+    for (const Node& node : nodes) n += node.cpus.size();
+    return n;
+  }
+};
+
+// Parses the kernel's cpulist format ("0-3,8,10-11") into ascending cpu
+// ids. Malformed pieces are skipped. Exposed for tests.
+std::vector<int> ParseCpuList(std::string_view list);
+
+// Reads sysfs node directories. Returns a single node 0 covering no
+// specific cpus (cpus empty) when sysfs is absent or unreadable, so
+// callers can treat "nothing to do" uniformly.
+Topology DetectTopology();
+
+// DetectTopology() run once and cached for the process.
+const Topology& SystemTopology();
+
+// Pins the calling thread to the node's cpu set. Returns true only if the
+// affinity call succeeded; no-op (false) when the node lists no cpus or
+// the platform has no sched_setaffinity.
+bool PinCurrentThreadToNode(const Node& node);
+
+}  // namespace lw::numa

@@ -5,9 +5,21 @@
 #include <exception>
 
 #include "obs/metrics.h"
+#include "util/numa.h"
 
 namespace lw {
 namespace {
+
+// Best-effort NUMA affinity: with >1 node, worker i is pinned to node
+// i % nodes so scan shards touch memory their worker first-faulted locally
+// (see util/numa.h for why this is a hint, not a guarantee). Single-node
+// hosts skip the syscall entirely.
+void PinWorkerForNuma(std::size_t worker_index) {
+  const numa::Topology& topo = numa::SystemTopology();
+  if (topo.node_count() <= 1) return;
+  numa::PinCurrentThreadToNode(
+      topo.nodes[worker_index % topo.nodes.size()]);
+}
 
 // True while this thread is executing chunks of some region (worker thread
 // or participating caller). Nested ParallelFor calls check it and run
@@ -43,7 +55,10 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = HardwareThreads();
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      PinWorkerForNuma(static_cast<std::size_t>(i));
+      WorkerLoop();
+    });
   }
 }
 

@@ -1,16 +1,35 @@
 #include "zltp/batch.h"
 
-#include <vector>
+#include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
 
 namespace lw::zltp {
+namespace {
+
+// Real-time slice for condition waits driven by an injected clock: a
+// FakeClock advances without notifying anyone, so waiters re-check it at
+// least this often. Deadlines stay exact in injected time; only the wake-up
+// granularity is real.
+constexpr std::chrono::milliseconds kFakeClockWaitSlice{1};
+
+constexpr std::chrono::nanoseconds kNoDeadline =
+    std::chrono::nanoseconds::max();
+
+}  // namespace
 
 BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config,
                                ThreadPool* pool)
-    : store_(store), config_(config), pool_(pool) {
+    : store_(store),
+      config_(config),
+      pool_(pool),
+      clock_(config.clock != nullptr ? config.clock : &Clock::Real()) {
   LW_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
-  worker_ = std::thread([this] { WorkerLoop(); });
+  if (config_.pipelined) {
+    scan_worker_ = std::thread([this] { ScanLoop(); });
+  }
+  expand_worker_ = std::thread([this] { ExpandLoop(); });
 }
 
 BatchScheduler::~BatchScheduler() { Stop(); }
@@ -25,11 +44,27 @@ Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return UnavailableError("batch scheduler stopped");
-    queue_.push_back(
-        Pending{std::move(key), {}, stages, std::chrono::steady_clock::now()});
+    if (config_.queue_limit > 0 && queue_.size() >= config_.queue_limit) {
+      // Admission control: refusing now with a cheap error beats accepting
+      // a request whose queue wait alone would blow its latency budget.
+      ++stats_.shed;
+      obs::M().batch_shed.Inc();
+      return ResourceExhaustedError("batch queue over queue_limit");
+    }
+    const std::chrono::nanoseconds now = clock_->Now();
+    Pending p;
+    p.key = std::move(key);
+    p.stages = stages;
+    p.enqueued = now;
+    p.deadline = config_.deadline_budget.count() > 0
+                     ? now + config_.deadline_budget
+                     : kNoDeadline;
+    queue_.push_back(std::move(p));
     future = queue_.back().promise.get_future();
+    ++stats_.requests;
+    obs::M().batch_queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
   }
-  cv_.notify_one();
+  cv_.notify_all();
   // The worker writes *stages before fulfilling the promise; the
   // promise/future handoff orders that write before this return.
   return future.get();
@@ -38,19 +73,30 @@ Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key,
 void BatchScheduler::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Already stopped; nothing to join twice.
-      if (!worker_.joinable()) return;
+    if (stopping_ && !expand_worker_.joinable() && !scan_worker_.joinable()) {
+      return;  // already fully stopped
     }
     stopping_ = true;
   }
   cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
-  // Fail any queries that never made it into a batch.
+  // The expand worker drains the queue into final batches before exiting,
+  // so every admitted request still gets a real answer.
+  if (expand_worker_.joinable()) expand_worker_.join();
+  // Only then stop the scan stage: it must first consume everything the
+  // expand stage staged.
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    scan_stop_ = true;
+  }
+  staged_cv_.notify_all();
+  if (scan_worker_.joinable()) scan_worker_.join();
+  // Defensively fail anything still queued (unreachable in the normal
+  // interleaving — Submit refuses once stopping_ is set).
   std::deque<Pending> leftovers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftovers.swap(queue_);
+    obs::M().batch_queue_depth.Set(0);
   }
   for (Pending& p : leftovers) {
     p.promise.set_value(UnavailableError("batch scheduler stopped"));
@@ -62,66 +108,218 @@ BatchScheduler::Stats BatchScheduler::stats() const {
   return stats_;
 }
 
-void BatchScheduler::WorkerLoop() {
+void BatchScheduler::ExpandLoop() {
   for (;;) {
     std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty() && stopping_) return;
-      // First rider arrived; give co-riders a short window to join unless
-      // the batch is already full.
-      if (queue_.size() < config_.max_batch && !stopping_) {
-        cv_.wait_for(lock, config_.max_wait, [this] {
-          return queue_.size() >= config_.max_batch || stopping_;
-        });
+    if (!FormBatch(batch)) return;
+    if (batch.empty()) continue;  // every taken rider had expired
+    ExpandAndDispatch(std::move(batch));
+  }
+}
+
+bool BatchScheduler::FormBatch(std::vector<Pending>& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopping with nothing left to drain
+
+  // First rider arrived; hold the batch open for co-riders until the close
+  // rule fires: min(max_wait, earliest rider deadline - scan estimate),
+  // re-evaluated as riders join, or max_batch fills, or Stop() drains.
+  const std::chrono::nanoseconds t0 = clock_->Now();
+  const bool real_clock = clock_ == &Clock::Real();
+  bool deadline_driven = false;
+  while (!stopping_ && queue_.size() < config_.max_batch) {
+    const std::chrono::nanoseconds wait_close = t0 + config_.max_wait;
+    std::chrono::nanoseconds close_at = wait_close;
+    deadline_driven = false;
+    if (config_.deadline_budget.count() > 0) {
+      std::chrono::nanoseconds earliest = kNoDeadline;
+      for (const Pending& p : queue_) {
+        earliest = std::min(earliest, p.deadline);
       }
-      const std::size_t take = std::min(queue_.size(), config_.max_batch);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      stats_.requests += take;
-      stats_.batches += 1;
-    }
-
-    const auto dequeued = std::chrono::steady_clock::now();
-    for (const Pending& p : batch) {
-      obs::M().batch_queue_wait_ns.Observe(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
-                                                               p.enqueued)
-              .count()));
-    }
-    obs::M().batch_requests.Inc(batch.size());
-    obs::M().batch_batches.Inc();
-    obs::M().batch_size.Observe(batch.size());
-
-    std::vector<dpf::DpfKey> keys;
-    keys.reserve(batch.size());
-    for (Pending& p : batch) keys.push_back(std::move(p.key));
-
-    // Collect the batch's expand/scan time via the thread-local stage sink
-    // (PirStore and BlobDatabase credit it from deep inside AnswerBatch),
-    // then fan the batch-level timings out to every rider before
-    // fulfilling its promise.
-    obs::StageTimings batch_stages;
-    Result<std::vector<Bytes>> answers = [&] {
-      obs::ScopedStageSink sink(&batch_stages);
-      return store_.AnswerBatch(keys, pool_);
-    }();
-    for (Pending& p : batch) {
-      if (p.stages != nullptr) {
-        p.stages->expand_ns = batch_stages.expand_ns;
-        p.stages->scan_ns = batch_stages.scan_ns;
+      const std::chrono::nanoseconds deadline_close =
+          earliest - std::chrono::nanoseconds(scan_estimate_ns_);
+      if (deadline_close < close_at) {
+        close_at = deadline_close;
+        deadline_driven = true;
       }
     }
-    if (!answers.ok()) {
-      for (Pending& p : batch) p.promise.set_value(answers.status());
+    const std::chrono::nanoseconds now = clock_->Now();
+    if (now >= close_at) break;
+    // Real clock: sleep the full remainder (a new rider notifies cv_, and
+    // the loop recomputes the close with its deadline). Injected clock:
+    // short real slices, re-checking the fake time each wake.
+    const std::chrono::nanoseconds remaining = close_at - now;
+    cv_.wait_for(lock, real_clock
+                           ? remaining
+                           : std::min<std::chrono::nanoseconds>(
+                                 remaining, kFakeClockWaitSlice));
+  }
+
+  const bool full = queue_.size() >= config_.max_batch;
+  const std::chrono::nanoseconds formed = clock_->Now();
+  std::vector<Pending> expired;
+  while (batch.size() < config_.max_batch && !queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (p.deadline != kNoDeadline && formed >= p.deadline) {
+      // Too late to be worth scanning for: answer DEADLINE_EXCEEDED now
+      // rather than spend batch capacity on an answer nobody is waiting
+      // for anymore.
+      ++stats_.expired;
+      expired.push_back(std::move(p));
       continue;
     }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move((*answers)[i]));
+    obs::M().batch_queue_wait_ns.Observe(
+        static_cast<std::uint64_t>((formed - p.enqueued).count()));
+    batch.push_back(std::move(p));
+  }
+  obs::M().batch_queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
+  if (!batch.empty()) {
+    ++stats_.batches;
+    if (full) {
+      ++stats_.full_closes;
+      obs::M().batch_full_closes.Inc();
+    } else if (deadline_driven) {
+      ++stats_.deadline_closes;
+      obs::M().batch_deadline_closes.Inc();
+    } else {
+      ++stats_.wait_closes;
+      obs::M().batch_wait_closes.Inc();
     }
+  }
+  lock.unlock();
+  cv_.notify_all();  // queue shrank; a shed-side waiter may want to know
+  for (Pending& p : expired) {
+    obs::M().batch_expired.Inc();
+    p.promise.set_value(
+        DeadlineExceededError("deadline budget expired before batch start"));
+  }
+  return true;
+}
+
+void BatchScheduler::ExpandAndDispatch(std::vector<Pending> batch) {
+  obs::M().batch_requests.Inc(batch.size());
+  obs::M().batch_batches.Inc();
+  obs::M().batch_size.Observe(batch.size());
+
+  StagedBatch staged;
+  staged.formed_at = obs::TraceNow();
+  std::vector<dpf::DpfKey> keys;
+  keys.reserve(batch.size());
+  for (Pending& p : batch) keys.push_back(std::move(p.key));
+  staged.riders = std::move(batch);
+  {
+    // Stage 1. The thread-local sink collects expand_ns from inside
+    // PirStore::ExpandBatch; scan_ns is credited later by the scan stage.
+    obs::ScopedStageSink sink(&staged.stages);
+    Result<PirStore::ExpandedBatch> expanded =
+        store_.ExpandBatch(keys, pool_);
+    if (expanded.ok()) {
+      staged.expanded = std::move(*expanded);
+    } else {
+      staged.expand_status = expanded.status();
+    }
+  }
+
+  if (!config_.pipelined) {
+    // Serial mode: both stages on this thread, one batch at a time.
+    ScanAndFulfill(std::move(staged));
+    return;
+  }
+  {
+    // Bounded handoff: at most kPipelineDepth expanded batches exist at
+    // once (one scanning + one buffered), so expansion can run at most one
+    // batch ahead — double buffering, not an unbounded queue of expensive
+    // expanded selection vectors.
+    std::unique_lock<std::mutex> lock(staged_mu_);
+    staged_cv_.wait(lock, [this] {
+      return staged_.size() < kPipelineDepth || scan_stop_;
+    });
+    if (scan_stop_) {
+      lock.unlock();
+      for (Pending& p : staged.riders) {
+        p.promise.set_value(UnavailableError("batch scheduler stopped"));
+      }
+      return;
+    }
+    staged_.push_back(std::move(staged));
+  }
+  staged_cv_.notify_all();
+}
+
+void BatchScheduler::ScanLoop() {
+  for (;;) {
+    StagedBatch staged;
+    {
+      std::unique_lock<std::mutex> lock(staged_mu_);
+      if (staged_.empty() && !scan_stop_) {
+        const auto idle_since = obs::TraceNow();
+        staged_cv_.wait(lock,
+                        [this] { return !staged_.empty() || scan_stop_; });
+        if (!staged_.empty()) {
+          // Stall accounting: the scan could have started at batch
+          // formation had expansion been instant, so idle time before
+          // that instant (an empty pipeline, not a slow expand) does not
+          // count.
+          const auto now = obs::TraceNow();
+          const auto start = std::max(idle_since, staged_.front().formed_at);
+          if (now > start) {
+            obs::M().batch_pipeline_stall_ns.Inc(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                     start)
+                    .count()));
+          }
+        }
+      }
+      if (staged_.empty()) return;  // scan_stop_ and fully drained
+      staged = std::move(staged_.front());
+      staged_.pop_front();
+    }
+    staged_cv_.notify_all();  // a staging slot freed for the expand worker
+    ScanAndFulfill(std::move(staged));
+  }
+}
+
+void BatchScheduler::ScanAndFulfill(StagedBatch staged) {
+  if (!staged.expand_status.ok()) {
+    for (Pending& p : staged.riders) {
+      p.promise.set_value(staged.expand_status);
+    }
+    return;
+  }
+  // Stage 2, with its own sink so scan_ns is attributable separately from
+  // the (possibly concurrent) expansion of the next batch.
+  obs::StageTimings scan_stages;
+  Result<std::vector<Bytes>> answers = [&] {
+    obs::ScopedStageSink sink(&scan_stages);
+    return store_.ScanBatch(staged.expanded, pool_);
+  }();
+  staged.stages.scan_ns = scan_stages.scan_ns;
+  {
+    // Feed the admission controller's scan-time estimate: EWMA with
+    // alpha = 1/4, so the close rule tracks recent scans without one
+    // outlier whipsawing it.
+    std::lock_guard<std::mutex> lock(mu_);
+    scan_estimate_ns_ =
+        scan_estimate_ns_ == 0
+            ? staged.stages.scan_ns
+            : (3 * scan_estimate_ns_ + staged.stages.scan_ns) / 4;
+  }
+  // Fan the batch-level timings out to every rider before fulfilling its
+  // promise (each co-rider is credited the full fused pass).
+  for (Pending& p : staged.riders) {
+    if (p.stages != nullptr) {
+      p.stages->expand_ns = staged.stages.expand_ns;
+      p.stages->scan_ns = staged.stages.scan_ns;
+    }
+  }
+  if (!answers.ok()) {
+    for (Pending& p : staged.riders) p.promise.set_value(answers.status());
+    return;
+  }
+  for (std::size_t i = 0; i < staged.riders.size(); ++i) {
+    staged.riders[i].promise.set_value(std::move((*answers)[i]));
   }
 }
 

@@ -1,4 +1,4 @@
-// Request batching for ZLTP PIR servers.
+// Pipelined, admission-controlled request batching for ZLTP PIR servers.
 //
 // The dominant per-request cost is the linear scan over stored records;
 // batching B requests lets the server make ONE pass over the data per batch,
@@ -6,9 +6,34 @@
 // increase throughput": batch 16 → 2.6 s latency / 6 req/s vs batch 1 →
 // 0.51 s / 2 req/s on their shard).
 //
-// Connection threads Submit() queries; a worker thread drains the queue into
-// batches of at most `max_batch`, waiting up to `max_wait` for co-riders
-// once the first query of a batch has arrived.
+// This scheduler pushes that design to production shape:
+//
+//  Pipeline.  A batch's work is two stages — DPF expansion (pure compute,
+//  no store lock: PirStore::ExpandBatch) and the fused record scan
+//  (PirStore::ScanBatch). In pipelined mode an expand worker and a scan
+//  worker run them on different batches concurrently: while batch N is
+//  scanning, batch N+1 is already expanding, handed off through a bounded
+//  (double-buffered) staging queue so expanded selection vectors for at
+//  most kPipelineDepth batches exist at once. When expansion keeps up, the
+//  scan stage — the part whose duty cycle bounds server throughput — never
+//  idles; the lw_batch_pipeline_stall_ns_total counter records when it
+//  does. Serial mode (pipelined=false) runs both stages on one thread,
+//  kept for A/B measurement and output-equivalence tests.
+//
+//  Admission control.  Submit sheds load with RESOURCE_EXHAUSTED once
+//  queue_limit requests are already waiting — bounding queue wait instead
+//  of letting tail latency grow without limit. With a deadline_budget, each
+//  request carries deadline = enqueue + budget, and a batch closes at
+//      min(first_arrival + max_wait,
+//          earliest rider deadline - EWMA of recent scan times)
+//  so a batch starts early enough for its most impatient rider to make its
+//  deadline given how long scans have recently taken. Riders whose
+//  deadline has already passed at batch formation fail DEADLINE_EXCEEDED
+//  rather than riding (and delaying) the batch.
+//
+// Time is read through an injectable lw::Clock so admission-control tests
+// drive deadlines deterministically with a FakeClock; condition waits use
+// short real-time slices and re-check the injected clock.
 #pragma once
 
 #include <chrono>
@@ -18,9 +43,11 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "dpf/dpf.h"
 #include "obs/trace.h"
+#include "util/clock.h"
 #include "util/status.h"
 #include "zltp/store.h"
 
@@ -32,11 +59,30 @@ namespace lw::zltp {
 
 struct BatchConfig {
   std::size_t max_batch = 16;
+  // Co-rider window: how long the first rider of a batch waits for company.
   std::chrono::milliseconds max_wait{2};
+  // Admission queue bound: submissions beyond this many waiting requests
+  // are shed with RESOURCE_EXHAUSTED. 0 = unbounded (no shedding).
+  std::size_t queue_limit = 0;
+  // Per-request deadline budget: a request wants its answer within this
+  // long of submission; batches close early so riders make it, and riders
+  // already past their deadline at formation fail DEADLINE_EXCEEDED.
+  // 0 = disabled (batches close on max_batch/max_wait only).
+  std::chrono::milliseconds deadline_budget{0};
+  // Overlap DPF expansion of batch N+1 with the scan of batch N.
+  bool pipelined = true;
+  // Time source for the queue/deadline machinery. null = Clock::Real().
+  Clock* clock = nullptr;
 };
 
 class BatchScheduler {
  public:
+  // Expanded batches staged between the pipeline's two workers: one being
+  // scanned plus one queued behind it (double buffering). Deeper staging
+  // would only add memory and queue wait, not throughput — the scan stage
+  // is the bottleneck it feeds.
+  static constexpr std::size_t kPipelineDepth = 2;
+
   // `pool` (optional, not owned, must outlive the scheduler) parallelizes
   // each batch's DPF expansions and data scans across its workers.
   BatchScheduler(const PirStore& store, BatchConfig config,
@@ -47,24 +93,38 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   // Blocks until this query's batch has been scanned; returns the record
-  // share. UNAVAILABLE after Stop(). When `stages` is non-null, the
-  // batch's expand/scan nanoseconds are written into it before this call
-  // returns (batch-level attribution: every co-rider of a batch is
-  // credited the full batch expansion+scan cost, since the pass is fused).
+  // share. UNAVAILABLE after Stop(); RESOURCE_EXHAUSTED when shed;
+  // DEADLINE_EXCEEDED when the deadline budget expired before its batch
+  // formed. When `stages` is non-null, the batch's expand/scan nanoseconds
+  // are written into it before this call returns (batch-level attribution:
+  // every co-rider of a batch is credited the full batch expansion+scan
+  // cost, since the pass is fused).
   Result<Bytes> Submit(dpf::DpfKey key, obs::StageTimings* stages = nullptr);
 
-  // Drains the queue and joins the worker (idempotent; dtor calls it).
+  // Drains queued and in-flight batches, then joins both workers
+  // (idempotent; dtor calls it). Every promise outstanding at the time of
+  // the call resolves — answered if its batch was already formed or
+  // formable from the queue, UNAVAILABLE otherwise.
   void Stop();
 
   struct Stats {
-    std::uint64_t requests = 0;
-    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;  // admitted into the queue
+    std::uint64_t batches = 0;   // non-empty batches executed
+    std::uint64_t shed = 0;      // refused RESOURCE_EXHAUSTED at admission
+    std::uint64_t expired = 0;   // failed DEADLINE_EXCEEDED at formation
+    // Why batches closed: reached max_batch / closed early for a rider's
+    // deadline / co-rider window elapsed.
+    std::uint64_t full_closes = 0;
+    std::uint64_t deadline_closes = 0;
+    std::uint64_t wait_closes = 0;
     double average_batch_size() const {
       return batches == 0 ? 0.0
-                          : static_cast<double>(requests) /
+                          : static_cast<double>(requests - expired) /
                                 static_cast<double>(batches);
     }
   };
+  // A consistent snapshot: every field is mutated under the queue mutex,
+  // so concurrent Submit/worker progress never yields torn stats.
   Stats stats() const;
 
  private:
@@ -72,22 +132,54 @@ class BatchScheduler {
     dpf::DpfKey key;
     std::promise<Result<Bytes>> promise;
     obs::StageTimings* stages = nullptr;  // not owned; may be null
-    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::nanoseconds enqueued{};  // on config_.clock
+    std::chrono::nanoseconds deadline{};  // enqueued + budget, or ns::max()
   };
 
-  void WorkerLoop();
+  // A formed batch after stage 1 (expansion), queued for stage 2 (scan).
+  struct StagedBatch {
+    std::vector<Pending> riders;
+    PirStore::ExpandedBatch expanded;
+    Status expand_status = Status::Ok();
+    obs::StageTimings stages;  // expand_ns filled by stage 1
+    // Instrumentation stamp of batch formation: the earliest instant the
+    // scan could have started had expansion been free (stall accounting).
+    std::chrono::steady_clock::time_point formed_at{};
+  };
+
+  void ExpandLoop();
+  void ScanLoop();
+  // Forms one batch under mu_ (waiting out the close rule), or returns
+  // false when stopping with an empty queue. Expired riders are failed
+  // inside.
+  bool FormBatch(std::vector<Pending>& batch);
+  // Stage 1 for a formed batch: expand and stage (pipelined) or expand and
+  // scan inline (serial).
+  void ExpandAndDispatch(std::vector<Pending> batch);
+  // Stage 2: scan, update the EWMA, fan out timings, fulfill promises.
+  void ScanAndFulfill(StagedBatch staged);
 
   const PirStore& store_;
   BatchConfig config_;
   ThreadPool* pool_;  // may be null (serial scans)
+  Clock* clock_;      // never null
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // queue, stats, scan-time EWMA
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
   Stats stats_;
+  // EWMA of recent batch scan durations (ns), the close rule's estimate of
+  // how long a batch started now will take to answer. 0 until first batch.
+  std::uint64_t scan_estimate_ns_ = 0;
 
-  std::thread worker_;
+  std::mutex staged_mu_;  // pipeline handoff (pipelined mode only)
+  std::condition_variable staged_cv_;
+  std::deque<StagedBatch> staged_;
+  bool scan_stop_ = false;
+
+  std::thread expand_worker_;
+  std::thread scan_worker_;  // pipelined mode only
 };
 
 }  // namespace lw::zltp

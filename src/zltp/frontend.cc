@@ -67,7 +67,7 @@ Result<Bytes> ShardDataServer::Answer(const dpf::SubtreeKey& key) const {
   if (key.domain_bits != topology_.shard_domain_bits()) {
     return ProtocolError("sub-tree key has wrong depth for this shard");
   }
-  const auto expand_start = std::chrono::steady_clock::now();
+  const auto expand_start = obs::TraceNow();
   const dpf::BitVector bits = dpf::EvalSubtreeParallel(key, pool_.get());
   const std::uint64_t expand_ns = obs::ElapsedNs(expand_start);
   obs::M().dpf_expand_ns.Observe(expand_ns);
@@ -228,7 +228,7 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
     auto next = transport.Receive(net::Deadline::Infinite());
     if (!next.ok()) return;
     if (next->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
-    const auto req_start = std::chrono::steady_clock::now();
+    const auto req_start = obs::TraceNow();
     obs::RequestTrace trace;
     trace.start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*next);
@@ -256,7 +256,7 @@ void FrontEndServer::ServeConnection(net::Transport& transport) {
     GetResponse response;
     response.request_id = request->request_id;
     response.body = std::move(*answer);
-    const auto reply_start = std::chrono::steady_clock::now();
+    const auto reply_start = obs::TraceNow();
     const bool sent = transport.Send(Encode(response)).ok();
     // Expansion and scanning happen on the data shards, so the front-end's
     // trace carries decode/reply only; the shard wait rides in total_ns.

@@ -133,7 +133,7 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
     GetResponse response;
     response.request_id = request_id;
     response.body = std::move(*answer);
-    const auto reply_start = std::chrono::steady_clock::now();
+    const auto reply_start = obs::TraceNow();
     (void)transport.Send(Encode(response));
     trace.stages.reply_ns = obs::ElapsedNs(reply_start);
     trace.total_ns = obs::ElapsedNs(req_start);
@@ -150,7 +150,7 @@ void ZltpPirServer::ServeConnection(net::Transport& transport) {
     if (!frame.ok()) break;  // disconnect
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) break;
 
-    const auto req_start = std::chrono::steady_clock::now();
+    const auto req_start = obs::TraceNow();
     const std::uint64_t start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*frame);
     if (!request.ok()) {
@@ -235,7 +235,7 @@ void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
     if (!frame.ok()) return;
     if (frame->type == static_cast<std::uint8_t>(MsgType::kBye)) return;
 
-    const auto req_start = std::chrono::steady_clock::now();
+    const auto req_start = obs::TraceNow();
     obs::RequestTrace trace;
     trace.start_unix_ms = obs::UnixMillis();
     auto request = DecodeGetRequest(*frame);
@@ -259,7 +259,7 @@ void ZltpEnclaveServer::ServeConnection(net::Transport& transport) {
     GetResponse response;
     response.request_id = request->request_id;
     response.body = std::move(*sealed);
-    const auto reply_start = std::chrono::steady_clock::now();
+    const auto reply_start = obs::TraceNow();
     const bool sent = transport.Send(Encode(response)).ok();
     // Enclave requests have no DPF expansion or scan pass, so those stage
     // timings stay zero; the enclave compute rides in total_ns.

@@ -12,6 +12,8 @@
 #include "pir/two_server.h"
 #include "util/file.h"
 #include "util/rand.h"
+#include "util/thread_pool.h"
+#include "zltp/batch.h"
 #include "zltp/client.h"
 #include "zltp/server.h"
 #include "zltp/store.h"
@@ -180,6 +182,68 @@ TEST(Concurrency, PipelinedBatchesFromParallelClients) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, PipelinedExpandScanOverlapIsRaceFree) {
+  // Drives the two-stage batch pipeline hard enough that expansion of batch
+  // N+1 genuinely overlaps the scan of batch N (tiny co-rider window, more
+  // clients than max_batch), with a sharded store and a shared ThreadPool so
+  // both stages fan work out to the same workers, plus a stats() poller on
+  // the side. Exists to fail under TSan if the staging handoff, the EWMA
+  // update, or the stats snapshot ever race.
+  zltp::PirStoreConfig config = StoreConfig();
+  config.shard_top_bits = 2;
+  zltp::PirStore store(config);
+  for (int i = 0; i < 40; ++i) {
+    (void)store.Publish("p/" + std::to_string(i), ToBytes("v"));
+  }
+  ThreadPool pool(2);
+  zltp::BatchConfig batch_config;
+  batch_config.max_batch = 4;
+  batch_config.max_wait = std::chrono::milliseconds(1);
+  batch_config.pipelined = true;
+  zltp::BatchScheduler batcher(store, batch_config, &pool);
+
+  std::atomic<bool> stop_polling{false};
+  std::thread poller([&] {
+    // Concurrent stats reads must always see a consistent snapshot.
+    while (!stop_polling.load()) {
+      const auto s = batcher.stats();
+      if (s.batches > 0 && s.requests < s.batches) {
+        ADD_FAILURE() << "torn stats snapshot";
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 123);
+      for (int i = 0; i < kPerClient; ++i) {
+        const pir::QueryKeys q = pir::MakeIndexQuery(
+            rng.UniformInt(std::uint64_t{1} << store.domain_bits()),
+            store.domain_bits());
+        auto answer = batcher.Submit(q.key0);
+        if (!answer.ok() ||
+            *answer != store.AnswerQuery(q.key0).value()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_polling.store(true);
+  poller.join();
+  batcher.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GT(stats.batches, 1u);
 }
 
 TEST(Concurrency, InProcessChannelsAreIndependent) {

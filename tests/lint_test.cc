@@ -171,6 +171,33 @@ TEST(Lwlint, ReceiveWithoutDeadlineExemptInsideNet) {
   EXPECT_TRUE(FindingsFor(findings, "receive-without-deadline").empty());
 }
 
+TEST(Lwlint, RawSteadyClockInSchedulingCode) {
+  const auto findings =
+      LintFixture("raw_steady_clock.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "raw-steady-clock", 16))
+      << "fully qualified steady_clock::now()";
+  EXPECT_TRUE(HasFinding(findings, "raw-steady-clock", 23))
+      << "steady_clock::now() after a using-declaration";
+  EXPECT_EQ(FindingsFor(findings, "raw-steady-clock").size(), 2u)
+      << "injected Clock reads, TraceNow(), and the allow hatch must not "
+         "fire";
+}
+
+TEST(Lwlint, RawSteadyClockFiresInNetToo) {
+  const auto findings =
+      LintFixture("raw_steady_clock.cc", "src/net/fixture.cc");
+  EXPECT_EQ(FindingsFor(findings, "raw-steady-clock").size(), 2u);
+}
+
+TEST(Lwlint, RawSteadyClockExemptOutsideSchedulingCode) {
+  // src/obs owns the instrumentation clock (TraceNow) and bench/test code
+  // measures real wall time on purpose; only scheduling code is held to
+  // the injectable-clock discipline.
+  const auto findings =
+      LintFixture("raw_steady_clock.cc", "src/obs/fixture.cc");
+  EXPECT_TRUE(FindingsFor(findings, "raw-steady-clock").empty());
+}
+
 TEST(Lwlint, VarTimeLoopIsCryptoOnly) {
   const auto findings =
       LintFixture("var_time_loop.cc", "src/zltp/fixture.cc");
@@ -295,6 +322,12 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
         "receive_deadline.cc", "taint_branch.cc", "taint_chain.cc",
         "taint_index.cc", "taint_call.cc", "stale_allow.cc"}) {
     auto f = LintFixture(name, std::string("src/crypto/") + name);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  {
+    // raw-steady-clock is path-gated to scheduling code, so its fixture
+    // lints under a src/zltp path rather than src/crypto.
+    auto f = LintFixture("raw_steady_clock.cc", "src/zltp/raw_steady_clock.cc");
     all.insert(all.end(), f.begin(), f.end());
   }
   for (const std::string& rule : AllRules()) {

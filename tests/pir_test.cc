@@ -3,6 +3,7 @@
 // cuckoo index.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "pir/blob_db.h"
@@ -131,6 +132,158 @@ TEST(BlobDb, XorBytesMisalignedOffsets) {
       }
     }
   }
+}
+
+// ----------------------------------------------------------- xor kernels
+
+// Pins the active XOR tier for one test and restores it on exit, so tier
+// equivalence tests cannot leak a pinned tier into later tests.
+class ScopedXorTier {
+ public:
+  ScopedXorTier() : saved_(ActiveXorTier()) {}
+  ~ScopedXorTier() { SetXorTier(saved_); }
+
+ private:
+  XorTier saved_;
+};
+
+TEST(XorKernel, ScalarTierIsAlwaysAvailable) {
+  ScopedXorTier restore;
+  EXPECT_TRUE(SetXorTier(XorTier::kScalar));
+  EXPECT_EQ(ActiveXorTier(), XorTier::kScalar);
+}
+
+TEST(XorKernel, AllSupportedTiersProduceIdenticalBytes) {
+  // The runtime dispatch means different hosts execute different code for
+  // the same scan; every tier this host can run must agree with the scalar
+  // reference on every length/alignment combination, or answers would
+  // depend on the fleet's CPU mix. Unsupported tiers are skipped (that IS
+  // the graceful-fallback contract on AVX2-only or non-x86 hosts).
+  ScopedXorTier restore;
+  Rng rng(99);
+  for (const XorTier tier :
+       {XorTier::kScalar, XorTier::kAvx2, XorTier::kAvx512}) {
+    if (!SetXorTier(tier)) {
+      EXPECT_LT(static_cast<int>(BestSupportedXorTier()),
+                static_cast<int>(tier))
+          << "SetXorTier refused a tier detection claims is supported";
+      continue;
+    }
+    ASSERT_EQ(ActiveXorTier(), tier);
+    for (const std::size_t n : {0u, 1u, 31u, 32u, 63u, 64u, 65u, 127u,
+                                128u, 1000u, 4096u}) {
+      Bytes a(n), b(n);
+      rng.Fill(a);
+      rng.Fill(b);
+      Bytes expected(n);
+      for (std::size_t i = 0; i < n; ++i) expected[i] = a[i] ^ b[i];
+      XorBytes(a.data(), b.data(), n);
+      EXPECT_EQ(a, expected) << XorTierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(XorKernel, XorRowMultiMatchesRepeatedXorBytes) {
+  ScopedXorTier restore;
+  Rng rng(7);
+  for (const XorTier tier :
+       {XorTier::kScalar, XorTier::kAvx2, XorTier::kAvx512}) {
+    if (!SetXorTier(tier)) continue;
+    for (const std::size_t n : {1u, 64u, 100u, 512u}) {
+      Bytes row(n);
+      rng.Fill(row);
+      constexpr std::size_t kAccs = 5;
+      std::vector<Bytes> dsts(kAccs, Bytes(n));
+      std::vector<Bytes> expected(kAccs, Bytes(n));
+      for (std::size_t k = 0; k < kAccs; ++k) {
+        rng.Fill(dsts[k]);
+        for (std::size_t i = 0; i < n; ++i) {
+          expected[k][i] = dsts[k][i] ^ row[i];
+        }
+      }
+      std::vector<std::uint8_t*> ptrs;
+      for (auto& d : dsts) ptrs.push_back(d.data());
+      XorRowMulti(row.data(), ptrs.data(), ptrs.size(), n);
+      for (std::size_t k = 0; k < kAccs; ++k) {
+        EXPECT_EQ(dsts[k], expected[k])
+            << XorTierName(tier) << " n=" << n << " acc=" << k;
+      }
+    }
+  }
+}
+
+TEST(XorKernel, SetTierByNameParsesKnownNamesOnly) {
+  ScopedXorTier restore;
+  EXPECT_TRUE(SetXorTierByName("scalar"));
+  EXPECT_EQ(ActiveXorTier(), XorTier::kScalar);
+  EXPECT_TRUE(SetXorTierByName("auto"));
+  EXPECT_EQ(ActiveXorTier(), BestSupportedXorTier());
+  EXPECT_FALSE(SetXorTierByName("sse9000"));
+  EXPECT_EQ(ActiveXorTier(), BestSupportedXorTier());  // unchanged
+}
+
+// ------------------------------------------------------------ hugepages
+
+TEST(Hugepages, SmallAllocationsSkipTheHugepagePath) {
+  const std::uint64_t before = HugepageAdvisedBytes();
+  HugeBytes small(4096, 0x5a);
+  EXPECT_EQ(small[0], 0x5a);
+  // Sub-hugepage vectors keep plain cache-line alignment and are never
+  // madvised — 2 MiB-aligning a 4 KiB buffer would waste the reservation.
+  EXPECT_EQ(HugepageAdvisedBytes(), before);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(small.data()) %
+                kCacheLineSize,
+            0u);
+}
+
+TEST(Hugepages, KillSwitchDisablesAdviseAndMemoryStaysValid) {
+  SetHugepagesEnabled(false);
+  const std::uint64_t before = HugepageAdvisedBytes();
+  {
+    HugeBytes arena(3 * kHugePageSize, 0x11);
+    EXPECT_EQ(HugepageAdvisedBytes(), before);  // kill switch honored
+    arena[arena.size() - 1] = 0x22;
+    EXPECT_EQ(arena[0], 0x11);
+    EXPECT_EQ(arena[arena.size() - 1], 0x22);
+  }
+  SetHugepagesEnabled(true);
+}
+
+TEST(Hugepages, LargeAllocationsAreHugepageAlignedWhenEnabled) {
+  SetHugepagesEnabled(true);
+  const std::uint64_t before = HugepageAdvisedBytes();
+  HugeBytes arena(2 * kHugePageSize);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.data()) % kHugePageSize,
+            0u);
+  // The madvise itself is best-effort (THP may be off on this host), so the
+  // counter may or may not move — but it must never move backwards, and on
+  // hosts where it moved it must cover this arena.
+  const std::uint64_t advised = HugepageAdvisedBytes() - before;
+  EXPECT_TRUE(advised == 0 || advised >= arena.size())
+      << "advised " << advised << " of " << arena.size();
+  std::fill(arena.begin(), arena.end(), 0xab);  // every page is writable
+  EXPECT_EQ(arena[arena.size() - 1], 0xab);
+}
+
+TEST(Hugepages, BlobDatabaseScansCorrectlyOverHugepageArena) {
+  // 2^12 rows x 512-byte stride = a 2 MiB record arena — exactly the size
+  // where BlobDatabase's backing store flips onto the hugepage path. The
+  // scan must not notice.
+  BlobDatabase db(12, 512);
+  Rng rng(5);
+  Bytes r1(512), r2(512);
+  rng.Fill(r1);
+  rng.Fill(r2);
+  ASSERT_TRUE(db.Insert(100, r1).ok());
+  ASSERT_TRUE(db.Insert(3000, r2).ok());
+  dpf::BitVector bits((1 << 12) / 64, 0);
+  bits[100 / 64] |= std::uint64_t{1} << (100 % 64);
+  bits[3000 / 64] |= std::uint64_t{1} << (3000 % 64);
+  Bytes out(512);
+  db.Answer(bits, out);
+  Bytes expected(512);
+  for (std::size_t i = 0; i < 512; ++i) expected[i] = r1[i] ^ r2[i];
+  EXPECT_EQ(out, expected);
 }
 
 TEST(BlobDb, RowsAreCacheLineAligned) {

@@ -3,6 +3,8 @@
 // TCP transports in both modes of operation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "net/tcp.h"
@@ -11,6 +13,7 @@
 #include "oram/storage.h"
 #include "pir/packing.h"
 #include "pir/two_server.h"
+#include "util/clock.h"
 #include "util/rand.h"
 #include "zltp/batch.h"
 #include "zltp/client.h"
@@ -345,6 +348,181 @@ TEST(BatchScheduler, StopFailsPendingAndFutureSubmits) {
   const pir::QueryKeys q = pir::MakeIndexQuery(0, store.domain_bits());
   EXPECT_EQ(batcher.Submit(q.key0).status().code(),
             StatusCode::kUnavailable);
+}
+
+// Spins (real time) until the scheduler has admitted `n` requests, so tests
+// driving a FakeClock can sequence submissions against batch formation
+// without ever sleeping for a fixed interval and hoping.
+void WaitForAdmitted(const BatchScheduler& batcher, std::uint64_t n) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (batcher.stats().requests < n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "scheduler never admitted " << n << " requests";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(BatchScheduler, QueueLimitShedsWithResourceExhausted) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("k", ToBytes("v")).ok());
+  FakeClock clock;
+  BatchConfig config;
+  config.max_batch = 8;
+  config.max_wait = std::chrono::milliseconds(1000);  // of fake time
+  config.queue_limit = 2;
+  config.clock = &clock;
+  BatchScheduler batcher(store, config);
+
+  // Two admitted riders park in the queue: the co-rider window is open and
+  // fake time is frozen, so the batch cannot close underneath the test.
+  const pir::QueryKeys q = pir::MakeIndexQuery(1, store.domain_bits());
+  std::vector<std::thread> riders;
+  std::atomic<int> ok_answers{0};
+  for (int i = 0; i < 2; ++i) {
+    riders.emplace_back([&] {
+      if (batcher.Submit(q.key0).ok()) ++ok_answers;
+    });
+  }
+  WaitForAdmitted(batcher, 2);
+
+  // The third submission finds the queue at queue_limit and is refused
+  // immediately — admission control answers without blocking.
+  const auto shed = batcher.Submit(q.key0);
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.stats().shed, 1u);
+
+  // Opening the window lets the parked riders complete normally: shedding
+  // rejected the overflow request only, not the queue contents. Advance in
+  // window-sized steps: the worker stamps the batch-open time when it first
+  // sees a rider, so a single jump could land before that stamp.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ok_answers.load() < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up);
+    clock.Advance(std::chrono::milliseconds(1100));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : riders) t.join();
+  EXPECT_EQ(ok_answers.load(), 2);
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.wait_closes, 1u);
+}
+
+TEST(BatchScheduler, ExpiredCoRiderFailsWhileFreshOnesRide) {
+  PirStore store(SmallStoreConfig());
+  ASSERT_TRUE(store.Publish("k", ToBytes("v")).ok());
+  FakeClock clock;
+  BatchConfig config;
+  config.max_batch = 8;
+  config.max_wait = std::chrono::milliseconds(100);
+  config.deadline_budget = std::chrono::milliseconds(5);
+  config.clock = &clock;
+  BatchScheduler batcher(store, config);
+
+  // Rider A enqueues at t=0 with deadline t=5ms.
+  const pir::QueryKeys qa = pir::MakeIndexQuery(1, store.domain_bits());
+  Result<Bytes> answer_a = InternalError("unset");
+  std::thread rider_a([&] { answer_a = batcher.Submit(qa.key0); });
+  WaitForAdmitted(batcher, 1);
+
+  // Rider B enqueues at t=3ms with deadline t=8ms.
+  clock.Advance(std::chrono::milliseconds(3));
+  const pir::QueryKeys qb = pir::MakeIndexQuery(2, store.domain_bits());
+  Result<Bytes> answer_b = InternalError("unset");
+  std::thread rider_b([&] { answer_b = batcher.Submit(qb.key0); });
+  WaitForAdmitted(batcher, 2);
+
+  // Jump to t=7ms: past the earliest deadline, so the batch closes
+  // (deadline-driven — 5ms beats the 100ms co-rider window), rider A is
+  // already expired at formation, and rider B still makes it.
+  clock.Advance(std::chrono::milliseconds(4));
+  rider_a.join();
+  rider_b.join();
+  EXPECT_EQ(answer_a.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(answer_b.ok()) << answer_b.status().ToString();
+  EXPECT_EQ(*answer_b, store.AnswerQuery(qb.key0).value());
+
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deadline_closes, 1u);
+  // average_batch_size counts only riders that actually rode.
+  EXPECT_DOUBLE_EQ(stats.average_batch_size(), 1.0);
+}
+
+TEST(BatchScheduler, StopAnswersEveryInFlightRequest) {
+  PirStore store(SmallStoreConfig());
+  for (int i = 0; i < 10; ++i) {
+    (void)store.Publish("k" + std::to_string(i), ToBytes("v"));
+  }
+  // A long window parks all riders in the queue until Stop() drains them.
+  BatchConfig config;
+  config.max_batch = 64;
+  config.max_wait = std::chrono::milliseconds(10000);
+  BatchScheduler batcher(store, config);
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const pir::QueryKeys q = pir::MakeIndexQuery(
+          static_cast<std::uint64_t>(c), store.domain_bits());
+      const auto answer = batcher.Submit(q.key0);
+      // Stop() promises a real answer for everything already admitted.
+      if (!answer.ok() || *answer != store.AnswerQuery(q.key0).value()) {
+        ++wrong;
+      }
+    });
+  }
+  WaitForAdmitted(batcher, kClients);
+  batcher.Stop();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(batcher.stats().requests, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(BatchScheduler, PipelinedAndSerialProduceIdenticalAnswers) {
+  PirStore store(SmallStoreConfig(12, 128, /*shard_top_bits=*/2));
+  for (int i = 0; i < 32; ++i) {
+    (void)store.Publish("k" + std::to_string(i), ToBytes("v"));
+  }
+  constexpr int kQueries = 24;
+  std::vector<pir::QueryKeys> queries;
+  std::vector<Bytes> expected;
+  Rng rng(3);
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back(pir::MakeIndexQuery(rng.UniformInt(1 << 12),
+                                          store.domain_bits()));
+    expected.push_back(store.AnswerQuery(queries.back().key0).value());
+  }
+
+  for (const bool pipelined : {true, false}) {
+    BatchConfig config;
+    config.max_batch = 4;
+    config.max_wait = std::chrono::milliseconds(5);
+    config.pipelined = pipelined;
+    BatchScheduler batcher(store, config);
+    std::vector<Bytes> answers(kQueries);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kQueries; ++i) {
+      threads.emplace_back([&, i] {
+        auto answer = batcher.Submit(queries[i].key0);
+        if (answer.ok()) {
+          answers[i] = std::move(*answer);
+        } else {
+          ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0) << "pipelined=" << pipelined;
+    EXPECT_EQ(answers, expected) << "pipelined=" << pipelined;
+  }
 }
 
 // --------------------------------------------- end-to-end PIR sessions

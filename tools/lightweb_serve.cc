@@ -14,11 +14,25 @@
 //
 // Usage:
 //   lightweb_serve <base_port> [--snapshot state.json]
-//                  [--metrics-port=N] [--metrics-dump=PATH] <site.json> ...
+//                  [--metrics-port=N] [--metrics-dump=PATH]
+//                  [--max-batch=N] [--max-wait-ms=N] [--queue-limit=N]
+//                  [--deadline-ms=N] [--serial-batches] [--threads=N]
+//                  [--scan-kernel=auto|scalar|avx2|avx512] [--no-hugepages]
+//                  <site.json> ...
 //
 // With --snapshot, an existing snapshot file is loaded before any site
 // files, and the final universe (snapshot + newly loaded sites) is written
 // back — simple persistence across restarts.
+//
+// Batching / data-plane knobs (docs/PERFORMANCE.md):
+//   --max-batch=N     queries fused per scan pass (default 16)
+//   --max-wait-ms=N   co-rider window after a batch's first query
+//   --queue-limit=N   shed RESOURCE_EXHAUSTED beyond N queued queries
+//   --deadline-ms=N   per-request deadline budget driving early batch close
+//   --serial-batches  disable the expand/scan pipeline overlap (A/B knob)
+//   --threads=N       per-request compute threads (0 = hardware)
+//   --scan-kernel=K   pin the XOR kernel tier (default runtime-detected)
+//   --no-hugepages    skip madvise(MADV_HUGEPAGE) on record arenas
 //
 // Observability (see docs/OBSERVABILITY.md):
 //   --metrics-port=N   serve GET /metrics (Prometheus text) and
@@ -45,6 +59,8 @@
 #include "lightweb/universe.h"
 #include "net/tcp.h"
 #include "obs/exporter.h"
+#include "pir/xor_kernel.h"
+#include "util/alloc.h"
 #include "util/file.h"
 #include "util/log.h"
 #include "zltp/server.h"
@@ -142,6 +158,7 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::string metrics_dump_path;
   int metrics_port = -1;  // -1 = disabled; 0 = ephemeral port
+  zltp::ServerOptions server_options;
   std::vector<std::string> site_files;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,10 +172,54 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--metrics-dump=", 0) == 0) {
       metrics_dump_path = arg.substr(15);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 12);
+      if (v < 1) {
+        std::fprintf(stderr, "bad --max-batch (need >= 1)\n");
+        return 2;
+      }
+      server_options.batch_config.max_batch = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--max-wait-ms=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 14);
+      if (v < 0) {
+        std::fprintf(stderr, "bad --max-wait-ms\n");
+        return 2;
+      }
+      server_options.batch_config.max_wait = std::chrono::milliseconds(v);
+    } else if (arg.rfind("--queue-limit=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 14);
+      if (v < 0) {
+        std::fprintf(stderr, "bad --queue-limit\n");
+        return 2;
+      }
+      server_options.batch_config.queue_limit = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const int v = std::atoi(arg.c_str() + 14);
+      if (v < 0) {
+        std::fprintf(stderr, "bad --deadline-ms\n");
+        return 2;
+      }
+      server_options.batch_config.deadline_budget =
+          std::chrono::milliseconds(v);
+    } else if (arg == "--serial-batches") {
+      server_options.batch_config.pipelined = false;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      server_options.num_threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--scan-kernel=", 0) == 0) {
+      if (!pir::SetXorTierByName(arg.c_str() + 14)) {
+        std::fprintf(stderr,
+                     "bad --scan-kernel (unknown or unsupported on this "
+                     "CPU; want auto|scalar|avx2|avx512)\n");
+        return 2;
+      }
+    } else if (arg == "--no-hugepages") {
+      SetHugepagesEnabled(false);
     } else {
       site_files.emplace_back(arg);
     }
   }
+  std::printf("scan kernel: %s%s\n", pir::XorTierName(pir::ActiveXorTier()),
+              HugepagesEnabled() ? ", hugepages advised" : ", hugepages off");
 
   lightweb::Universe universe(ServeConfig());
   if (!snapshot_path.empty()) {
@@ -217,10 +278,10 @@ int main(int argc, char** argv) {
                 metrics_dump_path.c_str());
   }
 
-  zltp::ZltpPirServer code0(universe.code_store(), 0);
-  zltp::ZltpPirServer code1(universe.code_store(), 1);
-  zltp::ZltpPirServer data0(universe.data_store(), 0);
-  zltp::ZltpPirServer data1(universe.data_store(), 1);
+  zltp::ZltpPirServer code0(universe.code_store(), 0, server_options);
+  zltp::ZltpPirServer code1(universe.code_store(), 1, server_options);
+  zltp::ZltpPirServer data0(universe.data_store(), 0, server_options);
+  zltp::ZltpPirServer data1(universe.data_store(), 1, server_options);
 
   struct Endpoint {
     zltp::ZltpPirServer* server;

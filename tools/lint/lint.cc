@@ -28,6 +28,7 @@ const char kUncheckedReader[] = "unchecked-reader";
 const char kVarTimeLoop[] = "var-time-loop";
 const char kMetricLabelFromRequest[] = "metric-label-from-request";
 const char kReceiveWithoutDeadline[] = "receive-without-deadline";
+const char kRawSteadyClock[] = "raw-steady-clock";
 const char kStaleAllow[] = "stale-allow";
 
 // Pseudo-rule: an allow(secret-taint) annotation on an assignment
@@ -206,6 +207,7 @@ class Linter {
   void CheckSecretIndex();
   void CheckMetricLabel();
   void CheckReceiveDeadline();
+  void CheckRawSteadyClock();
   void CheckUncheckedResult();
   void CheckUncheckedReader();
   void CheckVarTimeLoops();
@@ -616,6 +618,27 @@ void Linter::CheckReceiveDeadline() {
            "Receive() with no deadline blocks forever on a hung peer; pass "
            "a net::Deadline (Deadline::Infinite() if waiting forever is "
            "truly intended) — see docs/ROBUSTNESS.md");
+  }
+}
+
+void Linter::CheckRawSteadyClock() {
+  // Scheduling and transport code (src/zltp, src/net) must read time
+  // through lw::Clock: the batch scheduler's admission controller and the
+  // transport deadlines are tested with a FakeClock, and a raw
+  // steady_clock::now() is wall time those tests cannot advance — the
+  // deadline machinery silently stops being deterministic. Instrumentation
+  // stamps (trace spans) go through obs::TraceNow() instead, which keeps
+  // the one sanctioned direct read in src/obs.
+  for (size_t i = 0; i + 3 < t_.size(); ++i) {
+    if (t_[i].pp || !IsIdent(i, "steady_clock")) continue;
+    if (!IsPunct(i + 1, "::") || !IsIdent(i + 2, "now") ||
+        !IsPunct(i + 3, "(")) {
+      continue;
+    }
+    Report(t_[i].line, kRawSteadyClock,
+           "raw steady_clock::now() in scheduling code; read time through "
+           "the injectable lw::Clock (or obs::TraceNow() for trace stamps) "
+           "so FakeClock tests stay deterministic");
   }
 }
 
@@ -1160,6 +1183,9 @@ std::vector<Finding> Linter::Run() {
   CheckUncheckedReader();
   CheckMetricLabel();
   if (!net_) CheckReceiveDeadline();
+  if (net_ || path_.find("src/zltp/") != std::string::npos) {
+    CheckRawSteadyClock();
+  }
   CheckSecretIndex();
   if (crypto_) {
     CheckCtEquality();
@@ -1189,7 +1215,8 @@ const std::vector<std::string>& AllRules() {
       kTaintIndex,      kTaintCall,       kInsecureRand,
       kNakedNew,        kUncheckedResult, kUncheckedReader,
       kVarTimeLoop,     kMetricLabelFromRequest,
-      kReceiveWithoutDeadline,            kStaleAllow,
+      kReceiveWithoutDeadline,            kRawSteadyClock,
+      kStaleAllow,
   };
   return kRules;
 }

@@ -43,6 +43,11 @@
 //                    src/net; unbounded reads must name Deadline::Infinite()
 //                    explicitly (or carry an allow for the batcher
 //                    long-poll) — see docs/ROBUSTNESS.md.
+//   raw-steady-clock std::chrono::steady_clock::now() in src/zltp or
+//                    src/net; scheduling code must read time through the
+//                    injectable lw::Clock (trace stamps through
+//                    obs::TraceNow()) so FakeClock tests drive deadlines
+//                    and batch closes deterministically.
 //   stale-allow      an allow/allowfile annotation that suppressed nothing;
 //                    dead escape hatches hide real regressions, so they are
 //                    findings themselves.

@@ -1,0 +1,39 @@
+// lwlint fixture: raw-steady-clock true/false positives.
+
+#include <chrono>
+
+namespace fake_obs {
+inline std::chrono::steady_clock::time_point TraceNow() {
+  return std::chrono::steady_clock::time_point{};
+}
+}  // namespace fake_obs
+
+struct FakeClock {
+  std::chrono::nanoseconds Now() const;
+};
+
+long BadRawNow() {
+  return std::chrono::steady_clock::now()  // line 16: raw read
+      .time_since_epoch()
+      .count();
+}
+
+long BadUsingNamespaceNow() {
+  using std::chrono::steady_clock;
+  return steady_clock::now().time_since_epoch().count();  // line 23: raw read
+}
+
+long InjectedClockIsFine(const FakeClock& clock) {
+  return clock.Now().count();  // no finding: reads the injectable clock
+}
+
+long TraceStampIsFine() {
+  // Instrumentation goes through the central helper.
+  return fake_obs::TraceNow().time_since_epoch().count();  // no finding
+}
+
+long AllowedRawNow() {
+  // A sanctioned direct read carries the hatch.
+  // lwlint: allow(raw-steady-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
