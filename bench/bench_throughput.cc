@@ -14,19 +14,29 @@
 // per scenario into BENCH_throughput.json so CI can track the trajectory
 // (tools/bench/compare_bench.py fails on >15% req/s regressions).
 //
+// Scenarios cover both serving models (docs/ARCHITECTURE.md): the blocking
+// thread-per-connection path and the epoll reactor, including a
+// high-connection reactor scenario (default 1024 concurrent connections,
+// --conns=N) that a thread-per-connection server could only match with a
+// thousand kernel threads.
+//
 // Flags: --smoke (CI-sized run), --threads=N (server scan/expand pool),
 // --json=PATH (default BENCH_throughput.json), --clients=N, --requests=N
-// (per client).
+// (per client), --conns=N (high-connection scenario size).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "bench_util.h"
+#include "net/reactor.h"
 #include "net/tcp.h"
 #include "pir/xor_kernel.h"
 #include "util/alloc.h"
@@ -46,12 +56,24 @@ struct ThroughputParams {
   int requests_per_client = 40;  // per scenario, after warmup
   int warmup_per_client = 4;
   int threads = 1;
+  // Total concurrent TCP connections for the high-connection reactor
+  // scenario (each closed-loop client holds one connection per logical
+  // server, so clients = conns / 2).
+  int high_conns = 1024;
 };
 
 struct Scenario {
   std::string name;
   bool pipelined = true;
   std::chrono::milliseconds max_wait{2};
+  // true: one epoll reactor serves both logical servers. false: blocking
+  // thread-per-connection (the A/B baseline).
+  bool reactor = false;
+  // Per-scenario overrides (0 = take the ThroughputParams value). The
+  // high-connection scenario trades requests-per-client for client count
+  // so total work stays bounded while concurrency scales.
+  int clients_override = 0;
+  int requests_override = 0;
 };
 
 struct ScenarioResult {
@@ -88,21 +110,51 @@ std::thread AcceptLoop(net::TcpListener& listener,
 }
 
 ScenarioResult RunScenario(const zltp::PirStore& store,
-                           const ThroughputParams& params,
+                           const ThroughputParams& base_params,
                            const Scenario& scenario) {
+  ThroughputParams params = base_params;
+  if (scenario.clients_override > 0) params.clients = scenario.clients_override;
+  if (scenario.requests_override > 0) {
+    params.requests_per_client = scenario.requests_override;
+  }
+
   zltp::ServerOptions options;
   options.batch_config.max_batch = 16;
   options.batch_config.max_wait = scenario.max_wait;
   options.batch_config.pipelined = scenario.pipelined;
   options.num_threads = params.threads;
+  // Declared before the servers: batch completion callbacks hold a reactor
+  // reference, and the server destructor joins those callbacks' threads.
+  net::Reactor reactor;
   zltp::ZltpPirServer server0(store, 0, options);
   zltp::ZltpPirServer server1(store, 1, options);
 
-  auto listener0 = net::TcpListener::Listen(0);
-  auto listener1 = net::TcpListener::Listen(0);
-  LW_CHECK(listener0.ok() && listener1.ok());
-  std::thread accept0 = AcceptLoop(*listener0, server0);
-  std::thread accept1 = AcceptLoop(*listener1, server1);
+  std::uint16_t port0 = 0;
+  std::uint16_t port1 = 0;
+  std::optional<net::TcpListener> tlistener0;
+  std::optional<net::TcpListener> tlistener1;
+  std::thread accept0;
+  std::thread accept1;
+  if (scenario.reactor) {
+    auto listener0 = net::TcpListener::Listen(0);
+    auto listener1 = net::TcpListener::Listen(0);
+    LW_CHECK(listener0.ok() && listener1.ok());
+    port0 = listener0->bound_port();
+    port1 = listener1->bound_port();
+    LW_CHECK(server0.ServeOnReactor(reactor, std::move(*listener0)).ok());
+    LW_CHECK(server1.ServeOnReactor(reactor, std::move(*listener1)).ok());
+    LW_CHECK(reactor.Start().ok());
+  } else {
+    auto listener0 = net::TcpListener::Listen(0);
+    auto listener1 = net::TcpListener::Listen(0);
+    LW_CHECK(listener0.ok() && listener1.ok());
+    port0 = listener0->bound_port();
+    port1 = listener1->bound_port();
+    tlistener0.emplace(std::move(*listener0));
+    tlistener1.emplace(std::move(*listener1));
+    accept0 = AcceptLoop(*tlistener0, server0);
+    accept1 = AcceptLoop(*tlistener1, server1);
+  }
 
   // Closed-loop clients: connect + warm up first, then all start measuring
   // together so the server sees full concurrency for the whole window.
@@ -114,8 +166,8 @@ ScenarioResult RunScenario(const zltp::PirStore& store,
   std::vector<std::thread> clients;
   for (int c = 0; c < params.clients; ++c) {
     clients.emplace_back([&, c] {
-      auto t0 = net::TcpConnect("127.0.0.1", listener0->bound_port());
-      auto t1 = net::TcpConnect("127.0.0.1", listener1->bound_port());
+      auto t0 = net::TcpConnect("127.0.0.1", port0);
+      auto t1 = net::TcpConnect("127.0.0.1", port1);
       if (!t0.ok() || !t1.ok()) {
         ++errors;
         ++ready;
@@ -165,10 +217,14 @@ ScenarioResult RunScenario(const zltp::PirStore& store,
   const auto bench_end = std::chrono::steady_clock::now();
   const auto stats_after = server0.batch_stats();
 
-  listener0->Close();
-  listener1->Close();
-  accept0.join();
-  accept1.join();
+  if (scenario.reactor) {
+    reactor.Stop();
+  } else {
+    tlistener0->Close();
+    tlistener1->Close();
+    accept0.join();
+    accept1.join();
+  }
 
   ScenarioResult result;
   result.scenario = scenario;
@@ -227,13 +283,18 @@ bool WriteJson(const std::string& path, const ThroughputParams& params,
   std::fprintf(f, "  \"throughput\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
+    const int conns =
+        2 * (r.scenario.clients_override > 0 ? r.scenario.clients_override
+                                             : params.clients);
     std::fprintf(
         f,
-        "    {\"name\": \"%s\", \"pipelined\": %s, \"max_wait_ms\": %lld, "
+        "    {\"name\": \"%s\", \"serve\": \"%s\", \"conns\": %d, "
+        "\"pipelined\": %s, \"max_wait_ms\": %lld, "
         "\"requests\": %llu, \"req_per_s\": %.3f, \"ns_per_op\": %.1f, "
         "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
         "\"avg_batch\": %.2f, \"batches\": %llu}%s\n",
-        r.scenario.name.c_str(), r.scenario.pipelined ? "true" : "false",
+        r.scenario.name.c_str(), r.scenario.reactor ? "reactor" : "threaded",
+        conns, r.scenario.pipelined ? "true" : "false",
         static_cast<long long>(r.scenario.max_wait.count()),
         static_cast<unsigned long long>(r.completed), r.req_per_s,
         r.ns_per_op, r.p50_ms, r.p95_ms, r.p99_ms, r.avg_batch,
@@ -258,6 +319,18 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--requests=", 0) == 0) {
       params.requests_per_client =
           std::atoi(arg.c_str() + std::strlen("--requests="));
+    } else if (arg.rfind("--conns=", 0) == 0) {
+      params.high_conns = std::atoi(arg.c_str() + std::strlen("--conns="));
+      LW_CHECK(params.high_conns >= 2);
+    }
+  }
+  // The high-connection scenario needs client+server fds in one process;
+  // default soft limits (often 1024) are too small, so take the hard limit.
+  {
+    struct rlimit lim{};
+    if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+      lim.rlim_cur = lim.rlim_max;
+      (void)setrlimit(RLIMIT_NOFILE, &lim);
     }
   }
   if (flags.smoke) {
@@ -287,12 +360,29 @@ int Main(int argc, char** argv) {
   // ≥2 batch-deadline settings, each in both scheduling modes: the deadline
   // sweep shows the latency/throughput trade the co-rider window buys, the
   // mode sweep shows what expand/scan overlap is worth at fixed deadline.
-  const std::vector<Scenario> scenarios = {
+  // Then the serving-model A/B at fixed batch settings, and the
+  // high-connection scenario only the reactor can realistically run.
+  std::vector<Scenario> scenarios = {
       {"pipelined/wait1ms", true, std::chrono::milliseconds(1)},
       {"serial/wait1ms", false, std::chrono::milliseconds(1)},
       {"pipelined/wait4ms", true, std::chrono::milliseconds(4)},
       {"serial/wait4ms", false, std::chrono::milliseconds(4)},
+      {"reactor/wait1ms", true, std::chrono::milliseconds(1), true},
+      {"reactor/wait4ms", true, std::chrono::milliseconds(4), true},
   };
+  {
+    // Each client holds one connection per logical server. Per-client
+    // request count shrinks so the scenario measures concurrency, not ten
+    // minutes of wall clock.
+    Scenario high;
+    high.name = "reactor/conns" + std::to_string(params.high_conns);
+    high.pipelined = true;
+    high.max_wait = std::chrono::milliseconds(4);
+    high.reactor = true;
+    high.clients_override = std::max(1, params.high_conns / 2);
+    high.requests_override = flags.smoke ? 2 : 4;
+    scenarios.push_back(high);
+  }
   std::vector<ScenarioResult> results;
   for (const Scenario& s : scenarios) {
     results.push_back(RunScenario(store, params, s));
@@ -307,13 +397,16 @@ int Main(int argc, char** argv) {
                           : params.threads,
       pir::XorTierName(pir::ActiveXorTier()));
   PrintRule();
-  std::printf("%-22s %9s %9s %9s %9s %10s\n", "scenario", "req/s",
-              "p50 ms", "p95 ms", "p99 ms", "avg batch");
+  std::printf("%-22s %6s %9s %9s %9s %9s %10s\n", "scenario", "conns",
+              "req/s", "p50 ms", "p95 ms", "p99 ms", "avg batch");
   PrintRule();
   for (const ScenarioResult& r : results) {
-    std::printf("%-22s %9.1f %9.2f %9.2f %9.2f %10.2f\n",
-                r.scenario.name.c_str(), r.req_per_s, r.p50_ms, r.p95_ms,
-                r.p99_ms, r.avg_batch);
+    const int conns =
+        2 * (r.scenario.clients_override > 0 ? r.scenario.clients_override
+                                             : params.clients);
+    std::printf("%-22s %6d %9.1f %9.2f %9.2f %9.2f %10.2f\n",
+                r.scenario.name.c_str(), conns, r.req_per_s, r.p50_ms,
+                r.p95_ms, r.p99_ms, r.avg_batch);
   }
   PrintRule();
 

@@ -1,0 +1,594 @@
+#include "net/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace lw::net {
+namespace {
+
+// The eventfd's slot in epoll's user-data id space; connection and listener
+// ids start at 1 so 0 is unambiguous.
+constexpr Reactor::ConnId kWakeId = 0;
+
+// Per-recv scratch: large enough that one syscall usually drains a request
+// frame, small enough to live on the loop's stack.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+// A parse cursor this deep into the receive buffer triggers compaction, so
+// a pipelining client cannot grow the buffer without bound.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+Status ErrnoStatus(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Wire-encodes one frame exactly as TcpTransport::Send does: u32 LE body
+// length, then type byte, then payload.
+Bytes EncodeWire(const Frame& frame) {
+  const std::size_t body = 1 + frame.payload.size();
+  Bytes wire(4 + body);
+  StoreLE32(wire.data(), static_cast<std::uint32_t>(body));
+  wire[4] = frame.type;
+  std::copy(frame.payload.begin(), frame.payload.end(), wire.begin() + 5);
+  return wire;
+}
+
+}  // namespace
+
+Reactor::Reactor() : Reactor(Options{}) {}
+
+Reactor::Reactor(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : &Clock::Real()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  LW_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  LW_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  LW_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+               "epoll_ctl(wake) failed");
+}
+
+Reactor::~Reactor() {
+  Stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status Reactor::AddListener(TcpListener listener, Handler handler) {
+  const int fd = listener.fd();
+  if (fd < 0) return InvalidArgumentError("listener is closed");
+  // The loop must never block in accept: the listening socket goes
+  // non-blocking here, and HandleAccept drains until EAGAIN.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return UnavailableError("reactor stopped");
+  const ConnId id = next_id_++;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(listener)");
+  }
+  listeners_.emplace(
+      id, Listener{std::move(listener),
+                   std::make_shared<const Handler>(std::move(handler))});
+  return Status::Ok();
+}
+
+Status Reactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return InvalidArgumentError("reactor already started");
+  if (stopping_) return UnavailableError("reactor stopped");
+  started_ = true;
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::Ok();
+}
+
+void Reactor::Stop() {
+  std::thread loop;
+  bool was_started = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      // A concurrent (or earlier) Stop owns the teardown; wait it out.
+      lock.unlock();
+      Join();
+      return;
+    }
+    stopping_ = true;
+    was_started = started_;
+    loop = std::move(loop_);
+  }
+  Wakeup();
+  if (loop.joinable()) loop.join();
+  // The loop tears everything down on its way out; when it never ran, the
+  // stopping thread does it here.
+  if (!was_started) DrainAll();
+  {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    stopped_ = true;
+  }
+  join_cv_.notify_all();
+}
+
+void Reactor::Join() {
+  std::unique_lock<std::mutex> lock(join_mu_);
+  join_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void Reactor::Wakeup() {
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+std::size_t Reactor::connection_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conns_.size();
+}
+
+Status Reactor::Send(ConnId id, const Frame& frame) {
+  if (1 + frame.payload.size() > kMaxFrameSize) {
+    return InvalidArgumentError("frame exceeds kMaxFrameSize");
+  }
+  Bytes wire = EncodeWire(frame);
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end() || it->second->dead || it->second->draining) {
+      return UnavailableError("connection closed");
+    }
+    Conn& conn = *it->second;
+    if (conn.queued_bytes + wire.size() > options_.max_send_queue_bytes) {
+      // A reader this far behind never catches up; shedding the connection
+      // bounds per-connection memory (see Options::max_send_queue_bytes).
+      result = ResourceExhaustedError("send queue over max_send_queue_bytes");
+      MarkDeadLocked(conn, result);
+    } else {
+      conn.queued_bytes += wire.size();
+      obs::M().reactor_send_backlog_bytes.Add(
+          static_cast<std::int64_t>(wire.size()));
+      conn.sendq.push_back(std::move(wire));
+      write_pending_.push_back(id);
+    }
+  }
+  Wakeup();
+  return result;
+}
+
+void Reactor::Close(ConnId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    MarkDeadLocked(*it->second, Status::Ok());
+  }
+  Wakeup();
+}
+
+void Reactor::CloseAfterFlush(ConnId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end() || it->second->dead) return;
+    Conn& conn = *it->second;
+    conn.draining = true;
+    if (conn.sendq.empty()) {
+      MarkDeadLocked(conn, Status::Ok());
+    } else {
+      // The flush path owns the rest: stop reading, keep EPOLLOUT until
+      // the queue drains, then MarkDead from FlushSends.
+      write_pending_.push_back(id);
+    }
+  }
+  Wakeup();
+}
+
+void Reactor::MarkDeadLocked(Conn& conn, Status why) {
+  if (conn.dead) return;
+  conn.dead = true;
+  conn.close_reason = std::move(why);
+  dead_pending_.push_back(conn.id);
+}
+
+void Reactor::UpdateInterestLocked(Conn& conn) {
+  epoll_event ev{};
+  ev.events = (conn.draining ? 0u : (EPOLLIN | EPOLLRDHUP)) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Reactor::LoopThread() {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;
+    }
+    // Flush cross-thread Send() marks before sleeping so no queued reply
+    // waits for an unrelated event.
+    ArmWrites();
+    SweepDead();
+    const int timeout_ms = NextTimeoutMs();
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    const auto busy_start = obs::TraceNow();
+    if (n < 0) {
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      break;  // epoll fd itself is broken; tear down
+    }
+    obs::M().reactor_wakeups.Inc();
+    for (int i = 0; i < n; ++i) {
+      const ConnId id = events[i].data.u64;
+      const std::uint32_t ev = events[i].events;
+      if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      Conn* conn = nullptr;
+      Listener* listener = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto cit = conns_.find(id);
+        if (cit != conns_.end()) {
+          if (cit->second->dead) continue;
+          conn = cit->second.get();
+        } else {
+          auto lit = listeners_.find(id);
+          if (lit == listeners_.end()) continue;  // removed mid-batch
+          listener = &lit->second;
+        }
+      }
+      // Conn/Listener objects are only destroyed by this thread (SweepDead
+      // / DrainAll), so the raw pointers stay valid past the unlock.
+      if (listener != nullptr) {
+        HandleAccept(*listener);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) {
+        if (!FlushSends(*conn)) continue;
+      }
+      if ((ev & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(*conn);
+      }
+    }
+    CheckTimers();
+    SweepDead();
+    obs::M().reactor_loop_ns.Observe(obs::ElapsedNs(busy_start));
+  }
+  DrainAll();
+}
+
+void Reactor::HandleAccept(Listener& lst) {
+  for (;;) {
+    const int cfd = ::accept4(lst.listener.fd(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // EMFILE/ECONNABORTED and friends: count it and keep serving the
+      // connections we do have rather than taking the loop down.
+      obs::M().net_accept_errors.Inc();
+      return;
+    }
+    obs::M().net_accepts.Inc();
+    SetNoDelay(cfd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = cfd;
+    conn->handler = lst.handler;
+    const std::chrono::nanoseconds now = clock_->Now();
+    conn->last_frame = now;
+    conn->last_progress = now;
+    ConnId id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = next_id_++;
+      conn->id = id;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      ::close(cfd);
+      obs::M().net_accept_errors.Inc();
+      continue;
+    }
+    const Handler& handler = *lst.handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.emplace(id, std::move(conn));
+    }
+    obs::M().reactor_connections.Add(1);
+    if (handler.on_open) handler.on_open(id);
+  }
+}
+
+void Reactor::HandleReadable(Conn& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A draining connection reads nothing more; stale EPOLLIN from before
+    // the interest update is ignored.
+    if (conn.dead || conn.draining) return;
+  }
+  std::uint8_t buf[kReadChunk];
+  for (;;) {
+    const ssize_t r = ::recv(conn.fd, buf, sizeof buf, MSG_DONTWAIT);
+    if (r > 0) {
+      obs::M().net_bytes_received.Inc(static_cast<std::uint64_t>(r));
+      conn.rbuf.insert(conn.rbuf.end(), buf, buf + r);
+      if (!ParseFrames(conn)) return;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (conn.dead || conn.draining) return;  // a handler closed us
+      }
+      continue;
+    }
+    if (r == 0) {
+      // EOF. Orderly close at a frame boundary is the normal end of a
+      // connection; bytes of an unfinished frame make it a read error.
+      const bool mid_frame = conn.rhead < conn.rbuf.size();
+      if (mid_frame) obs::M().net_read_errors.Inc();
+      std::lock_guard<std::mutex> lock(mu_);
+      MarkDeadLocked(conn, mid_frame ? UnavailableError(
+                                           "connection closed mid-frame")
+                                     : Status::Ok());
+      return;
+    }
+    if (errno == EINTR) {
+      obs::M().net_eintr_retries.Inc();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    obs::M().net_read_errors.Inc();
+    std::lock_guard<std::mutex> lock(mu_);
+    MarkDeadLocked(conn, ErrnoStatus("recv"));
+    return;
+  }
+}
+
+bool Reactor::ParseFrames(Conn& conn) {
+  for (;;) {
+    const std::size_t avail = conn.rbuf.size() - conn.rhead;
+    if (avail < 4) break;
+    const std::uint32_t body = LoadLE32(conn.rbuf.data() + conn.rhead);
+    if (body == 0 || body > kMaxFrameSize) {
+      std::lock_guard<std::mutex> lock(mu_);
+      MarkDeadLocked(conn,
+                     ProtocolError("bad frame length " + std::to_string(body)));
+      return false;
+    }
+    if (avail < 4 + static_cast<std::size_t>(body)) break;
+    Frame frame;
+    frame.type = conn.rbuf[conn.rhead + 4];
+    frame.payload.assign(conn.rbuf.begin() + conn.rhead + 5,
+                         conn.rbuf.begin() + conn.rhead + 4 + body);
+    conn.rhead += 4 + body;
+    conn.last_frame = clock_->Now();
+    obs::M().reactor_frames.Inc();
+    if (conn.handler->on_frame) conn.handler->on_frame(conn.id, std::move(frame));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn.dead || conn.draining) break;
+    }
+  }
+  if (conn.rhead == conn.rbuf.size()) {
+    conn.rbuf.clear();
+    conn.rhead = 0;
+  } else if (conn.rhead > kCompactThreshold) {
+    conn.rbuf.erase(conn.rbuf.begin(),
+                    conn.rbuf.begin() + static_cast<std::ptrdiff_t>(conn.rhead));
+    conn.rhead = 0;
+  }
+  return true;
+}
+
+bool Reactor::FlushSends(Conn& conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn.dead) return false;
+  while (!conn.sendq.empty()) {
+    const Bytes& front = conn.sendq.front();
+    const std::size_t left = front.size() - conn.send_off;
+    const ssize_t w = ::send(conn.fd, front.data() + conn.send_off, left,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket buffer full: remember where we are in the front frame and
+        // let EPOLLOUT resume the write exactly there.
+        obs::M().reactor_partial_writes.Inc();
+        if (!conn.want_write) {
+          conn.want_write = true;
+          UpdateInterestLocked(conn);
+        }
+        return true;
+      }
+      obs::M().net_write_errors.Inc();
+      MarkDeadLocked(conn, ErrnoStatus("send"));
+      return false;
+    }
+    obs::M().net_bytes_sent.Inc(static_cast<std::uint64_t>(w));
+    obs::M().reactor_send_backlog_bytes.Sub(static_cast<std::int64_t>(w));
+    conn.queued_bytes -= static_cast<std::size_t>(w);
+    conn.send_off += static_cast<std::size_t>(w);
+    conn.last_progress = clock_->Now();
+    if (conn.send_off == front.size()) {
+      conn.sendq.pop_front();
+      conn.send_off = 0;
+    } else {
+      // Short write: the kernel took part of the frame. Stay in the loop —
+      // the next send either takes more or reports EAGAIN.
+      obs::M().reactor_partial_writes.Inc();
+    }
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateInterestLocked(conn);
+  }
+  if (conn.draining) MarkDeadLocked(conn, Status::Ok());
+  return true;
+}
+
+void Reactor::ArmWrites() {
+  std::vector<ConnId> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(write_pending_);
+  }
+  for (const ConnId id : pending) {
+    Conn* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = conns_.find(id);
+      if (it == conns_.end() || it->second->dead) continue;
+      conn = it->second.get();
+      if (conn->draining) UpdateInterestLocked(*conn);  // drop EPOLLIN
+    }
+    FlushSends(*conn);
+  }
+}
+
+void Reactor::CheckTimers() {
+  const bool idle_on = options_.idle_timeout.count() > 0;
+  const bool stall_on = options_.write_stall_timeout.count() > 0;
+  if (!idle_on && !stall_on) return;
+  const std::chrono::nanoseconds now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, conn] : conns_) {
+    if (conn->dead) continue;
+    if (idle_on && !conn->draining &&
+        now - conn->last_frame >= options_.idle_timeout) {
+      obs::M().reactor_timer_closes.Inc();
+      MarkDeadLocked(*conn, DeadlineExceededError(
+                                "no complete frame within idle_timeout"));
+      continue;
+    }
+    if (stall_on && !conn->sendq.empty() &&
+        now - conn->last_progress >= options_.write_stall_timeout) {
+      obs::M().reactor_timer_closes.Inc();
+      MarkDeadLocked(*conn, DeadlineExceededError(
+                                "queued replies made no write progress"));
+    }
+  }
+}
+
+int Reactor::NextTimeoutMs() {
+  const bool idle_on = options_.idle_timeout.count() > 0;
+  const bool stall_on = options_.write_stall_timeout.count() > 0;
+  if (!idle_on && !stall_on) return -1;  // pure event-driven
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conns_.empty()) return -1;
+  // A FakeClock advances without real time passing; short real slices keep
+  // the timers honest even if a test forgets to Wakeup() after Advance().
+  if (clock_ != &Clock::Real()) return 10;
+  const std::chrono::nanoseconds now = clock_->Now();
+  std::chrono::nanoseconds next = std::chrono::nanoseconds::max();
+  for (const auto& [id, conn] : conns_) {
+    if (conn->dead) continue;
+    if (idle_on && !conn->draining) {
+      next = std::min(next, conn->last_frame + options_.idle_timeout - now);
+    }
+    if (stall_on && !conn->sendq.empty()) {
+      next = std::min(next,
+                      conn->last_progress + options_.write_stall_timeout - now);
+    }
+  }
+  if (next == std::chrono::nanoseconds::max()) return -1;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next).count() + 1;
+  if (ms < 1) return 1;
+  return ms > 60'000 ? 60'000 : static_cast<int>(ms);
+}
+
+void Reactor::SweepDead() {
+  std::vector<ConnId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.swap(dead_pending_);
+  }
+  for (const ConnId id : ids) RemoveConn(id);
+}
+
+void Reactor::RemoveConn(ConnId id) {
+  std::unique_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // already removed
+    conn = std::move(it->second);
+    conns_.erase(it);
+  }
+  obs::M().reactor_send_backlog_bytes.Sub(
+      static_cast<std::int64_t>(conn->queued_bytes));
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  obs::M().reactor_connections.Add(-1);
+  if (conn->handler->on_close) conn->handler->on_close(id, conn->close_reason);
+}
+
+void Reactor::DrainAll() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::map<ConnId, Listener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.reserve(conns_.size());
+    for (auto& [id, conn] : conns_) conns.push_back(std::move(conn));
+    conns_.clear();
+    listeners.swap(listeners_);
+    write_pending_.clear();
+    dead_pending_.clear();
+  }
+  for (auto& [id, lst] : listeners) lst.listener.Close();
+  const Status stopped = UnavailableError("reactor stopped");
+  for (auto& conn : conns) {
+    obs::M().reactor_send_backlog_bytes.Sub(
+        static_cast<std::int64_t>(conn->queued_bytes));
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    obs::M().reactor_connections.Add(-1);
+    if (conn->handler->on_close) {
+      conn->handler->on_close(conn->id,
+                              conn->dead ? conn->close_reason : stopped);
+    }
+  }
+}
+
+}  // namespace lw::net

@@ -23,13 +23,24 @@ Status ErrnoStatus(const std::string& what) {
 
 // Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or the deadline
 // expires. Infinite deadlines skip the poll entirely — send/recv block in
-// the kernel as before. Note the wait is real time even if the deadline
-// carries a fake clock: a TCP socket cannot be driven by virtual time, so
-// deterministic deadline tests use the in-memory/fault-injection transports
-// instead (docs/ROBUSTNESS.md).
+// the kernel as before — unless `force_poll` is set, which the EAGAIN
+// resume path uses: a non-blocking descriptor never blocks in the kernel,
+// so the poll is the only wait there is. Note the wait is real time even if
+// the deadline carries a fake clock: a TCP socket cannot be driven by
+// virtual time, so deterministic deadline tests use the
+// in-memory/fault-injection transports instead (docs/ROBUSTNESS.md).
 Status WaitReady(int fd, short events, const Deadline& deadline,
-                 const char* what) {
-  if (deadline.is_infinite()) return Status::Ok();
+                 const char* what, bool force_poll = false) {
+  if (deadline.is_infinite()) {
+    if (!force_poll) return Status::Ok();
+    for (;;) {
+      pollfd pfd{fd, events, 0};
+      const int rc = ::poll(&pfd, 1, -1);
+      if (rc > 0) return Status::Ok();
+      if (rc < 0 && errno != EINTR) return ErrnoStatus("poll");
+      obs::M().net_eintr_retries.Inc();
+    }
+  }
   for (;;) {
     const std::chrono::nanoseconds rem = deadline.remaining();
     if (rem <= std::chrono::nanoseconds::zero()) {
@@ -57,10 +68,22 @@ Status SendAll(int fd, const std::uint8_t* data, std::size_t n,
   std::size_t done = 0;
   while (done < n) {
     LW_RETURN_IF_ERROR(WaitReady(fd, POLLOUT, deadline, "send"));
+    // Blocking by design: this is the threaded A/B serve path; the reactor
+    // path writes via per-connection send queues (net/reactor.cc).
+    // lwlint: allow(blocking-in-reactor)
     const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) {
         obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A non-blocking descriptor (or a full socket buffer after a short
+        // write) is not a transport error: wait for writability — even
+        // under an infinite deadline, where the pre-send WaitReady skipped
+        // the poll — and resume from `done`.
+        LW_RETURN_IF_ERROR(
+            WaitReady(fd, POLLOUT, deadline, "send", /*force_poll=*/true));
         continue;
       }
       obs::M().net_write_errors.Inc();
@@ -80,10 +103,18 @@ Status RecvAll(int fd, std::uint8_t* data, std::size_t n, bool eof_ok,
   std::size_t done = 0;
   while (done < n) {
     LW_RETURN_IF_ERROR(WaitReady(fd, POLLIN, deadline, "receive"));
+    // Blocking by design: threaded A/B serve path (see SendAll).
+    // lwlint: allow(blocking-in-reactor)
     const ssize_t r = ::recv(fd, data + done, n - done, 0);
     if (r < 0) {
       if (errno == EINTR) {
         obs::M().net_eintr_retries.Inc();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Same resume rule as SendAll: poll for readability and continue.
+        LW_RETURN_IF_ERROR(
+            WaitReady(fd, POLLIN, deadline, "receive", /*force_poll=*/true));
         continue;
       }
       obs::M().net_read_errors.Inc();
@@ -229,16 +260,13 @@ Result<TcpListener> TcpListener::Listen(std::uint16_t port) {
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
@@ -246,10 +274,14 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 TcpListener::~TcpListener() { Close(); }
 
 Result<std::unique_ptr<Transport>> TcpListener::Accept() {
-  if (fd_ < 0) return UnavailableError("listener closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return UnavailableError("listener closed");
   int client;
   do {
-    client = ::accept(fd_, nullptr, nullptr);
+    // Blocking by design: the thread-per-connection A/B path accepts here;
+    // the reactor accepts non-blockingly via accept4 (net/reactor.cc).
+    // lwlint: allow(blocking-in-reactor)
+    client = ::accept(fd, nullptr, nullptr);
     if (client < 0 && errno == EINTR) obs::M().net_eintr_retries.Inc();
   } while (client < 0 && errno == EINTR);
   if (client < 0) {
@@ -262,10 +294,10 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept() {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -6,6 +6,7 @@
 // this over TLS; framing and protocol are independent of that choice.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,6 +34,11 @@ class TcpListener {
 
   std::uint16_t bound_port() const { return port_; }
 
+  // The raw listening descriptor (-1 once closed). net::Reactor registers
+  // it with epoll and accepts non-blockingly; everyone else should use
+  // Accept().
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
   // Blocks for the next connection. UNAVAILABLE once the listener is closed.
   Result<std::unique_ptr<Transport>> Accept();
 
@@ -41,7 +47,9 @@ class TcpListener {
  private:
   TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_ = -1;
+  // Atomic so the accept-loop pattern (one thread parked in Accept(),
+  // another calling Close() to end the loop) is race-free.
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

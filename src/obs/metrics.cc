@@ -219,6 +219,36 @@ Metrics& M() {
           "chunks executed by pool workers rather than the submitting thread",
           "chunks"),
 
+      Registry::Default().AddGauge(
+          "lw_reactor_connections",
+          "connections currently owned by epoll reactor loops",
+          "connections"),
+      Registry::Default().AddCounter(
+          "lw_reactor_frames_total",
+          "complete frames parsed by reactor loops", "frames"),
+      Registry::Default().AddCounter(
+          "lw_reactor_wakeups_total",
+          "epoll_wait returns (events, eventfd signals, or timer slices)",
+          "wakeups"),
+      Registry::Default().AddCounter(
+          "lw_reactor_partial_writes_total",
+          "reactor writes that could not complete in one syscall (short "
+          "write or EAGAIN; resumed from the send queue)",
+          "writes"),
+      Registry::Default().AddCounter(
+          "lw_reactor_timer_closes_total",
+          "connections closed by the idle or write-stall timer", "closes"),
+      Registry::Default().AddGauge(
+          "lw_reactor_send_backlog_bytes",
+          "reply bytes queued across all reactor connections awaiting "
+          "socket-buffer space",
+          "bytes"),
+      Registry::Default().AddHistogram(
+          "lw_reactor_loop_ns",
+          "busy time of one reactor loop iteration (excludes the "
+          "epoll_wait sleep)",
+          "ns", LatencyBounds()),
+
       Registry::Default().AddCounter("lw_net_bytes_sent_total",
                                      "payload bytes written to TCP sockets",
                                      "bytes"),

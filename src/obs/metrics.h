@@ -217,6 +217,20 @@ struct Metrics {
   Counter& pool_chunks;
   Counter& pool_chunks_stolen;
 
+  // Epoll reactor (src/net/reactor.cc). One loop thread multiplexes every
+  // reactor-served connection; these expose its health: how many sockets
+  // it owns, how much reply data sits queued behind slow readers, how
+  // often writes could not complete in one syscall, and how long one loop
+  // iteration's work takes (the loop must stay fast — a slow iteration
+  // delays every connection).
+  Gauge& reactor_connections;
+  Counter& reactor_frames;
+  Counter& reactor_wakeups;
+  Counter& reactor_partial_writes;
+  Counter& reactor_timer_closes;
+  Gauge& reactor_send_backlog_bytes;
+  Histogram& reactor_loop_ns;
+
   // TCP transport.
   Counter& net_bytes_sent;
   Counter& net_bytes_received;

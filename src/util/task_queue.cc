@@ -1,0 +1,67 @@
+#include "util/task_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace lw {
+
+TaskQueue::TaskQueue(int workers) {
+  LW_CHECK_MSG(workers >= 1, "TaskQueue needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() { Stop(); }
+
+bool TaskQueue::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain what is already queued before exiting, so every accepted
+  // Post still runs.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t TaskQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void TaskQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace lw

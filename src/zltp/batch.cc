@@ -34,39 +34,60 @@ BatchScheduler::BatchScheduler(const PirStore& store, BatchConfig config,
 
 BatchScheduler::~BatchScheduler() { Stop(); }
 
-Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key,
-                                     obs::StageTimings* stages) {
+void BatchScheduler::SubmitAsync(dpf::DpfKey key, SubmitCallback done) {
   // Validate up front so one malformed query cannot fail co-riders' batch.
   if (key.domain_bits != store_.domain_bits()) {
-    return ProtocolError("DPF domain does not match universe domain");
+    done(ProtocolError("DPF domain does not match universe domain"),
+         obs::StageTimings{});
+    return;
   }
-  std::future<Result<Bytes>> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return UnavailableError("batch scheduler stopped");
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      lock.unlock();
+      done(UnavailableError("batch scheduler stopped"), obs::StageTimings{});
+      return;
+    }
     if (config_.queue_limit > 0 && queue_.size() >= config_.queue_limit) {
       // Admission control: refusing now with a cheap error beats accepting
       // a request whose queue wait alone would blow its latency budget.
       ++stats_.shed;
       obs::M().batch_shed.Inc();
-      return ResourceExhaustedError("batch queue over queue_limit");
+      lock.unlock();
+      done(ResourceExhaustedError("batch queue over queue_limit"),
+           obs::StageTimings{});
+      return;
     }
     const std::chrono::nanoseconds now = clock_->Now();
     Pending p;
     p.key = std::move(key);
-    p.stages = stages;
+    p.done = std::move(done);
     p.enqueued = now;
     p.deadline = config_.deadline_budget.count() > 0
                      ? now + config_.deadline_budget
                      : kNoDeadline;
     queue_.push_back(std::move(p));
-    future = queue_.back().promise.get_future();
     ++stats_.requests;
     obs::M().batch_queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_all();
-  // The worker writes *stages before fulfilling the promise; the
+}
+
+Result<Bytes> BatchScheduler::Submit(dpf::DpfKey key,
+                                     obs::StageTimings* stages) {
+  std::promise<Result<Bytes>> done;
+  std::future<Result<Bytes>> future = done.get_future();
+  // The callback writes *stages before fulfilling the promise; the
   // promise/future handoff orders that write before this return.
+  SubmitAsync(std::move(key),
+              [&done, stages](Result<Bytes> answer,
+                              const obs::StageTimings& timings) {
+                if (stages != nullptr) {
+                  stages->expand_ns = timings.expand_ns;
+                  stages->scan_ns = timings.scan_ns;
+                }
+                done.set_value(std::move(answer));
+              });
   return future.get();
 }
 
@@ -99,7 +120,7 @@ void BatchScheduler::Stop() {
     obs::M().batch_queue_depth.Set(0);
   }
   for (Pending& p : leftovers) {
-    p.promise.set_value(UnavailableError("batch scheduler stopped"));
+    p.done(UnavailableError("batch scheduler stopped"), obs::StageTimings{});
   }
 }
 
@@ -192,8 +213,8 @@ bool BatchScheduler::FormBatch(std::vector<Pending>& batch) {
   cv_.notify_all();  // queue shrank; a shed-side waiter may want to know
   for (Pending& p : expired) {
     obs::M().batch_expired.Inc();
-    p.promise.set_value(
-        DeadlineExceededError("deadline budget expired before batch start"));
+    p.done(DeadlineExceededError("deadline budget expired before batch start"),
+           obs::StageTimings{});
   }
   return true;
 }
@@ -239,7 +260,8 @@ void BatchScheduler::ExpandAndDispatch(std::vector<Pending> batch) {
     if (scan_stop_) {
       lock.unlock();
       for (Pending& p : staged.riders) {
-        p.promise.set_value(UnavailableError("batch scheduler stopped"));
+        p.done(UnavailableError("batch scheduler stopped"),
+               obs::StageTimings{});
       }
       return;
     }
@@ -284,7 +306,7 @@ void BatchScheduler::ScanLoop() {
 void BatchScheduler::ScanAndFulfill(StagedBatch staged) {
   if (!staged.expand_status.ok()) {
     for (Pending& p : staged.riders) {
-      p.promise.set_value(staged.expand_status);
+      p.done(staged.expand_status, staged.stages);
     }
     return;
   }
@@ -306,20 +328,14 @@ void BatchScheduler::ScanAndFulfill(StagedBatch staged) {
             ? staged.stages.scan_ns
             : (3 * scan_estimate_ns_ + staged.stages.scan_ns) / 4;
   }
-  // Fan the batch-level timings out to every rider before fulfilling its
-  // promise (each co-rider is credited the full fused pass).
-  for (Pending& p : staged.riders) {
-    if (p.stages != nullptr) {
-      p.stages->expand_ns = staged.stages.expand_ns;
-      p.stages->scan_ns = staged.stages.scan_ns;
-    }
-  }
+  // Each callback receives the batch-level timings (each co-rider is
+  // credited the full fused pass).
   if (!answers.ok()) {
-    for (Pending& p : staged.riders) p.promise.set_value(answers.status());
+    for (Pending& p : staged.riders) p.done(answers.status(), staged.stages);
     return;
   }
   for (std::size_t i = 0; i < staged.riders.size(); ++i) {
-    staged.riders[i].promise.set_value(std::move((*answers)[i]));
+    staged.riders[i].done(std::move((*answers)[i]), staged.stages);
   }
 }
 

@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -92,19 +93,34 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  // Blocks until this query's batch has been scanned; returns the record
-  // share. UNAVAILABLE after Stop(); RESOURCE_EXHAUSTED when shed;
-  // DEADLINE_EXCEEDED when the deadline budget expired before its batch
-  // formed. When `stages` is non-null, the batch's expand/scan nanoseconds
-  // are written into it before this call returns (batch-level attribution:
-  // every co-rider of a batch is credited the full batch expansion+scan
-  // cost, since the pass is fused).
+  // Completion callback for SubmitAsync: invoked exactly once with the
+  // record share (or the failure) and the batch-level expand/scan timings
+  // (every co-rider of a batch is credited the full fused pass). Runs on a
+  // scheduler worker thread — the scan worker for answered requests, the
+  // submitting or stopping thread for rejections — so it must be quick and
+  // must not block on the scheduler itself.
+  using SubmitCallback =
+      std::function<void(Result<Bytes>, const obs::StageTimings&)>;
+
+  // Queues one query and returns immediately; `done` fires when its batch
+  // has been scanned (or the request failed admission: UNAVAILABLE after
+  // Stop(), RESOURCE_EXHAUSTED when shed, DEADLINE_EXCEEDED when the
+  // deadline budget expired before its batch formed). This is how the
+  // event-driven serve path rides the batcher without parking a thread per
+  // request: the reactor's on_frame decodes, calls SubmitAsync, and the
+  // callback queues the reply frame (docs/ARCHITECTURE.md).
+  void SubmitAsync(dpf::DpfKey key, SubmitCallback done);
+
+  // Blocking convenience over SubmitAsync (the thread-per-connection serve
+  // path): waits for the callback, returns the record share. When `stages`
+  // is non-null, the batch's expand/scan nanoseconds are written into it
+  // before this call returns.
   Result<Bytes> Submit(dpf::DpfKey key, obs::StageTimings* stages = nullptr);
 
   // Drains queued and in-flight batches, then joins both workers
-  // (idempotent; dtor calls it). Every promise outstanding at the time of
-  // the call resolves — answered if its batch was already formed or
-  // formable from the queue, UNAVAILABLE otherwise.
+  // (idempotent; dtor calls it). Every callback outstanding at the time of
+  // the call fires — answered if its batch was already formed or formable
+  // from the queue, UNAVAILABLE otherwise.
   void Stop();
 
   struct Stats {
@@ -130,8 +146,7 @@ class BatchScheduler {
  private:
   struct Pending {
     dpf::DpfKey key;
-    std::promise<Result<Bytes>> promise;
-    obs::StageTimings* stages = nullptr;  // not owned; may be null
+    SubmitCallback done;                  // fires exactly once
     std::chrono::nanoseconds enqueued{};  // on config_.clock
     std::chrono::nanoseconds deadline{};  // enqueued + budget, or ns::max()
   };

@@ -1,6 +1,7 @@
 #include "zltp/frontend.h"
 
 #include <chrono>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,6 +16,15 @@ void SendErrorFrame(net::Transport& t, StatusCode code,
   e.code = code;
   e.message = msg;
   (void)t.Send(Encode(e));
+}
+
+// Reactor-mode twin of SendErrorFrame (see server.cc for the discipline).
+void SendErrorFrameTo(net::Reactor& reactor, net::Reactor::ConnId id,
+                      StatusCode code, const std::string& msg) {
+  ErrorMsg e;
+  e.code = code;
+  e.message = msg;
+  (void)reactor.Send(id, Encode(e));
 }
 
 }  // namespace
@@ -119,6 +129,53 @@ void ShardDataServer::ServeConnectionDetached(
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+Status ShardDataServer::ServeOnReactor(net::Reactor& reactor,
+                                       net::TcpListener listener) {
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (dispatch_ == nullptr) dispatch_ = std::make_unique<TaskQueue>(1);
+  }
+  net::Reactor::Handler handler;
+  // Shard links are CDN-internal: bare GetRequest frames, no hello.
+  handler.on_frame = [this, &reactor](net::Reactor::ConnId id,
+                                      net::Frame frame) {
+    if (frame.type == static_cast<std::uint8_t>(MsgType::kBye)) {
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    auto request = DecodeGetRequest(frame);
+    if (!request.ok()) {
+      SendErrorFrameTo(reactor, id, StatusCode::kProtocolError,
+                       request.status().message());
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    auto key = dpf::SubtreeKey::Deserialize(request->body);
+    if (!key.ok()) {
+      SendErrorFrameTo(reactor, id, StatusCode::kProtocolError,
+                       "malformed sub-tree key: " + key.status().message());
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    // The sub-tree expansion + XOR scan is the shard's heavy compute.
+    dispatch_->Post([this, &reactor, id, request_id = request->request_id,
+                     k = std::move(*key)] {
+      auto answer = Answer(k);
+      if (!answer.ok()) {
+        SendErrorFrameTo(reactor, id, answer.status().code(),
+                         answer.status().message());
+        return;
+      }
+      obs::M().shard_requests.Inc();
+      GetResponse response;
+      response.request_id = request_id;
+      response.body = std::move(*answer);
+      (void)reactor.Send(id, Encode(response));
+    });
+  };
+  return reactor.AddListener(std::move(listener), std::move(handler));
 }
 
 // ------------------------------------------------------------- fan-out
@@ -278,6 +335,104 @@ void FrontEndServer::ServeConnectionDetached(
   net::Transport* raw = transport.get();
   owned_transports_.push_back(std::move(transport));
   threads_.emplace_back([this, raw] { ServeConnection(*raw); });
+}
+
+Status FrontEndServer::ServeOnReactor(net::Reactor& reactor,
+                                      net::TcpListener listener) {
+  {
+    // One worker: ShardFanout::Answer serializes callers anyway (the shard
+    // links are single-stream), so extra workers would only queue on its
+    // mutex.
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (dispatch_ == nullptr) dispatch_ = std::make_unique<TaskQueue>(1);
+  }
+  auto awaiting_hello =
+      std::make_shared<std::unordered_set<net::Reactor::ConnId>>();
+  net::Reactor::Handler handler;
+  handler.on_open = [awaiting_hello](net::Reactor::ConnId id) {
+    awaiting_hello->insert(id);
+  };
+  handler.on_close = [awaiting_hello](net::Reactor::ConnId id,
+                                      const Status&) {
+    awaiting_hello->erase(id);
+  };
+  handler.on_frame = [this, awaiting_hello, &reactor](net::Reactor::ConnId id,
+                                                      net::Frame frame) {
+    if (awaiting_hello->erase(id) > 0) {
+      auto hello = DecodeClientHello(frame);
+      bool supports_pir = false;
+      if (hello.ok()) {
+        for (Mode m : hello->supported_modes) {
+          supports_pir |= (m == Mode::kTwoServerPir);
+        }
+      }
+      if (!hello.ok() || hello->version != kProtocolVersion ||
+          !supports_pir) {
+        SendErrorFrameTo(reactor, id, StatusCode::kFailedPrecondition,
+                         "front-end requires two-server-pir mode");
+        reactor.CloseAfterFlush(id);
+        return;
+      }
+      ServerHello server_hello;
+      server_hello.mode = Mode::kTwoServerPir;
+      server_hello.server_role = role_;
+      server_hello.domain_bits =
+          static_cast<std::uint8_t>(fanout_.topology().domain_bits);
+      server_hello.record_size =
+          static_cast<std::uint32_t>(fanout_.topology().record_size);
+      server_hello.keyword_seed = keyword_seed_;
+      (void)reactor.Send(id, Encode(server_hello));
+      return;
+    }
+    if (frame.type == static_cast<std::uint8_t>(MsgType::kBye)) {
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    const auto req_start = obs::TraceNow();
+    const std::uint64_t start_unix_ms = obs::UnixMillis();
+    auto request = DecodeGetRequest(frame);
+    if (!request.ok()) {
+      obs::M().frontend_request_errors.Inc();
+      SendErrorFrameTo(reactor, id, StatusCode::kProtocolError,
+                       request.status().message());
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    auto key = dpf::DpfKey::Deserialize(request->body);
+    if (!key.ok()) {
+      obs::M().frontend_request_errors.Inc();
+      SendErrorFrameTo(reactor, id, StatusCode::kProtocolError,
+                       "malformed DPF key: " + key.status().message());
+      reactor.CloseAfterFlush(id);
+      return;
+    }
+    const std::uint64_t decode_ns = obs::ElapsedNs(req_start);
+    // Fanning out blocks on every shard's reply; run it off the loop.
+    dispatch_->Post([this, &reactor, id, request_id = request->request_id,
+                     k = std::move(*key), req_start, start_unix_ms,
+                     decode_ns] {
+      auto answer = fanout_.Answer(k);
+      if (!answer.ok()) {
+        obs::M().frontend_request_errors.Inc();
+        SendErrorFrameTo(reactor, id, answer.status().code(),
+                         answer.status().message());
+        return;
+      }
+      obs::RequestTrace trace;
+      trace.start_unix_ms = start_unix_ms;
+      trace.stages.decode_ns = decode_ns;
+      GetResponse response;
+      response.request_id = request_id;
+      response.body = std::move(*answer);
+      const auto reply_start = obs::TraceNow();
+      (void)reactor.Send(id, Encode(response));
+      trace.stages.reply_ns = obs::ElapsedNs(reply_start);
+      trace.total_ns = obs::ElapsedNs(req_start);
+      obs::M().frontend_requests.Inc();
+      obs::TraceRing::Default().Record(trace);
+    });
+  };
+  return reactor.AddListener(std::move(listener), std::move(handler));
 }
 
 }  // namespace lw::zltp

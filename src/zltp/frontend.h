@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "dpf/dpf.h"
+#include "net/reactor.h"
 #include "net/transport.h"
 #include "pir/blob_db.h"
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/task_queue.h"
 #include "util/thread_pool.h"
 #include "zltp/messages.h"
 
@@ -70,6 +72,10 @@ class ShardDataServer {
   void ServeConnection(net::Transport& transport);
   void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
 
+  // Event-driven serving: sub-tree queries decode on the loop and compute
+  // on a dispatcher worker (teardown order: see ZltpPirServer, server.h).
+  Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
+
  private:
   ShardTopology topology_;
   std::size_t shard_index_;
@@ -81,6 +87,7 @@ class ShardDataServer {
   bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+  std::unique_ptr<TaskQueue> dispatch_;  // last member: joins first
 };
 
 // The front-end's private-GET engine: splits a client key and queries every
@@ -121,6 +128,12 @@ class FrontEndServer {
   void ServeConnection(net::Transport& transport);
   void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
 
+  // Event-driven serving: GETs decode on the loop and fan out to the
+  // shards from a dispatcher worker — the shard links are single-stream
+  // and the fan-out blocks on their replies, so it must not run on the
+  // loop (teardown order: see ZltpPirServer, server.h).
+  Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
+
  private:
   std::uint8_t role_;
   Bytes keyword_seed_;
@@ -130,6 +143,7 @@ class FrontEndServer {
   bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+  std::unique_ptr<TaskQueue> dispatch_;  // last member: joins first
 };
 
 }  // namespace lw::zltp

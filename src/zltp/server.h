@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "net/reactor.h"
 #include "net/transport.h"
 #include "oram/enclave.h"
+#include "util/task_queue.h"
 #include "util/thread_pool.h"
 #include "zltp/batch.h"
 #include "zltp/messages.h"
@@ -53,6 +55,14 @@ class ZltpPirServer {
   // reaped by the destructor.
   void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
 
+  // Event-driven serving: registers `listener` on `reactor` and answers
+  // every connection it accepts without a thread per connection — frames
+  // decode on the loop, ride the batcher via SubmitAsync, and the scan
+  // worker's callback queues the reply (docs/ARCHITECTURE.md). Teardown
+  // order: reactor.Stop() first (no more callbacks into this server), then
+  // destroy the server, then the reactor object.
+  Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
+
   BatchScheduler::Stats batch_stats() const { return batcher_.stats(); }
 
  private:
@@ -81,6 +91,11 @@ class ZltpEnclaveServer {
   void ServeConnection(net::Transport& transport);
   void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
 
+  // Event-driven serving (same teardown order as ZltpPirServer). The
+  // enclave computes serially behind enclave_mu_, so decoded requests hop
+  // to a single dispatcher worker instead of blocking the loop.
+  Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
+
  private:
   oram::KvEnclave& enclave_;
   std::mutex enclave_mu_;  // the enclave processes one request at a time
@@ -89,6 +104,9 @@ class ZltpEnclaveServer {
   bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
+  // Reactor-mode dispatcher (created on first ServeOnReactor). Declared
+  // last so its destructor joins before the rest of the server goes away.
+  std::unique_ptr<TaskQueue> dispatch_;
 };
 
 }  // namespace lw::zltp

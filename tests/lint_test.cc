@@ -198,6 +198,29 @@ TEST(Lwlint, RawSteadyClockExemptOutsideSchedulingCode) {
   EXPECT_TRUE(FindingsFor(findings, "raw-steady-clock").empty());
 }
 
+TEST(Lwlint, BlockingInReactorOwnedCode) {
+  const auto findings =
+      LintFixture("blocking_in_reactor.cc", "src/net/fixture.cc");
+  EXPECT_TRUE(HasFinding(findings, "blocking-in-reactor", 19))
+      << "blocking accept()";
+  EXPECT_TRUE(HasFinding(findings, "blocking-in-reactor", 23))
+      << "recv without MSG_DONTWAIT";
+  EXPECT_TRUE(HasFinding(findings, "blocking-in-reactor", 27))
+      << "send without MSG_DONTWAIT";
+  EXPECT_EQ(FindingsFor(findings, "blocking-in-reactor").size(), 3u)
+      << "accept4, MSG_DONTWAIT calls, method calls, and the allow hatch "
+         "must not fire";
+}
+
+TEST(Lwlint, BlockingInReactorIsNetOnly) {
+  // Thread-per-connection serving outside src/net (and bench/test client
+  // code) blocks on purpose; only the reactor's territory is held to the
+  // non-blocking discipline.
+  const auto findings =
+      LintFixture("blocking_in_reactor.cc", "src/zltp/fixture.cc");
+  EXPECT_TRUE(FindingsFor(findings, "blocking-in-reactor").empty());
+}
+
 TEST(Lwlint, VarTimeLoopIsCryptoOnly) {
   const auto findings =
       LintFixture("var_time_loop.cc", "src/zltp/fixture.cc");
@@ -328,6 +351,12 @@ TEST(Lwlint, AllRulesHaveFixtureCoverage) {
     // raw-steady-clock is path-gated to scheduling code, so its fixture
     // lints under a src/zltp path rather than src/crypto.
     auto f = LintFixture("raw_steady_clock.cc", "src/zltp/raw_steady_clock.cc");
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  {
+    // blocking-in-reactor is gated to src/net, the reactor's territory.
+    auto f = LintFixture("blocking_in_reactor.cc",
+                         "src/net/blocking_in_reactor.cc");
     all.insert(all.end(), f.begin(), f.end());
   }
   for (const std::string& rule : AllRules()) {

@@ -29,6 +29,7 @@ const char kVarTimeLoop[] = "var-time-loop";
 const char kMetricLabelFromRequest[] = "metric-label-from-request";
 const char kReceiveWithoutDeadline[] = "receive-without-deadline";
 const char kRawSteadyClock[] = "raw-steady-clock";
+const char kBlockingInReactor[] = "blocking-in-reactor";
 const char kStaleAllow[] = "stale-allow";
 
 // Pseudo-rule: an allow(secret-taint) annotation on an assignment
@@ -208,6 +209,7 @@ class Linter {
   void CheckMetricLabel();
   void CheckReceiveDeadline();
   void CheckRawSteadyClock();
+  void CheckBlockingInReactor();
   void CheckUncheckedResult();
   void CheckUncheckedReader();
   void CheckVarTimeLoops();
@@ -639,6 +641,58 @@ void Linter::CheckRawSteadyClock() {
            "raw steady_clock::now() in scheduling code; read time through "
            "the injectable lw::Clock (or obs::TraceNow() for trace stamps) "
            "so FakeClock tests stay deterministic");
+  }
+}
+
+void Linter::CheckBlockingInReactor() {
+  // src/net is reactor-owned territory: one loop thread multiplexes every
+  // connection, so a single blocking accept/recv/send there stalls all of
+  // them. Accepts must be accept4(..., SOCK_NONBLOCK); recv/send must pass
+  // MSG_DONTWAIT (or run on descriptors a dedicated thread owns — the
+  // thread-per-connection A/B path in tcp.cc, which carries allow hatches
+  // because blocking is its design). See docs/ARCHITECTURE.md.
+  for (size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i].pp) continue;
+    const bool is_accept = IsIdent(i, "accept");
+    const bool is_recv = IsIdent(i, "recv");
+    const bool is_send = IsIdent(i, "send");
+    if (!is_accept && !is_recv && !is_send) continue;
+    if (!IsPunct(i + 1, "(")) continue;
+    // x.send(...) / x->recv(...) are method calls on our own framed
+    // abstractions, not POSIX syscalls.
+    if (i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) continue;
+    // `ssize_t recv(` is a declaration, not a call: a preceding identifier
+    // is a return type unless it is an expression-context keyword.
+    if (i > 0 && t_[i - 1].kind == Tk::kIdent) {
+      static const char* kExprKeywords[] = {"return", "co_return", "co_await",
+                                            "co_yield", "throw", "else", "do"};
+      if (!LW_IN_LIST(t_[i - 1].text, kExprKeywords)) continue;
+    }
+    if (is_accept) {
+      Report(t_[i].line, kBlockingInReactor,
+             "blocking accept() in reactor-owned code stalls every "
+             "connection the loop serves; use accept4(..., SOCK_NONBLOCK) "
+             "on an epoll-registered listener (threaded A/B path: justify "
+             "with an allow) — see docs/ARCHITECTURE.md");
+      continue;
+    }
+    const size_t close = Match(i + 1);
+    bool dontwait = false;
+    if (close != SIZE_MAX) {
+      for (size_t j = i + 2; j < close; ++j) {
+        if (IsIdent(j, "MSG_DONTWAIT")) {
+          dontwait = true;
+          break;
+        }
+      }
+    }
+    if (dontwait) continue;
+    Report(t_[i].line, kBlockingInReactor,
+           std::string("blocking ") + (is_recv ? "recv()" : "send()") +
+               " in reactor-owned code stalls every connection the loop "
+               "serves; pass MSG_DONTWAIT and resume via the connection's "
+               "frame queue on EAGAIN (threaded A/B path: justify with an "
+               "allow) — see docs/ARCHITECTURE.md");
   }
 }
 
@@ -1186,6 +1240,7 @@ std::vector<Finding> Linter::Run() {
   if (net_ || path_.find("src/zltp/") != std::string::npos) {
     CheckRawSteadyClock();
   }
+  if (net_) CheckBlockingInReactor();
   CheckSecretIndex();
   if (crypto_) {
     CheckCtEquality();
@@ -1216,7 +1271,7 @@ const std::vector<std::string>& AllRules() {
       kNakedNew,        kUncheckedResult, kUncheckedReader,
       kVarTimeLoop,     kMetricLabelFromRequest,
       kReceiveWithoutDeadline,            kRawSteadyClock,
-      kStaleAllow,
+      kBlockingInReactor,                 kStaleAllow,
   };
   return kRules;
 }

@@ -48,6 +48,13 @@
 //                    injectable lw::Clock (trace stamps through
 //                    obs::TraceNow()) so FakeClock tests drive deadlines
 //                    and batch closes deterministically.
+//   blocking-in-reactor
+//                    bare accept()/recv()/send() syscalls in src/net; the
+//                    epoll reactor's loop thread owns every connection
+//                    there, so kernel blocking stalls all of them — use
+//                    accept4(SOCK_NONBLOCK) and MSG_DONTWAIT. The
+//                    thread-per-connection A/B path (tcp.cc) blocks by
+//                    design and carries allow hatches.
 //   stale-allow      an allow/allowfile annotation that suppressed nothing;
 //                    dead escape hatches hide real regressions, so they are
 //                    findings themselves.
