@@ -100,6 +100,47 @@ Status Reactor::AddListener(TcpListener listener, Handler handler) {
   return Status::Ok();
 }
 
+Result<Reactor::ConnId> Reactor::Connect(const std::string& host,
+                                         std::uint16_t port,
+                                         Handler handler) {
+  LW_ASSIGN_OR_RETURN(const int fd, TcpConnectStart(host, port));
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->outbound = true;
+  conn->connecting = true;
+  conn->handler = std::make_shared<const Handler>(std::move(handler));
+  const std::chrono::nanoseconds now = clock_->Now();
+  conn->last_frame = now;
+  conn->last_progress = now;
+  ConnId id = 0;
+  {
+    // Registration is atomic with the stopping check: a Stop() racing this
+    // call either sees the connection in conns_ (and tears it down) or the
+    // fd is closed right here.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return UnavailableError("reactor stopped");
+    }
+    id = next_id_++;
+    conn->id = id;
+    epoll_event ev{};
+    // EPOLLOUT reports handshake completion (with EPOLLERR on failure);
+    // read interest is armed by FinishConnect once established.
+    ev.events = EPOLLOUT;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      const Status s = ErrnoStatus("epoll_ctl(connect)");
+      ::close(fd);
+      return s;
+    }
+    conns_.emplace(id, std::move(conn));
+  }
+  obs::M().reactor_connections.Add(1);
+  Wakeup();
+  return id;
+}
+
 Status Reactor::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return InvalidArgumentError("reactor already started");
@@ -220,8 +261,13 @@ void Reactor::MarkDeadLocked(Conn& conn, Status why) {
 
 void Reactor::UpdateInterestLocked(Conn& conn) {
   epoll_event ev{};
-  ev.events = (conn.draining ? 0u : (EPOLLIN | EPOLLRDHUP)) |
-              (conn.want_write ? EPOLLOUT : 0u);
+  // A connecting socket stays EPOLLOUT-only until the handshake resolves —
+  // even a CloseAfterFlush mid-dial must keep it armed or the connect
+  // never completes and the drain never finishes.
+  ev.events = conn.connecting
+                  ? EPOLLOUT
+                  : ((conn.draining ? 0u : (EPOLLIN | EPOLLRDHUP)) |
+                     (conn.want_write ? EPOLLOUT : 0u));
   ev.data.u64 = conn.id;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
@@ -277,6 +323,20 @@ void Reactor::LoopThread() {
       if (listener != nullptr) {
         HandleAccept(*listener);
         continue;
+      }
+      {
+        bool connecting = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          connecting = conn->connecting;
+        }
+        if (connecting) {
+          // Any event on a connecting socket resolves the handshake:
+          // EPOLLOUT alone is success, EPOLLERR/EPOLLHUP carry the error
+          // in SO_ERROR.
+          FinishConnect(*conn, ev);
+          continue;
+        }
       }
       if ((ev & EPOLLOUT) != 0) {
         if (!FlushSends(*conn)) continue;
@@ -337,6 +397,42 @@ void Reactor::HandleAccept(Listener& lst) {
     obs::M().reactor_connections.Add(1);
     if (handler.on_open) handler.on_open(id);
   }
+}
+
+void Reactor::FinishConnect(Conn& conn, std::uint32_t events) {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    err = errno;
+  }
+  if (err == 0 && (events & (EPOLLERR | EPOLLHUP)) != 0) {
+    // Belt and braces: an error event with a clean SO_ERROR still means
+    // the dial did not produce a usable connection.
+    err = ECONNREFUSED;
+  }
+  if (err != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MarkDeadLocked(conn, UnavailableError(std::string("connect: ") +
+                                          std::strerror(err)));
+    return;
+  }
+  SetNoDelay(conn.fd);
+  std::shared_ptr<const Handler> handler;
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn.connecting = false;
+    const std::chrono::nanoseconds now = clock_->Now();
+    conn.last_frame = now;
+    conn.last_progress = now;
+    conn.want_write = false;
+    UpdateInterestLocked(conn);
+    handler = conn.handler;
+    flush = !conn.sendq.empty();
+  }
+  if (handler->on_open) handler->on_open(conn.id);
+  // Frames queued by Send() while the handshake was pending go out now.
+  if (flush) FlushSends(conn);
 }
 
 void Reactor::HandleReadable(Conn& conn) {
@@ -421,6 +517,8 @@ bool Reactor::ParseFrames(Conn& conn) {
 bool Reactor::FlushSends(Conn& conn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (conn.dead) return false;
+  // No writes mid-handshake: FinishConnect flushes the queue on success.
+  if (conn.connecting) return true;
   while (!conn.sendq.empty()) {
     const Bytes& front = conn.sendq.front();
     const std::size_t left = front.size() - conn.send_off;
@@ -494,7 +592,10 @@ void Reactor::CheckTimers() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, conn] : conns_) {
     if (conn->dead) continue;
-    if (idle_on && !conn->draining &&
+    // Established outbound links are exempt from the idle timer: a healthy
+    // client link is quiet between requests. The handshake itself is still
+    // covered (connecting == true), so a dial that never completes is shed.
+    if (idle_on && !conn->draining && (!conn->outbound || conn->connecting) &&
         now - conn->last_frame >= options_.idle_timeout) {
       obs::M().reactor_timer_closes.Inc();
       MarkDeadLocked(*conn, DeadlineExceededError(
@@ -523,7 +624,7 @@ int Reactor::NextTimeoutMs() {
   std::chrono::nanoseconds next = std::chrono::nanoseconds::max();
   for (const auto& [id, conn] : conns_) {
     if (conn->dead) continue;
-    if (idle_on && !conn->draining) {
+    if (idle_on && !conn->draining && (!conn->outbound || conn->connecting)) {
       next = std::min(next, conn->last_frame + options_.idle_timeout - now);
     }
     if (stall_on && !conn->sendq.empty()) {

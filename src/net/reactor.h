@@ -99,6 +99,18 @@ class Reactor {
   // owned (and closed) by the reactor from here on.
   Status AddListener(TcpListener listener, Handler handler);
 
+  // Dials host:port without blocking the caller: the connect starts
+  // non-blocking (TcpConnectStart) and the loop completes the handshake on
+  // EPOLLOUT via SO_ERROR. The returned id is usable immediately — Send()
+  // queues frames that flush once the handshake finishes; on_open fires
+  // (loop thread) when it does, and a refused or unreachable peer surfaces
+  // as on_close with the connect error. Outbound connections are exempt
+  // from idle_timeout once established — a healthy client link is quiet
+  // between requests — but the handshake itself is covered by it, so a
+  // peer that never completes the dial is shed like a slow-loris.
+  Result<ConnId> Connect(const std::string& host, std::uint16_t port,
+                         Handler handler);
+
   // Spawns the loop thread. INVALID_ARGUMENT if already started.
   Status Start();
 
@@ -146,6 +158,8 @@ class Reactor {
     bool want_write = false;     // EPOLLOUT armed
     bool draining = false;       // CloseAfterFlush: no reads, flush, close
     bool dead = false;           // removal scheduled
+    bool outbound = false;       // dialed by Connect(), not accepted
+    bool connecting = false;     // handshake pending; EPOLLOUT completes it
     Status close_reason = Status::Ok();        // first MarkDead reason wins
     std::chrono::nanoseconds last_frame{};     // idle timer basis
     std::chrono::nanoseconds last_progress{};  // write-stall timer basis
@@ -158,6 +172,10 @@ class Reactor {
 
   void LoopThread();
   void HandleAccept(Listener& lst);
+  // Completes (or fails) an outbound handshake once epoll reports the
+  // socket writable: SO_ERROR == 0 establishes the connection and flushes
+  // any frames queued while connecting; anything else closes it.
+  void FinishConnect(Conn& conn, std::uint32_t events);
   void HandleReadable(Conn& conn);
   // Parses complete frames out of conn.rbuf and dispatches them. Returns
   // false (and schedules removal) on a framing violation.

@@ -219,6 +219,9 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
   }
   int rc;
   do {
+    // Blocking by design: the thread-per-connection A/B dial path; the
+    // reactor dials via TcpConnectStart + EPOLLOUT (net/reactor.cc).
+    // lwlint: allow(blocking-in-reactor)
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) {
@@ -228,6 +231,34 @@ Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
   }
   SetNoDelay(fd);
   return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+}
+
+Result<int> TcpConnectStart(const std::string& host, std::uint16_t port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("invalid IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  // EINPROGRESS is the non-blocking success: the three-way handshake
+  // continues in the kernel and completion (or refusal) is reported via
+  // EPOLLOUT + SO_ERROR. rc == 0 (instant loopback connect) is fine too —
+  // the epoll registration still sees the socket writable immediately.
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status s = ErrnoStatus("connect");
+    ::close(fd);
+    return s;
+  }
+  return fd;
 }
 
 Result<TcpListener> TcpListener::Listen(std::uint16_t port) {

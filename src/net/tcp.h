@@ -20,6 +20,14 @@ namespace lw::net {
 Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
                                               std::uint16_t port);
 
+// Begins a non-blocking connect to host:port and returns the in-progress
+// descriptor (SOCK_NONBLOCK | SOCK_CLOEXEC). The caller — in practice
+// net::Reactor::Connect — registers it with epoll and completes the
+// handshake on EPOLLOUT via getsockopt(SO_ERROR); a refused or unreachable
+// peer surfaces there, not here. Only an unresolvable address or socket
+// exhaustion fails synchronously. The caller owns (and must close) the fd.
+Result<int> TcpConnectStart(const std::string& host, std::uint16_t port);
+
 class TcpListener {
  public:
   // Binds and listens on 127.0.0.1:port. Pass port 0 for an ephemeral port

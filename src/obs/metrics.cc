@@ -152,6 +152,26 @@ Metrics& M() {
           "lw_shard_requests_total",
           "sub-tree queries answered by shard data servers", "requests"),
 
+      Registry::Default().AddGauge(
+          "lw_fanout_inflight",
+          "private GETs currently in flight across the shard fan-out",
+          "requests"),
+      Registry::Default().AddHistogram(
+          "lw_fanout_shard_rtt_ns",
+          "per-shard sub-query round trip inside the fan-out", "ns",
+          LatencyBounds()),
+      Registry::Default().AddCounter(
+          "lw_fanout_stale_drops_total",
+          "shard replies dropped because their op already completed",
+          "frames"),
+      Registry::Default().AddCounter(
+          "lw_fanout_redials_total",
+          "shard links closed and re-dialed after a failure or desync",
+          "redials"),
+      Registry::Default().AddCounter(
+          "lw_fanout_deadline_expired_total",
+          "fan-out ops failed at their per-op deadline", "requests"),
+
       Registry::Default().AddCounter("lw_batch_requests_total",
                                      "queries submitted to batch schedulers",
                                      "requests"),

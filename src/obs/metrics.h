@@ -184,6 +184,17 @@ struct Metrics {
   Counter& frontend_request_errors;
   Counter& shard_requests;
 
+  // Front-end shard fan-out (the multiplexed client path, zltp/frontend.cc):
+  // ops in flight across all shard links, per-shard sub-query round trips,
+  // and the failure-containment events — replies dropped because their op
+  // already completed, links closed and re-dialed after a desync, and ops
+  // failed at their per-op deadline.
+  Gauge& fanout_inflight;
+  Histogram& fanout_shard_rtt_ns;
+  Counter& fanout_stale_drops;
+  Counter& fanout_redials;
+  Counter& fanout_deadline_expired;
+
   // Batch scheduler.
   Counter& batch_requests;
   Counter& batch_batches;

@@ -1,7 +1,13 @@
 #include "zltp/frontend.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -179,51 +185,682 @@ Status ShardDataServer::ServeOnReactor(net::Reactor& reactor,
 }
 
 // ------------------------------------------------------------- fan-out
+//
+// The multiplexed fan-out engine. One Mux owns the pending-op correlation
+// table and a Link per shard; ops are keyed by a unique request id that is
+// sent to every shard, so a reply is matched to its op no matter when or
+// in what order it arrives. Failure containment:
+//
+//   reply for unknown id      stale (its op already completed) — dropped,
+//                             never attributed to another op.
+//   wrong record size         the reply correlated, so only that op fails;
+//                             the link's framing is intact and stays up.
+//   send failure on shard k   that op fails immediately; replies already
+//                             owed by shards 0..k-1 are stale-dropped by
+//                             id, so the next request is not poisoned.
+//   transport error / shard   the stream is desynced (error frames carry
+//   error frame               no request id): every op awaiting the link
+//                             fails, the link closes and — with a redial
+//                             factory — a fresh connection is dialed.
+//   per-op deadline           the expiry sweeper fails the op with
+//                             DEADLINE_EXCEEDED; a reply that limps in
+//                             later is a stale drop.
+
+class ShardFanout::Mux {
+ public:
+  // One outstanding private GET: the XOR accumulator, which links still
+  // owe a reply, and the completion callback.
+  struct Op {
+    Bytes acc;
+    std::vector<bool> awaiting;
+    std::size_t remaining = 0;
+    AnswerCallback done;
+    bool has_deadline = false;
+    std::chrono::nanoseconds deadline{};
+    std::chrono::nanoseconds start{};
+  };
+
+  // One shard link. Enqueue never blocks the caller; failures are routed
+  // back through FailOp/OnLinkDown.
+  class Link {
+   public:
+    virtual ~Link() = default;
+    virtual void Enqueue(std::uint32_t op_id, net::Frame frame) = 0;
+    virtual void Shutdown() = 0;
+  };
+
+  Mux(const ShardTopology& topology, FanoutOptions options)
+      : topology_(topology),
+        options_(std::move(options)),
+        clock_(options_.clock != nullptr ? options_.clock : &Clock::Real()) {}
+
+  ~Mux() { Shutdown(); }
+
+  const ShardTopology& topology() const { return topology_; }
+  Clock* clock() const { return clock_; }
+  const FanoutOptions& options() const { return options_; }
+
+  // Called once per shard, in shard order, before Seal().
+  void AddLink(std::unique_ptr<Link> link) {
+    links_.push_back(std::move(link));
+  }
+
+  // Links are complete; start the expiry sweeper if ops carry deadlines.
+  void Seal() {
+    LW_CHECK_MSG(links_.size() == topology_.shard_count(),
+                 "need one link per shard");
+    if (options_.op_timeout.count() > 0) {
+      expiry_ = std::thread([this] { ExpiryLoop(); });
+    }
+  }
+
+  void AnswerAsync(const dpf::DpfKey& key, AnswerCallback done) {
+    if (key.domain_bits != topology_.domain_bits) {
+      done(ProtocolError("DPF domain does not match deployment"));
+      return;
+    }
+    // Front-end work: expand the top of the tree once (cheap; §5.2), then
+    // ship each shard its sub-tree root. Requests pipeline onto every link
+    // without waiting for any reply — concurrent ops interleave freely.
+    const std::vector<dpf::SubtreeKey> subkeys =
+        dpf::SplitForShards(key, topology_.top_bits);
+    const std::size_t n = links_.size();
+    std::uint32_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!stopping_) {
+        id = next_id_++;
+        if (next_id_ == 0) next_id_ = 1;  // id 0 stays reserved on wrap
+        Op op;
+        op.acc.assign(topology_.record_size, 0);
+        op.awaiting.assign(n, true);
+        op.remaining = n;
+        op.done = std::move(done);
+        op.start = clock_->Now();
+        if (options_.op_timeout.count() > 0) {
+          op.has_deadline = true;
+          op.deadline = op.start + options_.op_timeout;
+        }
+        ops_.emplace(id, std::move(op));
+      }
+    }
+    if (id == 0) {
+      done(UnavailableError("fan-out shut down"));
+      return;
+    }
+    obs::M().fanout_inflight.Add(1);
+    expiry_cv_.notify_all();  // a new deadline may now be the earliest
+    for (std::size_t s = 0; s < n; ++s) {
+      GetRequest request;
+      request.request_id = id;
+      request.body = subkeys[s].Serialize();
+      links_[s]->Enqueue(id, Encode(request));
+    }
+  }
+
+  // A frame arrived on link `link`. Returns non-OK when the link's stream
+  // can no longer be trusted (shard error frame — uncorrelatable by
+  // design, messages.h — or an undecodable reply): the link must close
+  // and redial.
+  Status OnReply(std::size_t link, const net::Frame& frame) {
+    if (frame.type == static_cast<std::uint8_t>(MsgType::kError)) {
+      auto e = DecodeError(frame);
+      return e.ok() ? StatusFromError(*e) : e.status();
+    }
+    auto response = DecodeGetResponse(frame);
+    if (!response.ok()) return response.status();
+    std::optional<Op> finished;
+    Status op_failure = Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = ops_.find(response->request_id);
+      if (it == ops_.end() || !it->second.awaiting[link]) {
+        // Late or duplicate: the op already completed (deadline, another
+        // link's failure) or this link already answered it. Correlation
+        // by id means we drop it here instead of handing it to the next
+        // request — the old lock-step desync bug.
+        obs::M().fanout_stale_drops.Inc();
+        return Status::Ok();
+      }
+      Op& op = it->second;
+      op.awaiting[link] = false;
+      if (response->body.size() != topology_.record_size) {
+        // Correlated but broken: the framing is intact, so fail only this
+        // op and keep the link.
+        op_failure = ProtocolError("shard answer has wrong record size");
+        finished = std::move(op);
+        ops_.erase(it);
+      } else {
+        XorInto(op.acc, response->body);
+        obs::M().fanout_shard_rtt_ns.Observe(
+            static_cast<std::uint64_t>((clock_->Now() - op.start).count()));
+        if (--op.remaining == 0) {
+          finished = std::move(op);
+          ops_.erase(it);
+        }
+      }
+    }
+    if (finished.has_value()) {
+      obs::M().fanout_inflight.Add(-1);
+      if (op_failure.ok()) {
+        finished->done(std::move(finished->acc));
+      } else {
+        finished->done(op_failure);
+      }
+    }
+    return Status::Ok();
+  }
+
+  // A send for `op_id` failed on `link`: the op cannot complete. Replies
+  // other shards already owe it become stale drops.
+  void FailOp(std::uint32_t op_id, std::size_t link, const Status& why) {
+    std::optional<Op> op;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = ops_.find(op_id);
+      if (it == ops_.end()) return;
+      op = std::move(it->second);
+      ops_.erase(it);
+    }
+    obs::M().fanout_inflight.Add(-1);
+    op->done(ShardStatus(link, why));
+  }
+
+  // The link's stream is gone or desynced: every op still awaiting it
+  // fails now, rather than reading someone else's reply later.
+  void OnLinkDown(std::size_t link, const Status& why) {
+    std::vector<Op> hit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = ops_.begin(); it != ops_.end();) {
+        if (it->second.awaiting[link]) {
+          hit.push_back(std::move(it->second));
+          it = ops_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (Op& op : hit) {
+      obs::M().fanout_inflight.Add(-1);
+      op.done(ShardStatus(link, why));
+    }
+  }
+
+  net::TransportFactory redial_factory(std::size_t link) const {
+    if (link < options_.redial.size()) return options_.redial[link];
+    return nullptr;
+  }
+
+  // Stops the sweeper and every link, then completes whatever is left.
+  // Idempotent; called by ~Mux and usable for explicit teardown.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    expiry_cv_.notify_all();
+    if (expiry_.joinable()) expiry_.join();
+    for (auto& link : links_) link->Shutdown();
+    std::map<std::uint32_t, Op> left;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      left.swap(ops_);
+    }
+    for (auto& [id, op] : left) {
+      obs::M().fanout_inflight.Add(-1);
+      op.done(UnavailableError("fan-out shut down"));
+    }
+  }
+
+ private:
+  static Status ShardStatus(std::size_t link, const Status& why) {
+    return Status(why.code(),
+                  "shard " + std::to_string(link) + ": " + why.message());
+  }
+
+  // Per-op deadlines are enforced here, against the pending table, not by
+  // per-receive timeouts: the link readers stay blocked demultiplexing
+  // while an expired op fails fast with DEADLINE_EXCEEDED. Under a
+  // FakeClock the cv wait uses short real slices (the net/inmem.cc
+  // discipline) so tests advance virtual time and see prompt expiry.
+  void ExpiryLoop() {
+    constexpr std::chrono::milliseconds kFakeClockSlice{5};
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      const std::chrono::nanoseconds now = clock_->Now();
+      std::vector<Op> due;
+      std::chrono::nanoseconds next = std::chrono::nanoseconds::max();
+      for (auto it = ops_.begin(); it != ops_.end();) {
+        if (it->second.has_deadline && it->second.deadline <= now) {
+          due.push_back(std::move(it->second));
+          it = ops_.erase(it);
+        } else {
+          if (it->second.has_deadline) {
+            next = std::min(next, it->second.deadline);
+          }
+          ++it;
+        }
+      }
+      if (!due.empty()) {
+        lock.unlock();
+        for (Op& op : due) {
+          obs::M().fanout_deadline_expired.Inc();
+          obs::M().fanout_inflight.Add(-1);
+          op.done(DeadlineExceededError(
+              "shard fan-out deadline expired (dead or slow shard)"));
+        }
+        lock.lock();
+        continue;
+      }
+      if (next == std::chrono::nanoseconds::max()) {
+        expiry_cv_.wait(lock);
+        continue;
+      }
+      if (clock_ != &Clock::Real()) {
+        expiry_cv_.wait_for(lock, kFakeClockSlice);
+        continue;
+      }
+      expiry_cv_.wait_for(
+          lock, std::min(next - now, std::chrono::nanoseconds(
+                                         std::chrono::seconds(60))));
+    }
+  }
+
+  const ShardTopology topology_;
+  const FanoutOptions options_;
+  Clock* clock_;  // never null
+
+  std::mutex mu_;  // ops_, next_id_, stopping_
+  std::condition_variable expiry_cv_;
+  std::map<std::uint32_t, Op> ops_;
+  std::uint32_t next_id_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<Link>> links_;
+  std::thread expiry_;
+};
+
+namespace {
+
+// Threaded shard link over a net::Transport: a writer thread drains an
+// outbox (so AnswerAsync never blocks on a slow send) and a reader thread
+// demultiplexes replies into the correlation table. Composes with the
+// net/faulty.h decorators and the in-memory pair; a redial factory makes
+// the link self-healing after a failure.
+class TransportLink final : public ShardFanout::Mux::Link {
+ public:
+  TransportLink(ShardFanout::Mux* mux, std::size_t index,
+                std::unique_ptr<net::Transport> transport,
+                net::TransportFactory redial)
+      : mux_(mux),
+        index_(index),
+        redial_(std::move(redial)),
+        transport_(std::move(transport)) {
+    reader_ = std::thread([this] { ReaderLoop(); });
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+
+  ~TransportLink() override { Shutdown(); }
+
+  void Enqueue(std::uint32_t op_id, net::Frame frame) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A null transport with a redial factory means a fresh dial may be
+      // mid-flight: queue, and the writer picks the frame up once the new
+      // stream is installed (the op deadline bounds the wait either way).
+      if (!stopping_ && (transport_ != nullptr || redial_)) {
+        outbox_.push_back({op_id, std::move(frame)});
+        cv_.notify_all();
+        return;
+      }
+    }
+    // Link permanently down (dead with no redial factory, or shut down):
+    // fail fast rather than queueing against a shard that cannot answer.
+    mux_->FailOp(op_id, index_,
+                 UnavailableError(stopped() ? "shard link shut down"
+                                            : "shard link down"));
+  }
+
+  void Shutdown() override {
+    std::shared_ptr<net::Transport> t;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      t = transport_;
+    }
+    cv_.notify_all();
+    if (t != nullptr) t->Close();  // unblocks the reader's Receive
+    if (writer_.joinable()) writer_.join();
+    if (reader_.joinable()) reader_.join();
+  }
+
+ private:
+  bool stopped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+  }
+
+  void ReaderLoop() {
+    for (;;) {
+      std::shared_ptr<net::Transport> t;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock,
+                 [this] { return stopping_ || transport_ != nullptr; });
+        if (stopping_) return;
+        t = transport_;
+      }
+      // Demultiplexer receive: per-op deadlines are enforced by the mux's
+      // expiry sweeper against the pending table, so this wait is
+      // intentionally unbounded — a dead shard fails its ops fast via the
+      // sweeper, and a reply that arrives after that is dropped by id,
+      // never misattributed. Shutdown/Reset close the transport to
+      // unblock this thread.
+      auto frame = t->Receive(net::Deadline::Infinite());
+      if (!frame.ok()) {
+        Reset(t, frame.status());
+        continue;
+      }
+      const Status s = mux_->OnReply(index_, *frame);
+      if (!s.ok()) Reset(t, s);
+    }
+  }
+
+  void WriterLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      // Waits out a redial too: frames stay queued until a transport
+      // exists to carry them.
+      cv_.wait(lock, [this] {
+        return stopping_ || (!outbox_.empty() && transport_ != nullptr);
+      });
+      if (stopping_) return;
+      auto [op_id, frame] = std::move(outbox_.front());
+      outbox_.pop_front();
+      std::shared_ptr<net::Transport> t = transport_;
+      lock.unlock();
+      // The op deadline (sweeper) bounds the caller; a send wedged past
+      // it keeps only this writer busy, and Shutdown's Close unblocks it.
+      const Status s = t->Send(frame, net::Deadline::Infinite());
+      if (!s.ok()) {
+        // The op cannot complete (this shard never saw its sub-query) —
+        // fail it directly rather than relying on Reset's OnLinkDown,
+        // which no-ops if another thread already swapped the transport.
+        // Replies other shards already owe the op become stale drops.
+        mux_->FailOp(op_id, index_, s);
+        // A failed send may leave the stream mid-frame: reset the link.
+        Reset(t, s);
+      }
+      lock.lock();
+    }
+  }
+
+  // Drops `failed` (if still current), fails every op awaiting this link,
+  // and — with a factory — dials a replacement. Reader and writer both
+  // funnel here; whichever loses the race becomes a no-op.
+  void Reset(const std::shared_ptr<net::Transport>& failed,
+             const Status& why) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ || transport_ != failed) return;
+      transport_.reset();
+      // Queued frames belong to ops the OnLinkDown below is about to fail;
+      // sending them on a fresh stream would only produce stale replies.
+      outbox_.clear();
+    }
+    failed->Close();
+    mux_->OnLinkDown(index_, why);
+    if (!redial_) return;
+    auto fresh = redial_();
+    if (!fresh.ok()) return;  // stays down; ops fail fast in Enqueue
+    obs::M().fanout_redials.Inc();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      (*fresh)->Close();
+      return;
+    }
+    transport_ = std::move(*fresh);
+    cv_.notify_all();  // wake the reader onto the new stream
+  }
+
+  ShardFanout::Mux* mux_;
+  const std::size_t index_;
+  const net::TransportFactory redial_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // shared_ptr: reader and writer use the transport outside the lock while
+  // Reset swaps it; the failed instance stays alive until both let go.
+  std::shared_ptr<net::Transport> transport_;
+  std::deque<std::pair<std::uint32_t, net::Frame>> outbox_;
+  bool stopping_ = false;
+
+  std::thread reader_;
+  std::thread writer_;
+};
+
+// Reactor-backed shard link: the outbound connection lives on the reactor
+// loop (net::Reactor::Connect), sends are queue pushes, and replies arrive
+// as on_frame callbacks — no per-link threads at all. A link-level failure
+// closes the connection; the next op re-dials on demand (no reconnect
+// storm against a down shard: at most one dial per op).
+class ReactorLink final : public ShardFanout::Mux::Link {
+ public:
+  ReactorLink(ShardFanout::Mux* mux, std::size_t index,
+              net::Reactor& reactor, std::string host, std::uint16_t port)
+      : mux_(mux),
+        index_(index),
+        reactor_(reactor),
+        host_(std::move(host)),
+        port_(port) {}
+
+  ~ReactorLink() override { Shutdown(); }
+
+  Status Dial() {
+    net::Reactor::Handler handler;
+    handler.on_frame = [this](net::Reactor::ConnId id, net::Frame frame) {
+      const Status s = mux_->OnReply(index_, std::move(frame));
+      if (!s.ok()) {
+        // Desynced stream (uncorrelatable shard error frame): fail the
+        // ops awaiting us and drop the connection; the next op re-dials.
+        Forget(id);
+        mux_->OnLinkDown(index_, s);
+        reactor_.Close(id);
+      }
+    };
+    handler.on_close = [this](net::Reactor::ConnId id, const Status& why) {
+      // Forget() false: Shutdown or the on_frame error path already
+      // disowned this conn, or the dial lost so quickly that Dial() has
+      // not stored the id yet (recorded so Dial does not adopt a corpse).
+      if (Forget(id)) {
+        mux_->OnLinkDown(
+            index_, why.ok() ? UnavailableError("shard link closed") : why);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      early_closed_.push_back(id);
+      --pending_closes_;
+      closed_cv_.notify_all();
+    };
+    {
+      // Count the close before Connect: on_close may fire (loop thread)
+      // before Connect even returns here. Stale early-close records from
+      // prior dials are irrelevant to the fresh id about to be minted.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_closes_;
+      early_closed_.clear();
+    }
+    auto id = reactor_.Connect(host_, port_, std::move(handler));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!id.ok()) {
+      --pending_closes_;  // never registered; no on_close will come
+      return id.status();
+    }
+    if (std::find(early_closed_.begin(), early_closed_.end(), *id) !=
+        early_closed_.end()) {
+      // Refused before we got to store the id: the link stays down and the
+      // next op re-dials.
+      early_closed_.clear();
+      return UnavailableError("shard connection closed during dial");
+    }
+    conn_ = *id;
+    return Status::Ok();
+  }
+
+  void Enqueue(std::uint32_t op_id, net::Frame frame) override {
+    net::Reactor::ConnId conn = 0;
+    {
+      // dial_mu_ serializes redials: two concurrent ops hitting a downed
+      // link get one fresh connection, not one each. Never taken by the
+      // loop-thread callbacks, so it cannot deadlock against them.
+      std::lock_guard<std::mutex> dial_lock(dial_mu_);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+          conn = 0;
+        } else {
+          conn = conn_;
+        }
+      }
+      if (conn == 0) {
+        if (stopped()) {
+          mux_->FailOp(op_id, index_,
+                       UnavailableError("shard link shut down"));
+          return;
+        }
+        // Redial on demand: at most one dial per op against a down shard,
+        // so a dead peer costs each request one failed connect, never a
+        // reconnect storm.
+        const Status dialed = Dial();
+        if (!dialed.ok()) {
+          mux_->FailOp(op_id, index_, dialed);
+          return;
+        }
+        obs::M().fanout_redials.Inc();
+        std::lock_guard<std::mutex> lock(mu_);
+        conn = conn_;
+      }
+    }
+    const Status sent = reactor_.Send(conn, frame);
+    if (!sent.ok()) mux_->FailOp(op_id, index_, sent);
+  }
+
+  void Shutdown() override {
+    net::Reactor::ConnId conn = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      conn = conn_;
+      conn_ = 0;
+    }
+    // Safe even after reactor.Stop(): a stale id is a no-op (reactor.h).
+    if (conn != 0) reactor_.Close(conn);
+    // Wait for every dialed connection's on_close to be delivered (the
+    // documented teardown order guarantees it comes: either the reactor
+    // was already stopped, which drained all conns, or it is running and
+    // the Close above reaches the loop). After this, no loop callback can
+    // touch this link or the mux again — destruction is safe.
+    std::unique_lock<std::mutex> lock(mu_);
+    closed_cv_.wait(lock, [this] { return pending_closes_ == 0; });
+  }
+
+ private:
+  bool stopped() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+  }
+
+  // Clears conn_ if it still names `id`; false means this close was
+  // already handled (Shutdown or a newer dial took over), or the id was
+  // never stored (the dial lost instantly).
+  bool Forget(net::Reactor::ConnId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn_ != id) return false;
+    conn_ = 0;
+    return true;
+  }
+
+  ShardFanout::Mux* mux_;
+  const std::size_t index_;
+  net::Reactor& reactor_;
+  const std::string host_;
+  const std::uint16_t port_;
+
+  std::mutex dial_mu_;  // held across Dial(); taken before mu_
+  std::mutex mu_;
+  net::Reactor::ConnId conn_ = 0;
+  // Dials whose on_close has not yet been delivered; Shutdown waits for 0.
+  int pending_closes_ = 0;
+  std::condition_variable closed_cv_;
+  // Conn ids whose on_close beat Dial()'s store of the id (instant refuse).
+  std::vector<net::Reactor::ConnId> early_closed_;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+ShardFanout::ShardFanout(std::unique_ptr<Mux> mux) : mux_(std::move(mux)) {}
 
 ShardFanout::ShardFanout(const ShardTopology& topology,
-                         std::vector<std::unique_ptr<net::Transport>> links)
-    : topology_(topology), shards_(std::move(links)) {
-  LW_CHECK_MSG(shards_.size() == topology_.shard_count(),
+                         std::vector<std::unique_ptr<net::Transport>> links,
+                         FanoutOptions options)
+    : mux_(std::make_unique<Mux>(topology, std::move(options))) {
+  LW_CHECK_MSG(links.size() == topology.shard_count(),
                "need one transport per shard");
+  for (std::size_t s = 0; s < links.size(); ++s) {
+    mux_->AddLink(std::make_unique<TransportLink>(
+        mux_.get(), s, std::move(links[s]), mux_->redial_factory(s)));
+  }
+  mux_->Seal();
+}
+
+Result<ShardFanout> ShardFanout::ConnectOnReactor(
+    const ShardTopology& topology, net::Reactor& reactor,
+    std::vector<ShardAddr> shards, FanoutOptions options) {
+  if (shards.size() != topology.shard_count()) {
+    return InvalidArgumentError("need one shard address per shard");
+  }
+  auto mux = std::make_unique<Mux>(topology, std::move(options));
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    auto link = std::make_unique<ReactorLink>(
+        mux.get(), s, reactor, std::move(shards[s].host), shards[s].port);
+    LW_RETURN_IF_ERROR(link->Dial());
+    mux->AddLink(std::move(link));
+  }
+  mux->Seal();
+  return ShardFanout(std::move(mux));
+}
+
+ShardFanout::ShardFanout(ShardFanout&&) noexcept = default;
+ShardFanout& ShardFanout::operator=(ShardFanout&&) noexcept = default;
+ShardFanout::~ShardFanout() = default;
+
+const ShardTopology& ShardFanout::topology() const {
+  return mux_->topology();
+}
+
+void ShardFanout::AnswerAsync(const dpf::DpfKey& key, AnswerCallback done) {
+  mux_->AnswerAsync(key, std::move(done));
 }
 
 Result<Bytes> ShardFanout::Answer(const dpf::DpfKey& key) {
-  if (key.domain_bits != topology_.domain_bits) {
-    return ProtocolError("DPF domain does not match deployment");
-  }
-  std::lock_guard<std::mutex> lock(*mu_);
-  const std::uint32_t id = next_request_id_++;
-
-  // Front-end work: expand the top of the tree once (cheap; §5.2), then
-  // ship each shard its sub-tree root. Requests are pipelined to all
-  // shards before collecting any response.
-  const std::vector<dpf::SubtreeKey> subkeys =
-      dpf::SplitForShards(key, topology_.top_bits);
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    GetRequest request;
-    request.request_id = id;
-    request.body = subkeys[s].Serialize();
-    LW_RETURN_IF_ERROR(shards_[s]->Send(Encode(request)));
-  }
-
-  Bytes combined(topology_.record_size, 0);
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    LW_ASSIGN_OR_RETURN(const net::Frame frame,
-                        shards_[s]->Receive(net::Deadline::Infinite()));
-    if (frame.type == static_cast<std::uint8_t>(MsgType::kError)) {
-      LW_ASSIGN_OR_RETURN(const ErrorMsg e, DecodeError(frame));
-      return StatusFromError(e);
-    }
-    LW_ASSIGN_OR_RETURN(const GetResponse response, DecodeGetResponse(frame));
-    if (response.request_id != id) {
-      return ProtocolError("shard response id mismatch");
-    }
-    if (response.body.size() != topology_.record_size) {
-      return ProtocolError("shard answer has wrong record size");
-    }
-    XorInto(combined, response.body);
-  }
-  return combined;
+  struct Waiter {
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Result<Bytes>> result;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  mux_->AnswerAsync(key, [waiter](Result<Bytes> r) {
+    std::lock_guard<std::mutex> lock(waiter->m);
+    waiter->result = std::move(r);
+    waiter->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(waiter->m);
+  waiter->cv.wait(lock, [&] { return waiter->result.has_value(); });
+  return std::move(*waiter->result);
 }
 
 // ------------------------------------------------------------ front-end
@@ -339,13 +976,6 @@ void FrontEndServer::ServeConnectionDetached(
 
 Status FrontEndServer::ServeOnReactor(net::Reactor& reactor,
                                       net::TcpListener listener) {
-  {
-    // One worker: ShardFanout::Answer serializes callers anyway (the shard
-    // links are single-stream), so extra workers would only queue on its
-    // mutex.
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    if (dispatch_ == nullptr) dispatch_ = std::make_unique<TaskQueue>(1);
-  }
   auto awaiting_hello =
       std::make_shared<std::unordered_set<net::Reactor::ConnId>>();
   net::Reactor::Handler handler;
@@ -407,30 +1037,33 @@ Status FrontEndServer::ServeOnReactor(net::Reactor& reactor,
       return;
     }
     const std::uint64_t decode_ns = obs::ElapsedNs(req_start);
-    // Fanning out blocks on every shard's reply; run it off the loop.
-    dispatch_->Post([this, &reactor, id, request_id = request->request_id,
-                     k = std::move(*key), req_start, start_unix_ms,
-                     decode_ns] {
-      auto answer = fanout_.Answer(k);
-      if (!answer.ok()) {
-        obs::M().frontend_request_errors.Inc();
-        SendErrorFrameTo(reactor, id, answer.status().code(),
-                         answer.status().message());
-        return;
-      }
-      obs::RequestTrace trace;
-      trace.start_unix_ms = start_unix_ms;
-      trace.stages.decode_ns = decode_ns;
-      GetResponse response;
-      response.request_id = request_id;
-      response.body = std::move(*answer);
-      const auto reply_start = obs::TraceNow();
-      (void)reactor.Send(id, Encode(response));
-      trace.stages.reply_ns = obs::ElapsedNs(reply_start);
-      trace.total_ns = obs::ElapsedNs(req_start);
-      obs::M().frontend_requests.Inc();
-      obs::TraceRing::Default().Record(trace);
-    });
+    // The fan-out is non-blocking: the op pipelines onto the shard links
+    // and this handler returns to the loop. The completion callback (a
+    // link reader thread or the reactor loop, depending on the link
+    // backend) queues the reply with the thread-safe reactor.Send — out of
+    // order across GETs, matched to the right client by the captured id.
+    fanout_.AnswerAsync(
+        *key, [&reactor, id, request_id = request->request_id, req_start,
+               start_unix_ms, decode_ns](Result<Bytes> answer) {
+          if (!answer.ok()) {
+            obs::M().frontend_request_errors.Inc();
+            SendErrorFrameTo(reactor, id, answer.status().code(),
+                             answer.status().message());
+            return;
+          }
+          obs::RequestTrace trace;
+          trace.start_unix_ms = start_unix_ms;
+          trace.stages.decode_ns = decode_ns;
+          GetResponse response;
+          response.request_id = request_id;
+          response.body = std::move(*answer);
+          const auto reply_start = obs::TraceNow();
+          (void)reactor.Send(id, Encode(response));
+          trace.stages.reply_ns = obs::ElapsedNs(reply_start);
+          trace.total_ns = obs::ElapsedNs(req_start);
+          obs::M().frontend_requests.Inc();
+          obs::TraceRing::Default().Record(trace);
+        });
   };
   return reactor.AddListener(std::move(listener), std::move(handler));
 }

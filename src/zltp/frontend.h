@@ -19,8 +19,12 @@
 // server), so it uses bare GetRequest/GetResponse frames without a hello.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +33,7 @@
 #include "net/transport.h"
 #include "pir/blob_db.h"
 #include "util/bytes.h"
+#include "util/clock.h"
 #include "util/status.h"
 #include "util/task_queue.h"
 #include "util/thread_pool.h"
@@ -90,28 +95,89 @@ class ShardDataServer {
   std::unique_ptr<TaskQueue> dispatch_;  // last member: joins first
 };
 
+// Tuning for the multiplexed fan-out (ShardFanout).
+struct FanoutOptions {
+  // Per-op budget: a private GET that has not combined every shard reply
+  // within this window fails DEADLINE_EXCEEDED — a dead shard must never
+  // wedge the front-end (the deadline-everywhere discipline,
+  // docs/ROBUSTNESS.md). zero = unbounded (tests only).
+  std::chrono::milliseconds op_timeout{5000};
+  // Time source for op deadlines. null = Clock::Real().
+  Clock* clock = nullptr;
+  // Optional per-shard redial factories, in shard order (empty, or one per
+  // shard). After a link-level failure — transport error, or a shard error
+  // frame, which carries no request id and so poisons the stream's only
+  // remaining correlation — the fan-out closes the link and dials a fresh
+  // one instead of trying to resynchronize a stream it no longer trusts.
+  // Without a factory a failed link stays down and ops touching it fail
+  // fast with the link's error.
+  std::vector<net::TransportFactory> redial;
+};
+
 // The front-end's private-GET engine: splits a client key and queries every
-// shard over its transport. Exposed separately from the ZLTP session loop
-// so ZltpPirServer-style serving and benches can share it.
+// shard. Exposed separately from the ZLTP session loop so FrontEndServer
+// serving and benches can share it.
+//
+// The fan-out is a client-side multiplexer: every op gets a unique request
+// id, its sub-queries are pipelined onto all shard links at once, and a
+// pending-op correlation table matches replies as they arrive — out of
+// order across ops, concurrently across links. A late or stale reply is
+// matched by id or dropped, never misattributed to the next request, which
+// structurally removes the desync bug class the old lock-step fan-out had
+// (an early error return leaving unread replies in other shards' pipes).
 class ShardFanout {
  public:
-  // One transport per shard, in shard order. The front-end owns them.
+  // Invoked exactly once per AnswerAsync, possibly on a link reader
+  // thread, a reactor loop thread, or (for immediate failures) the calling
+  // thread. Must not block.
+  using AnswerCallback = std::function<void(Result<Bytes>)>;
+
+  // One transport per shard, in shard order. The fan-out owns them and
+  // runs a reader/writer thread pair per link.
   ShardFanout(const ShardTopology& topology,
-              std::vector<std::unique_ptr<net::Transport>> shard_links);
+              std::vector<std::unique_ptr<net::Transport>> shard_links,
+              FanoutOptions options = {});
 
-  const ShardTopology& topology() const { return topology_; }
+  // Reactor-multiplexed links: dials every shard address through `reactor`
+  // (non-blocking connects; net::Reactor::Connect), so one loop thread
+  // carries all outbound shard traffic and no fan-out threads exist.
+  // Teardown order matches the serving contract (server.h): stop the
+  // reactor first, then destroy the fan-out, then the reactor object.
+  struct ShardAddr {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  static Result<ShardFanout> ConnectOnReactor(const ShardTopology& topology,
+                                              net::Reactor& reactor,
+                                              std::vector<ShardAddr> shards,
+                                              FanoutOptions options = {});
 
-  // Splits, fans out, and XOR-combines. Serializes concurrent callers (the
-  // shard links are single-stream).
+  // Defined in frontend.cc, where Mux is a complete type.
+  ShardFanout(ShardFanout&&) noexcept;
+  ShardFanout& operator=(ShardFanout&&) noexcept;
+  ~ShardFanout();  // completes every pending op with UNAVAILABLE
+
+  const ShardTopology& topology() const;
+
+  // Non-blocking: splits the key, pipelines one sub-query per shard link,
+  // and registers the op in the correlation table; `done` fires when the
+  // last shard reply has been XOR-combined or the op fails (per-op
+  // deadline, link failure). Many ops may be in flight at once.
+  void AnswerAsync(const dpf::DpfKey& key, AnswerCallback done);
+
+  // Blocking wrapper around AnswerAsync for the threaded serve path and
+  // direct callers. Concurrent callers pipeline — there is no fan-out-wide
+  // mutex around the shard round trips.
   Result<Bytes> Answer(const dpf::DpfKey& key);
 
+  // The correlation table + links. Defined in frontend.cc; public only so
+  // the link backends there (plain classes, not members) can derive from
+  // Mux::Link.
+  class Mux;
+
  private:
-  ShardTopology topology_;
-  // unique_ptr keeps ShardFanout movable (it is constructed and handed to
-  // a FrontEndServer by value).
-  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
-  std::vector<std::unique_ptr<net::Transport>> shards_;
-  std::uint32_t next_request_id_ = 1;
+  explicit ShardFanout(std::unique_ptr<Mux> mux);
+  std::unique_ptr<Mux> mux_;
 };
 
 // A complete logical ZLTP server built from a fan-out: speaks the standard
@@ -128,10 +194,13 @@ class FrontEndServer {
   void ServeConnection(net::Transport& transport);
   void ServeConnectionDetached(std::unique_ptr<net::Transport> transport);
 
-  // Event-driven serving: GETs decode on the loop and fan out to the
-  // shards from a dispatcher worker — the shard links are single-stream
-  // and the fan-out blocks on their replies, so it must not run on the
-  // loop (teardown order: see ZltpPirServer, server.h).
+  // Event-driven serving: GETs decode on the loop and go straight into
+  // ShardFanout::AnswerAsync — the fan-out is non-blocking, so no
+  // dispatcher worker sits between decode and the shard links; replies
+  // complete out of order via the fan-out's correlation table and are sent
+  // from its completion callbacks. Teardown order: reactor.Stop() first,
+  // then destroy this server (the fan-out fails pending ops with
+  // UNAVAILABLE), then the reactor object (see ZltpPirServer, server.h).
   Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
 
  private:
@@ -143,7 +212,6 @@ class FrontEndServer {
   bool stopping_ = false;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<net::Transport>> owned_transports_;
-  std::unique_ptr<TaskQueue> dispatch_;  // last member: joins first
 };
 
 }  // namespace lw::zltp

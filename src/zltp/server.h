@@ -60,7 +60,11 @@ class ZltpPirServer {
   // decode on the loop, ride the batcher via SubmitAsync, and the scan
   // worker's callback queues the reply (docs/ARCHITECTURE.md). Teardown
   // order: reactor.Stop() first (no more callbacks into this server), then
-  // destroy the server, then the reactor object.
+  // destroy the server, then the reactor object. The same order covers
+  // reactors that also carry outbound links (a FrontEndServer's
+  // ShardFanout::ConnectOnReactor connections): Stop() fires on_close for
+  // every outbound conn, after which the fan-out fails its pending ops and
+  // its Shutdown's Close(id) calls are stale-id no-ops.
   Status ServeOnReactor(net::Reactor& reactor, net::TcpListener listener);
 
   BatchScheduler::Stats batch_stats() const { return batcher_.stats(); }

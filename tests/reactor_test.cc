@@ -437,6 +437,111 @@ TEST(Reactor, StopClosesEverythingAndIsIdempotent) {
   EXPECT_FALSE((*c1)->Receive().ok());
 }
 
+// ------------------------------------------------- outbound connections
+
+TEST(Reactor, OutboundConnectQueuesSendsThroughHandshake) {
+  Reactor reactor;
+  const std::uint16_t port = StartEcho(reactor);
+
+  std::mutex mu;
+  std::vector<Frame> replies;
+  std::atomic<int> opens{0};
+  Reactor::Handler client;
+  client.on_open = [&opens](Reactor::ConnId) { opens.fetch_add(1); };
+  client.on_frame = [&](Reactor::ConnId, Frame frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    replies.push_back(std::move(frame));
+  };
+  auto id = reactor.Connect("127.0.0.1", port, std::move(client));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Send immediately: the frame must queue while the non-blocking connect
+  // finishes and flush on establishment — the id is usable from dial time.
+  ASSERT_TRUE(reactor.Send(*id, MakeFrame(7, "through-the-handshake")).ok());
+  ASSERT_TRUE(WaitUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return replies.size() == 1;
+  }));
+  EXPECT_EQ(opens.load(), 1);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(replies[0], MakeFrame(7, "through-the-handshake"));
+  reactor.Stop();
+}
+
+TEST(Reactor, OutboundConnectRefusedSurfacesOnClose) {
+  // Grab a free port, then close the listener so the dial is refused.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->bound_port();
+  }
+  Reactor reactor;
+  ASSERT_TRUE(reactor.Start().ok());
+  CloseLog closes;
+  Reactor::Handler client;
+  client.on_frame = [](Reactor::ConnId, Frame) {};
+  client.on_close = [&closes](Reactor::ConnId, const Status& why) {
+    closes.Add(why);
+  };
+  auto id = reactor.Connect("127.0.0.1", dead_port, std::move(client));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();  // dial starts; fails async
+  ASSERT_TRUE(WaitUntil([&] { return closes.size() == 1; }));
+  EXPECT_FALSE(closes.first().ok()) << "refused connect reported Ok close";
+  reactor.Stop();
+}
+
+TEST(Reactor, EstablishedOutboundConnIsExemptFromIdleTimeout) {
+  // A healthy outbound link is quiet between requests; the slow-loris
+  // idle timer must not reap it once established (inbound conns and
+  // unfinished handshakes stay covered).
+  // The echo peer lives on its own timer-free reactor so only the
+  // outbound side is under test (a shared reactor would idle-reap the
+  // inbound echo conn and kill the link from the other end).
+  Reactor server_reactor;
+  const std::uint16_t port = StartEcho(server_reactor);
+
+  FakeClock clock;
+  Reactor::Options options;
+  options.clock = &clock;
+  options.idle_timeout = std::chrono::milliseconds(50);
+  Reactor reactor(options);
+  ASSERT_TRUE(reactor.Start().ok());
+
+  CloseLog closes;
+  std::mutex mu;
+  std::vector<Frame> replies;
+  Reactor::Handler client;
+  client.on_frame = [&](Reactor::ConnId, Frame frame) {
+    std::lock_guard<std::mutex> lock(mu);
+    replies.push_back(std::move(frame));
+  };
+  client.on_close = [&closes](Reactor::ConnId, const Status& why) {
+    closes.Add(why);
+  };
+  auto id = reactor.Connect("127.0.0.1", port, std::move(client));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(reactor.Send(*id, MakeFrame(3, "warm-up")).ok());
+  ASSERT_TRUE(WaitUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return !replies.empty();
+  }));
+
+  // Way past the idle timeout with no traffic: the outbound conn stays.
+  clock.Advance(std::chrono::seconds(5));
+  reactor.Wakeup();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(closes.size(), 0u) << closes.first().ToString();
+
+  // Still alive and serving.
+  ASSERT_TRUE(reactor.Send(*id, MakeFrame(3, "still-here")).ok());
+  ASSERT_TRUE(WaitUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return replies.size() == 2;
+  }));
+  reactor.Stop();
+  server_reactor.Stop();
+}
+
 // ------------------------------------------------- serving equivalence
 
 zltp::PirStore MakeStore() {

@@ -656,7 +656,8 @@ void Linter::CheckBlockingInReactor() {
     const bool is_accept = IsIdent(i, "accept");
     const bool is_recv = IsIdent(i, "recv");
     const bool is_send = IsIdent(i, "send");
-    if (!is_accept && !is_recv && !is_send) continue;
+    const bool is_connect = IsIdent(i, "connect");
+    if (!is_accept && !is_recv && !is_send && !is_connect) continue;
     if (!IsPunct(i + 1, "(")) continue;
     // x.send(...) / x->recv(...) are method calls on our own framed
     // abstractions, not POSIX syscalls.
@@ -674,6 +675,30 @@ void Linter::CheckBlockingInReactor() {
              "connection the loop serves; use accept4(..., SOCK_NONBLOCK) "
              "on an epoll-registered listener (threaded A/B path: justify "
              "with an allow) — see docs/ARCHITECTURE.md");
+      continue;
+    }
+    if (is_connect) {
+      // A bare ::connect on a blocking socket wedges the loop for a full
+      // TCP handshake (or its multi-second timeout). The non-blocking dial
+      // idiom necessarily treats EINPROGRESS as success and finishes via
+      // EPOLLOUT + SO_ERROR (TcpConnectStart / Reactor::Connect), so a
+      // connect call with no EINPROGRESS handling in sight is the blocking
+      // form.
+      bool einprogress = false;
+      const int limit = t_[i].line + 8;
+      for (size_t j = i + 1; j < t_.size() && t_[j].line <= limit; ++j) {
+        if (IsIdent(j, "EINPROGRESS")) {
+          einprogress = true;
+          break;
+        }
+      }
+      if (einprogress) continue;
+      Report(t_[i].line, kBlockingInReactor,
+             "blocking connect() in reactor-owned code stalls every "
+             "connection the loop serves for a full handshake; start the "
+             "dial non-blocking (SOCK_NONBLOCK, EINPROGRESS) and finish it "
+             "via EPOLLOUT + SO_ERROR (threaded A/B path: justify with an "
+             "allow) — see docs/ARCHITECTURE.md");
       continue;
     }
     const size_t close = Match(i + 1);

@@ -51,3 +51,25 @@ ssize_t AllowedBlockingRecv(int fd, char* buf) {
   // lwlint: allow(blocking-in-reactor)
   return recv(fd, buf, 16, 0);
 }
+
+int connect(int, const sockaddr*, unsigned int);
+constexpr int EINPROGRESS = 115;
+extern int errno_value;
+
+int NonBlockingConnectIsFine(int fd, const sockaddr* addr) {
+  // The non-blocking dial: EINPROGRESS means the handshake continues in
+  // the kernel and completes via EPOLLOUT + SO_ERROR.
+  const int rc = connect(fd, addr, 16);  // no finding
+  if (rc < 0 && errno_value != EINPROGRESS) return -1;
+  return 0;
+}
+
+int BadBlockingConnect(int fd, const sockaddr* addr) {
+  return connect(fd, addr, 16);  // line 68: blocking connect
+}
+
+int AllowedBlockingConnect(int fd, const sockaddr* addr) {
+  // The thread-per-connection A/B dial path blocks by design.
+  // lwlint: allow(blocking-in-reactor)
+  return connect(fd, addr, 16);
+}
